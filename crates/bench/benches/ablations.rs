@@ -1,0 +1,73 @@
+//! Criterion bench for E7 — ablations of the design choices DESIGN.md calls out:
+//!
+//! * **effective syntax vs semantic reasoning** — the PTIME coverage check against the
+//!   full bounded-evaluability analysis (with its satisfiability / rewrite machinery) on
+//!   the same uncovered query: the reason the paper introduces covered queries at all;
+//! * **`A`-equivalence rewrites on/off** — how much the rewrite search costs when it is
+//!   enabled but cannot help;
+//! * **reasoning budget** — the effect of the enumeration budget on `A`-containment
+//!   checks (larger budgets admit more of the search space before giving up).
+
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use bea_bench::families;
+use bea_core::bounded::{analyze_cq, BoundedConfig};
+use bea_core::cover;
+use bea_core::reason::containment::a_contained;
+use bea_core::reason::ReasonConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+
+    let n = 6;
+    let catalog = families::chain_catalog(n);
+    let schema = families::chain_schema(&catalog, 4);
+    let uncovered = families::unanchored_chain(&catalog, n).expect("family builds");
+    let covered = families::anchored_chain(&catalog, n).expect("family builds");
+
+    // Effective syntax (PTIME) vs the full semantic analysis on an uncovered query.
+    group.bench_function("coverage_check_only", |b| {
+        b.iter(|| cover::coverage(&uncovered, &schema))
+    });
+    group.bench_function("full_bounded_analysis", |b| {
+        b.iter(|| analyze_cq(&uncovered, &schema, &BoundedConfig::default()).unwrap())
+    });
+
+    // A-equivalence rewrites on/off.
+    let with_rewrites = BoundedConfig {
+        use_a_equivalence_removal: true,
+        ..BoundedConfig::default()
+    };
+    let without_rewrites = BoundedConfig {
+        use_a_equivalence_removal: false,
+        ..BoundedConfig::default()
+    };
+    group.bench_function("analysis_with_a_equivalence_rewrites", |b| {
+        b.iter(|| analyze_cq(&uncovered, &schema, &with_rewrites).unwrap())
+    });
+    group.bench_function("analysis_without_a_equivalence_rewrites", |b| {
+        b.iter(|| analyze_cq(&uncovered, &schema, &without_rewrites).unwrap())
+    });
+
+    // Reasoning budget: containment of the covered chain in itself (a positive instance
+    // that must sweep the full enumeration) under different budgets.
+    for &budget in &[10_000u64, 100_000, 1_000_000] {
+        let config = ReasonConfig::with_budget(budget);
+        group.bench_with_input(
+            BenchmarkId::new("a_containment_budget", budget),
+            &budget,
+            |b, _| {
+                b.iter(|| {
+                    // Ignore budget exhaustion: the point is the time spent.
+                    let _ = a_contained(&covered, &covered, &schema, &config);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

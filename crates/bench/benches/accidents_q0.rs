@@ -1,0 +1,42 @@
+//! Criterion bench for E2 (Example 1.1): bounded evaluation of Q0 versus the full-scan
+//! baseline at two database scales. The bounded plan's latency is expected to be
+//! essentially independent of the scale; the baseline's grows with it.
+
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use bea_bench::scenarios::AccidentsScenario;
+use bea_engine::{eval_cq, execute_plan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_accidents_q0(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accidents_q0");
+    group.sample_size(20);
+    for &tuples in &[50_000u64, 200_000] {
+        let scenario =
+            AccidentsScenario::with_total_tuples(tuples, 42).expect("scenario builds");
+        let size = scenario.indexed.size();
+
+        group.bench_with_input(
+            BenchmarkId::new("bounded_plan", size),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    execute_plan(&scenario.plan, &scenario.indexed).expect("plan executes")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_full_scan", size),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    eval_cq(&scenario.q0, scenario.indexed.database()).expect("naive evaluates")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accidents_q0);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E4: personalized graph pattern queries, bounded evaluation versus
+//! conventional join evaluation, on degree-bounded social graphs of two sizes.
+
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use bea_bench::scenarios::GraphScenario;
+use bea_engine::{eval_cq, execute_plan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_graph_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_patterns");
+    group.sample_size(20);
+    for &persons in &[5_000u32, 20_000] {
+        let scenario = GraphScenario::with_persons(persons, 9).expect("scenario builds");
+        let size = scenario.indexed.size();
+
+        group.bench_with_input(
+            BenchmarkId::new("bounded_personalized", size),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| execute_plan(&scenario.plan, &scenario.indexed).expect("plan executes"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_personalized", size),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    eval_cq(&scenario.personalized, scenario.indexed.database())
+                        .expect("naive evaluates")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_patterns);
+criterion_main!(benches);

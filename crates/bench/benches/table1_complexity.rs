@@ -1,0 +1,52 @@
+//! Criterion bench for E1 (Table 1): the cost of the five analyses on growing chain
+//! queries. CQP(CQ) is the PTIME effective syntax; the other analyses are
+//! enumeration-based and grow much faster — the practical counterpart of the complexity
+//! gaps in the paper's Table 1.
+
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use bea_bench::families;
+use bea_core::bounded::{analyze_cq, BoundedConfig};
+use bea_core::cover;
+use bea_core::envelope::{upper_envelope_cq, EnvelopeConfig};
+use bea_core::reason::ReasonConfig;
+use bea_core::specialize::{specialize_cq, SpecializeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_complexity");
+    group.sample_size(20);
+
+    for &n in &[3usize, 6, 9] {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let covered = families::anchored_chain(&catalog, n).expect("family builds");
+        let uncovered = families::unanchored_chain(&catalog, n).expect("family builds");
+        let dangling = families::chain_with_dangling_atom(&catalog, n).expect("family builds");
+        let union = families::chain_union_with_subsumed_branch(&catalog, n.min(5), 2)
+            .expect("family builds");
+
+        group.bench_with_input(BenchmarkId::new("CQP_cq_ptime", n), &n, |b, _| {
+            b.iter(|| cover::coverage(&covered, &schema))
+        });
+        group.bench_with_input(BenchmarkId::new("BEP_analysis_covered", n), &n, |b, _| {
+            b.iter(|| analyze_cq(&covered, &schema, &BoundedConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("BEP_analysis_uncovered", n), &n, |b, _| {
+            b.iter(|| analyze_cq(&uncovered, &schema, &BoundedConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("CQP_ucq_subsumption", n), &n, |b, _| {
+            b.iter(|| cover::ucq_coverage(&union, &schema, &ReasonConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("UEP_relaxation_search", n), &n, |b, _| {
+            b.iter(|| upper_envelope_cq(&dangling, &schema, &EnvelopeConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("QSP_parameter_search", n), &n, |b, _| {
+            b.iter(|| specialize_cq(&uncovered, &schema, 1, &SpecializeConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E2 — Example 1.1: answer Q0 on the accidents data by accessing a bounded amount of
+//! data, versus a full-scan baseline, as the database grows.
+//!
+//! Paper reference points: Q0 can be answered by accessing at most
+//! 610 + 610·192·2 = 234_850 tuples out of >31 million (and typically ~3_050), and the
+//! bounded plans of [12] take ~9 seconds where MySQL needs >14 hours. We reproduce the
+//! *shape*: the bounded column stays flat while the baseline grows linearly with |D|.
+//!
+//! Run with `cargo run --release -p bea-bench --bin exp_accidents`.
+
+use bea_bench::report::{fmt_ms, time_ms, TextTable};
+use bea_bench::scenarios::AccidentsScenario;
+use bea_engine::{eval_cq, execute_plan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E2 — Example 1.1: bounded evaluation of Q0 vs full scan\n");
+    let mut table = TextTable::new([
+        "|D| (tuples)",
+        "answers",
+        "bounded: tuples read",
+        "bounded: time",
+        "naive: tuples read",
+        "naive: time",
+        "speedup",
+        "static bound",
+    ]);
+
+    let sizes: Vec<u64> = std::env::args()
+        .nth(1)
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![25_000, 100_000, 400_000, 1_600_000]);
+
+    for &target in &sizes {
+        let scenario = AccidentsScenario::with_total_tuples(target, 42)?;
+        assert!(scenario.indexed.satisfies_schema());
+        let size = scenario.indexed.size();
+
+        let ((bounded, bounded_stats), bounded_ms) =
+            time_ms(|| execute_plan(&scenario.plan, &scenario.indexed).expect("plan executes"));
+        let ((naive, naive_stats), naive_ms) =
+            time_ms(|| eval_cq(&scenario.q0, scenario.indexed.database()).expect("naive evaluates"));
+        assert!(bounded.same_rows(&naive), "answers must agree");
+
+        let static_bound = scenario
+            .plan
+            .cost(&scenario.schema, size)
+            .max_fetched_tuples;
+        table.row([
+            size.to_string(),
+            bounded.len().to_string(),
+            bounded_stats.tuples_fetched.to_string(),
+            fmt_ms(bounded_ms),
+            naive_stats.tuples_scanned.to_string(),
+            fmt_ms(naive_ms),
+            format!("{:.1}x", naive_ms / bounded_ms.max(1e-6)),
+            static_bound.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe bounded plan's reads and latency are flat in |D| (they are bounded a priori \
+         by ψ1–ψ4: the static bound column), while the baseline grows linearly — the \
+         paper's \"access small data\" effect."
+    );
+    Ok(())
+}

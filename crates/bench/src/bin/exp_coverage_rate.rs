@@ -1,0 +1,94 @@
+//! E3 — coverage rate of a CQ workload as the access schema grows.
+//!
+//! Paper reference point (Example 1.1 / [12]): 77% of conjunctive queries on the UK
+//! accident data are boundedly evaluable under 84 simple access constraints. We mine
+//! constraints from generated accident data, take prefixes of increasing size, and report
+//! the fraction of a 500-query workload that is covered (plus the fraction that the full
+//! bounded-evaluability analysis accepts).
+//!
+//! Run with `cargo run --release -p bea-bench --bin exp_coverage_rate`.
+
+use bea_bench::report::TextTable;
+use bea_core::access::AccessSchema;
+use bea_core::bounded::{analyze_cq, BoundedConfig};
+use bea_core::cover;
+use bea_storage::{discover_constraints, DiscoveryOptions};
+use bea_workload::{accidents, querygen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E3 — fraction of a CQ workload that is boundedly evaluable\n");
+    let catalog = accidents::catalog();
+    let handcrafted = accidents::access_schema(&catalog);
+    let db = accidents::generate(&accidents::AccidentsConfig {
+        num_days: 20,
+        avg_accidents_per_day: 100,
+        avg_casualties_per_accident: 2,
+        num_districts: 20,
+        seed: 11,
+    })?;
+
+    // Mine constraints from the data ("simple aggregate queries on D0", Example 1.1).
+    let mined = discover_constraints(
+        &db,
+        &DiscoveryOptions {
+            max_key_size: 2,
+            max_cardinality: 5_000,
+            include_empty_keys: true,
+        },
+    )?;
+    println!("mined {} candidate access constraints from the data\n", mined.len());
+
+    let workload = querygen::random_workload_from_db(
+        &catalog,
+        Some(&handcrafted),
+        &db,
+        500,
+        &querygen::QueryGenConfig::default(),
+    )?;
+
+    let mut table = TextTable::new([
+        "constraint set",
+        "#constraints",
+        "covered (CQP)",
+        "bounded (analysis)",
+    ]);
+    let analysis_config = BoundedConfig::default();
+    let mut measure = |label: &str, schema: &AccessSchema| {
+        let covered = workload
+            .iter()
+            .filter(|q| cover::is_covered(q, schema))
+            .count();
+        let bounded = workload
+            .iter()
+            .filter(|q| {
+                analyze_cq(q, schema, &analysis_config)
+                    .map(|v| v.is_bounded())
+                    .unwrap_or(false)
+            })
+            .count();
+        let pct = |n: usize| format!("{:.0}%", 100.0 * n as f64 / workload.len() as f64);
+        table.row([
+            label.to_owned(),
+            schema.len().to_string(),
+            pct(covered),
+            pct(bounded),
+        ]);
+    };
+
+    measure("none", &AccessSchema::new());
+    for &prefix in &[4usize, 12, 28, 84] {
+        let take = prefix.min(mined.len());
+        let schema = AccessSchema::from_constraints(mined[..take].to_vec());
+        measure(&format!("mined, first {take}"), &schema);
+    }
+    measure("hand-written ψ1–ψ4", &handcrafted);
+    table.print();
+
+    println!(
+        "\nPaper reference point: 77% of the real workload is boundedly evaluable under 84 \
+         mined constraints; the synthetic workload shows the same monotone growth of the \
+         covered fraction with the constraint set, and the full analysis accepts at least \
+         as many queries as the PTIME coverage test alone."
+    );
+    Ok(())
+}

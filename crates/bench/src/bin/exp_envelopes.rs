@@ -1,0 +1,123 @@
+//! E5 — boundedly evaluable envelopes (Section 4): existence, approximation bounds and
+//! the measured gaps on data.
+//!
+//! Paper reference points: Example 4.1 (Q1 has both envelopes, Q2 has none because it is
+//! not bounded) and Example 4.5 (a 1-expansion obtained by splitting an unindexed atom).
+//! The envelopes warrant |Qᵤ(D) − Q(D)| ≤ Nᵤ and |Q(D) − Qₗ(D)| ≤ Nₗ for constants
+//! derived from the query and the access schema; we measure the actual gaps on growing
+//! databases and check they stay within the derived bounds.
+//!
+//! Run with `cargo run --release -p bea-bench --bin exp_envelopes`.
+
+use bea_bench::report::TextTable;
+use bea_core::cover;
+use bea_core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
+use bea_core::plan::bounded_plan;
+use bea_engine::{eval_cq, execute_plan};
+use bea_parser::{parse_access_schema, parse_catalog, parse_query};
+use bea_storage::{Database, IndexedDatabase};
+use bea_core::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E5 — envelopes: existence, derived bounds and measured gaps\n");
+    let catalog = parse_catalog("relation R(a, b);")?;
+    let schema = parse_access_schema(&catalog, "R(a -> b, 6);")?;
+    let config = EnvelopeConfig::default();
+
+    // Example 4.1.
+    let q1 = parse_query(&catalog, "Q1(x) :- R(w, x), R(y, w), R(x, z), w = 1.")?;
+    let q1 = q1.as_cq().unwrap().clone();
+    let q2 = parse_query(&catalog, "Q2(x, y) :- R(w, x), R(y, w), w = 1.")?;
+    let q2 = q2.as_cq().unwrap().clone();
+
+    println!("Q1 bounded? {}  covered? {}", cover::is_bounded(&q1, &schema), cover::is_covered(&q1, &schema));
+    println!("Q2 bounded? {}  (Lemma 4.2: not bounded ⇒ no envelopes)\n", cover::is_bounded(&q2, &schema));
+
+    let upper = upper_envelope_cq(&q1, &schema, &config)?.expect("Q1 has an upper envelope");
+    let lower = lower_envelope_cq(&q1, &schema, &catalog, 2, &config)?
+        .expect("Q1 has a lower envelope");
+    assert!(upper_envelope_cq(&q2, &schema, &config)?.is_none());
+    assert!(lower_envelope_cq(&q2, &schema, &catalog, 2, &config)?.is_none());
+
+    println!("upper envelope Qu: {}", upper.query);
+    println!("lower envelope Ql: {}\n", lower.query);
+
+    let nu = upper.approximation_bound(&schema, 1 << 20).unwrap();
+    let input_report = cover::coverage(&q1, &schema);
+    let nl = lower.approximation_bound(&input_report, &schema, 1 << 20);
+
+    let mut table = TextTable::new([
+        "|D|",
+        "|Q1(D)|",
+        "|Qu(D)|",
+        "upper gap",
+        "Nu (bound)",
+        "|Ql(D)|",
+        "lower gap",
+        "Nl (bound)",
+    ]);
+    for &size in &[200usize, 2_000, 20_000] {
+        let db = random_r_instance(&catalog, size, 6, 0xE5)?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+        assert!(indexed.satisfies_schema());
+        let (exact, _) = eval_cq(&q1, indexed.database())?;
+        let upper_plan = bounded_plan(&upper.query, &schema)?;
+        let (upper_ans, _) = execute_plan(&upper_plan, &indexed)?;
+        let lower_plan = bounded_plan(&lower.query, &schema)?;
+        let (lower_ans, _) = execute_plan(&lower_plan, &indexed)?;
+
+        assert!(lower_ans.row_set().is_subset(&exact.row_set()));
+        assert!(exact.row_set().is_subset(&upper_ans.row_set()));
+        let upper_gap = upper_ans.len() - exact.len();
+        let lower_gap = exact.len() - lower_ans.len();
+        assert!(upper_gap as u64 <= nu);
+        assert!(lower_gap as u64 <= nl);
+        table.row([
+            indexed.size().to_string(),
+            exact.len().to_string(),
+            upper_ans.len().to_string(),
+            upper_gap.to_string(),
+            nu.to_string(),
+            lower_ans.len().to_string(),
+            lower_gap.to_string(),
+            nl.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Example 4.5: the split-based lower envelope.
+    let catalog3 = parse_catalog("relation S(a, b, c);")?;
+    let schema3 = parse_access_schema(&catalog3, "S(a -> b, 4); S(b -> c, 1);")?;
+    let q = parse_query(&catalog3, "Q(x, y) :- S(1, x, y).")?;
+    let q = q.as_cq().unwrap();
+    let env = lower_envelope_cq(q, &schema3, &catalog3, 1, &config)?
+        .expect("Example 4.5 has a 1-expansion lower envelope");
+    println!(
+        "\nExample 4.5: unindexed atom split into indexed copies → {} (split used: {})",
+        env.query, env.used_split
+    );
+    Ok(())
+}
+
+/// A random R(a, b) instance with at most `fanout` distinct b-values per a-value, i.e.
+/// satisfying R(a → b, fanout).
+fn random_r_instance(
+    catalog: &bea_core::schema::Catalog,
+    rows: usize,
+    fanout: u64,
+    seed: u64,
+) -> Result<Database, bea_core::error::Error> {
+    let mut db = Database::new(catalog.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = (rows as u64 / fanout).max(4) as i64;
+    for _ in 0..rows {
+        let a = rng.gen_range(1..=keys);
+        // b-values are drawn from the key range so that chains R(1, x), R(x, z) exist,
+        // with at most `fanout` distinct b-values per a-value.
+        let b = ((a + rng.gen_range(0..fanout as i64)) % keys) + 1;
+        db.insert("R", vec![Value::Int(a), Value::Int(b)])?;
+    }
+    Ok(db)
+}

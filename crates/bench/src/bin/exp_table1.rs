@@ -1,0 +1,146 @@
+//! E1 — Table 1: the five decision problems per query class, observed through the
+//! scaling of the corresponding analyses.
+//!
+//! Table 1 of the paper gives worst-case complexity: CQP is PTIME for CQ and
+//! Πᵖ₂-complete for UCQ/∃FO⁺; BEP is EXPSPACE-complete; UEP/LEP/QSP are NP- to
+//! Πᵖ₂-complete; everything is undecidable for FO. A reproduction cannot measure
+//! complexity classes, but it can (a) verify that every analysis returns the decision the
+//! theory predicts on the chain families, and (b) show the scaling split between the
+//! PTIME coverage test and the enumeration-based procedures as queries grow.
+//!
+//! Run with `cargo run --release -p bea-bench --bin exp_table1`.
+
+use bea_bench::families;
+use bea_bench::report::{fmt_ms, time_ms, TextTable};
+use bea_core::bounded::{analyze_cq, BoundedConfig};
+use bea_core::cover;
+use bea_core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
+use bea_core::reason::ReasonConfig;
+use bea_core::specialize::{specialize_cq, SpecializeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E1 — Table 1: decision problems across query classes\n");
+    println!(
+        "paper: BEP EXPSPACE-c | CQP PTIME (CQ) / Πᵖ₂-c (UCQ, ∃FO⁺) | UEP NP-c / Πᵖ₂-c | \
+         LEP NP-c / DP-c | QSP NP-c / Πᵖ₂-c | all undecidable for FO\n"
+    );
+
+    let sizes = [2usize, 4, 6, 8, 10];
+    let mut table = TextTable::new([
+        "problem (class)",
+        "n=2",
+        "n=4",
+        "n=6",
+        "n=8",
+        "n=10",
+        "expected decision",
+    ]);
+
+    let reason = ReasonConfig::default();
+    let envelope_config = EnvelopeConfig::default();
+    let spec_config = SpecializeConfig::default();
+    let bounded_config = BoundedConfig::default();
+
+    // CQP(CQ): PTIME coverage check on covered chains.
+    let mut row = vec!["CQP (CQ, covered chain)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::anchored_chain(&catalog, n)?;
+        let (is_covered, ms) = time_ms(|| cover::is_covered(&q, &schema));
+        assert!(is_covered);
+        row.push(fmt_ms(ms));
+    }
+    row.push("covered".into());
+    table.row(row);
+
+    // BEP via the sound analysis on the same chains (covered fast path).
+    let mut row = vec!["BEP analysis (CQ, covered chain)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::anchored_chain(&catalog, n)?;
+        let (verdict, ms) = time_ms(|| analyze_cq(&q, &schema, &bounded_config).unwrap());
+        assert!(verdict.is_bounded());
+        row.push(fmt_ms(ms));
+    }
+    row.push("boundedly evaluable".into());
+    table.row(row);
+
+    // BEP analysis on unanchored chains: requires the (exponential) satisfiability and
+    // rewrite machinery before answering "unknown".
+    let mut row = vec!["BEP analysis (CQ, unanchored chain)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::unanchored_chain(&catalog, n)?;
+        let (verdict, ms) = time_ms(|| analyze_cq(&q, &schema, &bounded_config).unwrap());
+        assert!(!verdict.is_bounded());
+        row.push(fmt_ms(ms));
+    }
+    row.push("not established (sound)".into());
+    table.row(row);
+
+    // CQP(UCQ) with a subsumed branch: the Πᵖ₂ A-instance enumeration kicks in.
+    let mut row = vec!["CQP (UCQ, subsumed branch, n capped at 6)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::chain_union_with_subsumed_branch(&catalog, n.min(6), 2)?;
+        let (report, ms) = time_ms(|| cover::ucq_coverage(&q, &schema, &reason).unwrap());
+        assert!(report.is_covered());
+        row.push(fmt_ms(ms));
+    }
+    row.push("covered (via subsumption)".into());
+    table.row(row);
+
+    // UEP: find a covered relaxation of the dangling-atom chain.
+    let mut row = vec!["UEP (CQ, dangling atom)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::chain_with_dangling_atom(&catalog, n)?;
+        let (envelope, ms) = time_ms(|| upper_envelope_cq(&q, &schema, &envelope_config).unwrap());
+        assert!(envelope.is_some());
+        row.push(fmt_ms(ms));
+    }
+    row.push("upper envelope exists".into());
+    table.row(row);
+
+    // LEP: find a covered k-expansion of the dangling-atom chain.
+    let mut row = vec!["LEP (CQ, dangling atom, k=1, n capped at 6)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::chain_with_dangling_atom(&catalog, n.min(6))?;
+        let (envelope, ms) =
+            time_ms(|| lower_envelope_cq(&q, &schema, &catalog, 1, &envelope_config).unwrap());
+        assert!(envelope.is_some());
+        row.push(fmt_ms(ms));
+    }
+    row.push("lower envelope exists".into());
+    table.row(row);
+
+    // QSP: the unanchored chain becomes covered by instantiating its first variable.
+    let mut row = vec!["QSP (CQ, unanchored chain, k=1)".to_owned()];
+    for &n in &sizes {
+        let catalog = families::chain_catalog(n);
+        let schema = families::chain_schema(&catalog, 4);
+        let q = families::unanchored_chain(&catalog, n)?;
+        let (spec, ms) = time_ms(|| specialize_cq(&q, &schema, 1, &spec_config).unwrap());
+        assert!(spec.is_some());
+        row.push(fmt_ms(ms));
+    }
+    row.push("specializable with x0".into());
+    table.row(row);
+
+    table.print();
+    println!(
+        "\nThe PTIME coverage test stays in the microsecond range as the query grows, while \
+         the enumeration-based procedures (A-instance subsumption, satisfiability inside \
+         BEP/QSP, envelope searches) grow steeply — the practical face of the complexity \
+         gaps in Table 1. The FO row of Table 1 (undecidability) has no runnable \
+         counterpart; the library exposes FO only through specialization (Prop. 5.4)."
+    );
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! Parameterized query families for the Table 1 (complexity) experiment.
+//!
+//! Table 1 of the paper states the complexity of the five decision problems per query
+//! class. We cannot "run" a complexity class, but we can run the corresponding analyses
+//! on query families of growing size and observe the scaling behaviour:
+//!
+//! * **CQP(CQ)** is PTIME — the coverage check on chain queries scales polynomially;
+//! * **CQP(UCQ)**, **UEP**, **LEP**, **QSP** and the `A`-equivalence reasoning are
+//!   NP/Πᵖ₂-hard — the enumeration-based procedures blow up with the number of variables,
+//!   which the experiment makes visible.
+//!
+//! The family is a *chain* schema `R1(a, b), …, Rn(a, b)` with one access constraint
+//! `Ri(a → b, N)` per relation, and chain queries
+//! `Q(xₙ) :- R1(c, x₁), R2(x₁, x₂), …, Rn(xₙ₋₁, xₙ)` — anchored chains are covered,
+//! unanchored ones are not.
+
+use bea_core::access::{AccessConstraint, AccessSchema};
+use bea_core::error::Result;
+use bea_core::query::cq::ConjunctiveQuery;
+use bea_core::query::term::Arg;
+use bea_core::query::ucq::UnionQuery;
+use bea_core::schema::Catalog;
+use bea_core::value::Value;
+
+/// The chain catalog with `n` binary relations `R1 … Rn`.
+pub fn chain_catalog(n: usize) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 1..=n {
+        c.declare(format!("R{i}"), ["a", "b"]).expect("static schema");
+    }
+    c
+}
+
+/// One `Ri(a → b, bound)` constraint per relation.
+pub fn chain_schema(catalog: &Catalog, bound: u64) -> AccessSchema {
+    AccessSchema::from_constraints(
+        catalog
+            .relations()
+            .map(|r| {
+                AccessConstraint::new(catalog, r.name(), &["a"], &["b"], bound)
+                    .expect("static constraint")
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The anchored chain query of length `n`: covered under the chain schema.
+pub fn anchored_chain(catalog: &Catalog, n: usize) -> Result<ConjunctiveQuery> {
+    let mut builder = ConjunctiveQuery::builder(format!("Chain{n}"))
+        .head([format!("x{n}")])
+        .atom("R1", [Arg::Const(Value::int(1)), Arg::var("x1")]);
+    for i in 2..=n {
+        builder = builder.atom(
+            format!("R{i}"),
+            [Arg::var(format!("x{}", i - 1)), Arg::var(format!("x{i}"))],
+        );
+    }
+    builder.build(catalog)
+}
+
+/// The unanchored chain query: its first variable is not covered, so the query is not
+/// covered (and not bounded) under the chain schema. Its parameters are the chain
+/// variables, so QSP has something to work with.
+pub fn unanchored_chain(catalog: &Catalog, n: usize) -> Result<ConjunctiveQuery> {
+    let mut builder = ConjunctiveQuery::builder(format!("Open{n}"))
+        .head([format!("x{n}")])
+        .atom("R1", [Arg::var("x0"), Arg::var("x1")]);
+    for i in 2..=n {
+        builder = builder.atom(
+            format!("R{i}"),
+            [Arg::var(format!("x{}", i - 1)), Arg::var(format!("x{i}"))],
+        );
+    }
+    builder = builder.params(["x0"]);
+    builder.build(catalog)
+}
+
+/// A chain query with one extra dangling atom that is not indexed in the "backwards"
+/// direction: bounded but not covered, so the upper-envelope search has work to do.
+pub fn chain_with_dangling_atom(catalog: &Catalog, n: usize) -> Result<ConjunctiveQuery> {
+    let mut builder = ConjunctiveQuery::builder(format!("Dangling{n}"))
+        .head([format!("x{n}")])
+        .atom("R1", [Arg::Const(Value::int(1)), Arg::var("x1")]);
+    for i in 2..=n {
+        builder = builder.atom(
+            format!("R{i}"),
+            [Arg::var(format!("x{}", i - 1)), Arg::var(format!("x{i}"))],
+        );
+    }
+    // The dangling atom reaches the chain head "backwards": no constraint is keyed on
+    // its first position, so the atom is not indexed and the query is not covered.
+    builder = builder.atom("R1", [Arg::var("w"), Arg::var("x1")]);
+    builder.build(catalog)
+}
+
+/// A union of `k` anchored chains of length `n` (all covered): exercises CQP(UCQ).
+pub fn chain_union(catalog: &Catalog, n: usize, k: usize) -> Result<UnionQuery> {
+    let branches: Result<Vec<ConjunctiveQuery>> = (0..k)
+        .map(|j| {
+            let mut builder = ConjunctiveQuery::builder(format!("U{n}_{j}"))
+                .head([format!("x{n}")])
+                .atom("R1", [Arg::Const(Value::int(j as i64)), Arg::var("x1")]);
+            for i in 2..=n {
+                builder = builder.atom(
+                    format!("R{i}"),
+                    [Arg::var(format!("x{}", i - 1)), Arg::var(format!("x{i}"))],
+                );
+            }
+            builder.build(catalog)
+        })
+        .collect();
+    UnionQuery::from_branches(format!("Union{n}x{k}"), branches?)
+}
+
+/// A union of `k` chains where one branch is *not* covered but is subsumed by a covered
+/// branch: forces the Πᵖ₂ subsumption test of CQP(UCQ).
+pub fn chain_union_with_subsumed_branch(
+    catalog: &Catalog,
+    n: usize,
+    k: usize,
+) -> Result<UnionQuery> {
+    let mut union = chain_union(catalog, n, k)?;
+    // The subsumed branch repeats branch 0 with an extra unindexed atom, so it is not
+    // covered itself but contributes nothing beyond branch 0.
+    let mut builder = ConjunctiveQuery::builder(format!("U{n}_sub"))
+        .head([format!("x{n}")])
+        .atom("R1", [Arg::Const(Value::int(0)), Arg::var("x1")])
+        .atom("R1", [Arg::var("w"), Arg::var("x1")]);
+    for i in 2..=n {
+        builder = builder.atom(
+            format!("R{i}"),
+            [Arg::var(format!("x{}", i - 1)), Arg::var(format!("x{i}"))],
+        );
+    }
+    let mut branches = union.branches().to_vec();
+    branches.push(builder.build(catalog)?);
+    union = UnionQuery::from_branches(union.name().to_owned(), branches)?;
+    Ok(union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_core::cover;
+    use bea_core::reason::ReasonConfig;
+
+    #[test]
+    fn anchored_chains_are_covered_unanchored_are_not() {
+        for n in 1..=6 {
+            let catalog = chain_catalog(n);
+            let schema = chain_schema(&catalog, 4);
+            let anchored = anchored_chain(&catalog, n).unwrap();
+            assert!(cover::is_covered(&anchored, &schema), "chain {n}");
+            let open = unanchored_chain(&catalog, n).unwrap();
+            assert!(!cover::is_covered(&open, &schema), "open chain {n}");
+        }
+    }
+
+    #[test]
+    fn dangling_chain_is_bounded_but_not_covered() {
+        let catalog = chain_catalog(3);
+        let schema = chain_schema(&catalog, 4);
+        let q = chain_with_dangling_atom(&catalog, 3).unwrap();
+        assert!(!cover::is_covered(&q, &schema));
+        assert!(cover::is_bounded(&q, &schema));
+    }
+
+    #[test]
+    fn unions_are_covered_including_the_subsumed_variant() {
+        let catalog = chain_catalog(3);
+        let schema = chain_schema(&catalog, 4);
+        let plain = chain_union(&catalog, 3, 3).unwrap();
+        let report = cover::ucq_coverage(&plain, &schema, &ReasonConfig::default()).unwrap();
+        assert!(report.is_covered());
+        assert_eq!(report.covered_branch_indices().len(), 3);
+
+        let with_sub = chain_union_with_subsumed_branch(&catalog, 3, 2).unwrap();
+        let report = cover::ucq_coverage(&with_sub, &schema, &ReasonConfig::default()).unwrap();
+        assert!(report.is_covered());
+        assert_eq!(report.covered_branch_indices().len(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # bea-bench — the experiment harness
+//!
+//! Every table, figure and quantitative claim of the paper has a regenerating harness
+//! here (the experiment index lives in `DESIGN.md`, the recorded results in
+//! `EXPERIMENTS.md`):
+//!
+//! | experiment | binary | criterion bench |
+//! |------------|--------|-----------------|
+//! | E1 — Table 1 (complexity of BEP/CQP/UEP/LEP/QSP per query class) | `exp_table1` | `table1_complexity` |
+//! | E2 — Example 1.1 (Q0 on the accidents data, bounded vs full scan) | `exp_accidents` | `accidents_q0` |
+//! | E3 — "77% of CQs are boundedly evaluable under 84 constraints" | `exp_coverage_rate` | — |
+//! | E4 — graph pattern queries, bounded vs subgraph matching | `exp_graph` | `graph_patterns` |
+//! | E5 — envelope approximation bounds (Section 4) | `exp_envelopes` | — |
+//! | E6 — bounded specialization (Section 5, Example 5.1) | `exp_specialization` | — |
+//! | E7 — ablations (effective syntax vs semantic analysis, rewrites, budgets) | — | `ablations` |
+//!
+//! The library part holds the pieces shared by the binaries and the criterion benches:
+//! scenario builders ([`scenarios`]), chain-query families for the complexity experiment
+//! ([`families`]), and small text-table helpers ([`report`]).
+
+pub mod families;
+pub mod report;
+pub mod scenarios;

@@ -1,0 +1,120 @@
+//! Small helpers for printing experiment results as aligned text / markdown tables.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// A simple column-aligned table accumulated row by row and printed at the end.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are formatted with `Display`).
+    pub fn row<S: Display>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = widths
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("{:<w$}", cells.get(i).map(String::as_str).unwrap_or("")))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |", dashes.join(" | ")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the markdown rendering to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+}
+
+/// Measure the wall-clock time of a closure, in milliseconds, returning its result.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Format a millisecond figure compactly (`1.23 ms`, `456 µs`, `2.1 s`).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1_000.0 {
+        format!("{:.2} s", ms / 1_000.0)
+    } else if ms >= 1.0 {
+        format!("{ms:.2} ms")
+    } else {
+        format!("{:.0} µs", ms * 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = TextTable::new(["a", "b"]);
+        assert!(t.is_empty());
+        t.row([1, 2]);
+        t.row([30, 4]);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a "));
+        assert!(md.contains("| 30 | 4 |"));
+        assert!(md.lines().count() == 4);
+    }
+
+    #[test]
+    fn timing_and_formatting() {
+        let (value, ms) = time_ms(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(ms >= 0.0);
+        assert_eq!(fmt_ms(2_500.0), "2.50 s");
+        assert_eq!(fmt_ms(12.345), "12.35 ms");
+        assert_eq!(fmt_ms(0.5), "500 µs");
+    }
+}

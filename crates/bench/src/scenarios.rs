@@ -1,0 +1,125 @@
+//! Shared experiment scenarios: generated database + access schema + queries, packaged
+//! so the binaries and the criterion benches measure exactly the same thing.
+
+use bea_core::access::AccessSchema;
+use bea_core::error::Result;
+use bea_core::plan::{bounded_plan, QueryPlan};
+use bea_core::query::cq::ConjunctiveQuery;
+use bea_core::schema::Catalog;
+use bea_storage::IndexedDatabase;
+use bea_workload::{accidents, graph};
+
+/// The Example 1.1 scenario at a given scale: an indexed accidents database, the query
+/// Q0 and its boundedly evaluable plan.
+pub struct AccidentsScenario {
+    /// The relational schema.
+    pub catalog: Catalog,
+    /// ψ1–ψ4.
+    pub schema: AccessSchema,
+    /// The indexed database (satisfies ψ1–ψ4 by construction).
+    pub indexed: IndexedDatabase,
+    /// Q0 anchored at a district/day present in the data.
+    pub q0: ConjunctiveQuery,
+    /// The boundedly evaluable plan for Q0.
+    pub plan: QueryPlan,
+}
+
+impl AccidentsScenario {
+    /// Build the scenario with roughly `total_tuples` tuples.
+    pub fn with_total_tuples(total_tuples: u64, seed: u64) -> Result<Self> {
+        let catalog = accidents::catalog();
+        let schema = accidents::access_schema(&catalog);
+        let config = accidents::AccidentsConfig::with_total_tuples(total_tuples, seed);
+        let db = accidents::generate(&config)?;
+        let q0 = accidents::q0(
+            &catalog,
+            &accidents::district_value(0),
+            &accidents::date_value(1),
+        )?;
+        let plan = bounded_plan(&q0, &schema)?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+        Ok(Self {
+            catalog,
+            schema,
+            indexed,
+            q0,
+            plan,
+        })
+    }
+}
+
+/// The graph-search scenario: an indexed social graph plus a personalized pattern query
+/// (anchored at person 1) and the equivalent global pattern for contrast.
+pub struct GraphScenario {
+    /// The relational schema of the graph encoding.
+    pub catalog: Catalog,
+    /// Degree-bound access schema.
+    pub schema: AccessSchema,
+    /// The indexed graph.
+    pub indexed: IndexedDatabase,
+    /// The personalized pattern (friends of person 1 in NYC who like cycling).
+    pub personalized: ConjunctiveQuery,
+    /// Its boundedly evaluable plan.
+    pub plan: QueryPlan,
+    /// The global (unanchored) pattern — not boundedly evaluable.
+    pub global: ConjunctiveQuery,
+}
+
+impl GraphScenario {
+    /// Build the scenario for a graph with the given number of persons.
+    pub fn with_persons(num_persons: u32, seed: u64) -> Result<Self> {
+        let catalog = graph::catalog();
+        let config = graph::GraphConfig {
+            num_persons,
+            max_degree: 64,
+            avg_degree: 16,
+            num_cities: 5,
+            num_tags: 10,
+            max_likes: 5,
+            seed,
+        };
+        let schema = graph::access_schema(&catalog, &config);
+        let db = graph::generate(&config)?;
+        let personalized =
+            graph::personalized_query(&catalog, 1, &graph::city_value(0), &graph::tag_value(0))?;
+        let plan = bounded_plan(&personalized, &schema)?;
+        let global = graph::global_pattern(&catalog, &graph::tag_value(0))?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+        Ok(Self {
+            catalog,
+            schema,
+            indexed,
+            personalized,
+            plan,
+            global,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_engine::{eval_cq, execute_plan};
+
+    #[test]
+    fn accidents_scenario_is_consistent() {
+        let scenario = AccidentsScenario::with_total_tuples(5_000, 3).unwrap();
+        assert!(scenario.indexed.satisfies_schema());
+        assert!(scenario.plan.is_bounded_under(&scenario.schema));
+        let (bounded, stats) = execute_plan(&scenario.plan, &scenario.indexed).unwrap();
+        let (naive, _) = eval_cq(&scenario.q0, scenario.indexed.database()).unwrap();
+        assert!(bounded.same_rows(&naive));
+        assert!(stats.tuples_fetched < scenario.indexed.size());
+        assert_eq!(scenario.catalog.len(), 3);
+    }
+
+    #[test]
+    fn graph_scenario_is_consistent() {
+        let scenario = GraphScenario::with_persons(300, 5).unwrap();
+        assert!(scenario.indexed.satisfies_schema());
+        let (bounded, _) = execute_plan(&scenario.plan, &scenario.indexed).unwrap();
+        let (naive, _) = eval_cq(&scenario.personalized, scenario.indexed.database()).unwrap();
+        assert!(bounded.same_rows(&naive));
+        assert!(!bea_core::cover::is_bounded(&scenario.global, &scenario.schema));
+    }
+}

@@ -1,0 +1,278 @@
+//! Coverage of unions of conjunctive queries and ∃FO⁺ queries (Theorem 3.14).
+//!
+//! A UCQ (or ∃FO⁺ query, via its UCQ expansion) `Q = Q₁ ∪ … ∪ Qₖ` is covered by `A` when
+//! each CQ sub-query `Qᵢ` is either
+//!
+//! * covered by `A` itself, or
+//! * *subsumed by the covered part*: on every `A`-instance `θ(T_{Qᵢ})` of `Qᵢ`, some
+//!   covered sub-query `Qⱼ` already returns `θ(u)`.
+//!
+//! The second case is what makes CQP Πᵖ₂-complete for UCQ/∃FO⁺ (versus PTIME for CQ): a
+//! sub-query that is not itself boundedly evaluable may ride along as long as the covered
+//! sub-queries answer everything it could contribute under `A` (cf. Example 3.5).
+
+use crate::access::AccessSchema;
+use crate::cover::{coverage, CoverageReport};
+use crate::error::Result;
+use crate::query::ucq::UnionQuery;
+use crate::reason::enumerate::{query_constants, visit_a_instances};
+use crate::reason::instance::eval_cq;
+use crate::reason::ReasonConfig;
+use crate::value::Value;
+
+/// The status of one CQ sub-query within a union's coverage analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchCoverage {
+    /// The branch is covered by the access schema on its own.
+    Covered(CoverageReport),
+    /// The branch is not covered, but every answer it can produce on an `A`-instance is
+    /// already produced by one of the covered branches.
+    SubsumedByCovered(CoverageReport),
+    /// The branch is not covered and contributes answers no covered branch produces.
+    NotCovered(CoverageReport),
+}
+
+impl BranchCoverage {
+    /// The underlying per-branch coverage report.
+    pub fn report(&self) -> &CoverageReport {
+        match self {
+            BranchCoverage::Covered(r)
+            | BranchCoverage::SubsumedByCovered(r)
+            | BranchCoverage::NotCovered(r) => r,
+        }
+    }
+
+    /// Does this branch satisfy the UCQ coverage condition?
+    pub fn is_acceptable(&self) -> bool {
+        !matches!(self, BranchCoverage::NotCovered(_))
+    }
+}
+
+/// Result of the coverage analysis of a UCQ / ∃FO⁺ query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UcqCoverageReport {
+    branches: Vec<BranchCoverage>,
+}
+
+impl UcqCoverageReport {
+    /// Per-branch results, in branch order.
+    pub fn branches(&self) -> &[BranchCoverage] {
+        &self.branches
+    }
+
+    /// Is the whole union covered by the access schema?
+    pub fn is_covered(&self) -> bool {
+        self.branches.iter().all(BranchCoverage::is_acceptable)
+    }
+
+    /// Indices of the branches that are covered on their own.
+    pub fn covered_branch_indices(&self) -> Vec<usize> {
+        self.branches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b, BranchCoverage::Covered(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Is every branch's output size bounded (Lemma 4.2(c): a ∃FO⁺ query is bounded iff
+    /// every CQ sub-query is bounded)?
+    pub fn is_bounded(&self) -> bool {
+        self.branches.iter().all(|b| b.report().is_bounded())
+    }
+}
+
+/// Analyse the coverage of a union of conjunctive queries under an access schema.
+///
+/// The subsumption test enumerates `A`-instances and is exponential in the size of the
+/// uncovered branches; the [`ReasonConfig::budget`] bounds the work.
+pub fn ucq_coverage(
+    query: &UnionQuery,
+    schema: &AccessSchema,
+    config: &ReasonConfig,
+) -> Result<UcqCoverageReport> {
+    let reports: Vec<CoverageReport> = query
+        .branches()
+        .iter()
+        .map(|b| coverage(b, schema))
+        .collect();
+    let covered_indices: Vec<usize> = reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_covered())
+        .map(|(i, _)| i)
+        .collect();
+
+    // Named constants: constants of every branch, so the subsumption check distinguishes
+    // instances the covered branches can tell apart.
+    let mut named: Vec<Value> = Vec::new();
+    for b in query.branches() {
+        named.extend(query_constants(b));
+    }
+    named.sort();
+    named.dedup();
+
+    let mut branches = Vec::with_capacity(reports.len());
+    for (i, report) in reports.into_iter().enumerate() {
+        if report.is_covered() {
+            branches.push(BranchCoverage::Covered(report));
+            continue;
+        }
+        // Subsumption: every A-instance of this branch is answered by a covered branch.
+        let mut unanswered = false;
+        visit_a_instances(&query.branches()[i], schema, &named, config, &mut |ai| {
+            let answered = covered_indices
+                .iter()
+                .any(|&j| eval_cq(&query.branches()[j], &ai.instance).contains(&ai.head));
+            if !answered {
+                unanswered = true;
+                true
+            } else {
+                false
+            }
+        })?;
+        if unanswered {
+            branches.push(BranchCoverage::NotCovered(report));
+        } else {
+            branches.push(BranchCoverage::SubsumedByCovered(report));
+        }
+    }
+    Ok(UcqCoverageReport { branches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessConstraint;
+    use crate::query::cq::ConjunctiveQuery;
+    use crate::schema::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("Rp", ["a", "b", "c"]).unwrap();
+        c.declare("R", ["a", "b"]).unwrap();
+        c
+    }
+
+    /// The second example of Example 3.5: Q = Q1 ∪ Q2 over R′(A, B, C) with
+    /// A′ = {R′(A → B, N)}. Q1 and Q are boundedly evaluable, Q2 is not, yet the union is
+    /// covered because Q2 ⊆ Q1 classically (hence on every A-instance).
+    #[test]
+    fn example_3_5_union_covered_through_subsumption() {
+        let c = catalog();
+        let a = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "Rp",
+            &["a"],
+            &["b"],
+            7,
+        )
+        .unwrap()]);
+        // Q1(y) = ∃x,z (R′(x,y,z) ∧ x = 1)
+        let q1 = ConjunctiveQuery::builder("Q1")
+            .head(["y"])
+            .atom("Rp", ["x", "y", "z"])
+            .eq("x", 1i64)
+            .build(&c)
+            .unwrap();
+        // Q2(y) = ∃x,z (R′(x,y,z) ∧ x = 1 ∧ z = y)
+        let q2 = ConjunctiveQuery::builder("Q2")
+            .head(["y"])
+            .atom("Rp", ["x", "y", "z"])
+            .eq("x", 1i64)
+            .eq("z", "y")
+            .build(&c)
+            .unwrap();
+
+        // Q1 is covered; Q2 is not (z = y is a join on an attribute the index cannot
+        // check).
+        assert!(crate::cover::is_covered(&q1, &a));
+        assert!(!crate::cover::is_covered(&q2, &a));
+
+        let union = UnionQuery::from_branches("Q", vec![q1, q2]).unwrap();
+        let report = ucq_coverage(&union, &a, &ReasonConfig::default()).unwrap();
+        assert!(report.is_covered());
+        assert_eq!(report.covered_branch_indices(), vec![0]);
+        assert!(matches!(
+            report.branches()[1],
+            BranchCoverage::SubsumedByCovered(_)
+        ));
+        assert!(report.is_bounded());
+        assert!(report.branches()[1].is_acceptable());
+    }
+
+    #[test]
+    fn union_with_genuinely_uncovered_branch_is_not_covered() {
+        let c = catalog();
+        let a = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R",
+            &["a"],
+            &["b"],
+            3,
+        )
+        .unwrap()]);
+        // Q1(y) :- R(x, y), x = 1 — covered.
+        let q1 = ConjunctiveQuery::builder("Q1")
+            .head(["y"])
+            .atom("R", ["x", "y"])
+            .eq("x", 1i64)
+            .build(&c)
+            .unwrap();
+        // Q2(y) :- R(y, w) — not covered (y is fetched "backwards") and not subsumed.
+        let q2 = ConjunctiveQuery::builder("Q2")
+            .head(["y"])
+            .atom("R", ["y", "w"])
+            .build(&c)
+            .unwrap();
+        let union = UnionQuery::from_branches("Q", vec![q1, q2]).unwrap();
+        let report = ucq_coverage(&union, &a, &ReasonConfig::default()).unwrap();
+        assert!(!report.is_covered());
+        assert!(matches!(report.branches()[1], BranchCoverage::NotCovered(_)));
+        assert!(!report.is_bounded());
+    }
+
+    #[test]
+    fn all_branches_covered() {
+        let c = catalog();
+        let a = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R",
+            &["a"],
+            &["b"],
+            3,
+        )
+        .unwrap()]);
+        let mk = |name: &str, k: i64| {
+            ConjunctiveQuery::builder(name)
+                .head(["y"])
+                .atom("R", ["x", "y"])
+                .eq("x", k)
+                .build(&c)
+                .unwrap()
+        };
+        let union = UnionQuery::from_branches("Q", vec![mk("Q1", 1), mk("Q2", 2)]).unwrap();
+        let report = ucq_coverage(&union, &a, &ReasonConfig::default()).unwrap();
+        assert!(report.is_covered());
+        assert_eq!(report.covered_branch_indices(), vec![0, 1]);
+        assert!(report
+            .branches()
+            .iter()
+            .all(|b| matches!(b, BranchCoverage::Covered(_))));
+    }
+
+    #[test]
+    fn subsumption_requires_a_covered_answerer() {
+        let c = catalog();
+        // No constraints at all: nothing is covered, so nothing can subsume.
+        let q = ConjunctiveQuery::builder("Q1")
+            .head(["y"])
+            .atom("R", ["x", "y"])
+            .build(&c)
+            .unwrap();
+        let union = UnionQuery::from_branches("Q", vec![q]).unwrap();
+        let report = ucq_coverage(&union, &AccessSchema::new(), &ReasonConfig::default()).unwrap();
+        assert!(!report.is_covered());
+        assert!(report.covered_branch_indices().is_empty());
+    }
+}

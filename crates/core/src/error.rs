@@ -1,0 +1,171 @@
+//! Shared error type for the analysis crates.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the `bea` workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors raised while constructing or analysing queries, access schemas and plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation name was not found in the catalog.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// An attribute name was not found in a relation schema.
+    UnknownAttribute {
+        /// The relation that was searched.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// An atom used a relation with the wrong number of arguments.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// Arity declared in the catalog.
+        expected: usize,
+        /// Arity used by the query atom.
+        found: usize,
+    },
+    /// The query is unsafe: a variable is not tied to a relation atom or constant.
+    UnsafeQuery {
+        /// Name of the offending variable.
+        variable: String,
+    },
+    /// Branches of a union query disagree on head arity.
+    UnionArityMismatch {
+        /// Arity of the first branch.
+        expected: usize,
+        /// Arity of the offending branch.
+        found: usize,
+    },
+    /// A variable name was referenced but never introduced.
+    UnknownVariable {
+        /// The unknown variable name.
+        variable: String,
+    },
+    /// A requested parameter is not a variable of the query.
+    UnknownParameter {
+        /// The unknown parameter name.
+        parameter: String,
+    },
+    /// A plan referenced an undefined intermediate result.
+    InvalidPlan {
+        /// Human readable explanation.
+        reason: String,
+    },
+    /// The operation requires an access constraint that is missing.
+    MissingConstraint {
+        /// Human readable explanation.
+        reason: String,
+    },
+    /// Analysis exceeded a configured search budget.
+    BudgetExhausted {
+        /// Which analysis gave up.
+        analysis: String,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// Generic invariant violation with a description.
+    Invalid {
+        /// Human readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            Error::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            Error::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, but the atom has {found} arguments"
+            ),
+            Error::UnsafeQuery { variable } => write!(
+                f,
+                "unsafe query: variable `{variable}` is not bound to a relation atom or constant"
+            ),
+            Error::UnionArityMismatch { expected, found } => write!(
+                f,
+                "union branches disagree on head arity: expected {expected}, found {found}"
+            ),
+            Error::UnknownVariable { variable } => {
+                write!(f, "unknown variable `{variable}`")
+            }
+            Error::UnknownParameter { parameter } => {
+                write!(f, "`{parameter}` is not a parameter of the query")
+            }
+            Error::InvalidPlan { reason } => write!(f, "invalid query plan: {reason}"),
+            Error::MissingConstraint { reason } => {
+                write!(f, "missing access constraint: {reason}")
+            }
+            Error::BudgetExhausted { analysis, budget } => write!(
+                f,
+                "{analysis} exceeded its search budget of {budget} candidates"
+            ),
+            Error::Invalid { reason } => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build a generic invariant-violation error.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Error::Invalid {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_relation() {
+        let err = Error::UnknownRelation {
+            relation: "Accident".into(),
+        };
+        assert_eq!(err.to_string(), "unknown relation `Accident`");
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let err = Error::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            found: 2,
+        };
+        assert!(err.to_string().contains("arity 3"));
+        assert!(err.to_string().contains("2 arguments"));
+    }
+
+    #[test]
+    fn display_budget() {
+        let err = Error::BudgetExhausted {
+            analysis: "lower envelope search".into(),
+            budget: 1000,
+        };
+        assert!(err.to_string().contains("1000"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&Error::invalid("x"));
+    }
+}

@@ -1,0 +1,459 @@
+//! Positive existential first-order queries (∃FO⁺, a.k.a. SPJU queries).
+//!
+//! A [`PositiveQuery`] is built from relation and equality atoms using conjunction,
+//! disjunction and existential quantification. Every ∃FO⁺ query is equivalent to a UCQ;
+//! [`PositiveQuery::to_ucq`] performs the DNF expansion (which may be exponential in the
+//! size of the formula — as the paper notes, the CQ sub-queries of a ∃FO⁺ query are the
+//! sub-queries of its UCQ equivalent).
+
+use crate::error::{Error, Result};
+use crate::query::cq::CqBuilder;
+use crate::query::term::Arg;
+use crate::query::ucq::UnionQuery;
+use crate::schema::Catalog;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A positive existential formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PosFormula {
+    /// A relation atom `R(t₁, …, tₙ)`.
+    Atom {
+        /// The relation name.
+        relation: String,
+        /// The arguments (variables by name, or constants).
+        args: Vec<Arg>,
+    },
+    /// An equality atom `t₁ = t₂`.
+    Eq(Arg, Arg),
+    /// Conjunction.
+    And(Vec<PosFormula>),
+    /// Disjunction.
+    Or(Vec<PosFormula>),
+    /// Existential quantification over the named variables.
+    Exists(Vec<String>, Box<PosFormula>),
+}
+
+impl PosFormula {
+    /// Convenience constructor for a relation atom.
+    pub fn atom<A: Into<Arg>>(
+        relation: impl Into<String>,
+        args: impl IntoIterator<Item = A>,
+    ) -> Self {
+        PosFormula::Atom {
+            relation: relation.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Convenience constructor for an equality atom.
+    pub fn eq(left: impl Into<Arg>, right: impl Into<Arg>) -> Self {
+        PosFormula::Eq(left.into(), right.into())
+    }
+
+    /// Convenience constructor for an existential quantifier.
+    pub fn exists<S: Into<String>>(vars: impl IntoIterator<Item = S>, body: PosFormula) -> Self {
+        PosFormula::Exists(vars.into_iter().map(Into::into).collect(), Box::new(body))
+    }
+
+    /// The names of variables occurring free in the formula.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        fn go(f: &PosFormula, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+            match f {
+                PosFormula::Atom { args, .. } => {
+                    for a in args {
+                        if let Arg::Var(name) = a {
+                            if !bound.contains(name) {
+                                out.insert(name.clone());
+                            }
+                        }
+                    }
+                }
+                PosFormula::Eq(l, r) => {
+                    for a in [l, r] {
+                        if let Arg::Var(name) = a {
+                            if !bound.contains(name) {
+                                out.insert(name.clone());
+                            }
+                        }
+                    }
+                }
+                PosFormula::And(fs) | PosFormula::Or(fs) => {
+                    for f in fs {
+                        go(f, bound, out);
+                    }
+                }
+                PosFormula::Exists(vars, body) => {
+                    let before = bound.len();
+                    bound.extend(vars.iter().cloned());
+                    go(body, bound, out);
+                    bound.truncate(before);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for PosFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosFormula::Atom { relation, args } => {
+                let args = args.iter().map(Arg::to_string).collect::<Vec<_>>();
+                write!(f, "{relation}({})", args.join(", "))
+            }
+            PosFormula::Eq(l, r) => write!(f, "{l} = {r}"),
+            PosFormula::And(fs) => {
+                let parts = fs.iter().map(|x| format!("({x})")).collect::<Vec<_>>();
+                write!(f, "{}", parts.join(" ∧ "))
+            }
+            PosFormula::Or(fs) => {
+                let parts = fs.iter().map(|x| format!("({x})")).collect::<Vec<_>>();
+                write!(f, "{}", parts.join(" ∨ "))
+            }
+            PosFormula::Exists(vars, body) => {
+                write!(f, "∃{}({body})", vars.join(", "))
+            }
+        }
+    }
+}
+
+/// One conjunct of the DNF expansion: a list of relation atoms and equality atoms.
+#[derive(Debug, Clone, Default)]
+struct Conjunct {
+    atoms: Vec<(String, Vec<Arg>)>,
+    equalities: Vec<(Arg, Arg)>,
+}
+
+impl Conjunct {
+    fn merge(mut self, other: &Conjunct) -> Conjunct {
+        self.atoms.extend(other.atoms.iter().cloned());
+        self.equalities.extend(other.equalities.iter().cloned());
+        self
+    }
+}
+
+/// A positive existential (∃FO⁺) query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PositiveQuery {
+    name: String,
+    head: Vec<Arg>,
+    body: PosFormula,
+    params: Vec<String>,
+}
+
+impl PositiveQuery {
+    /// Build a positive query from its head arguments and body formula.
+    pub fn new<A: Into<Arg>>(
+        name: impl Into<String>,
+        head: impl IntoIterator<Item = A>,
+        body: PosFormula,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            head: head.into_iter().map(Into::into).collect(),
+            body,
+            params: Vec::new(),
+        }
+    }
+
+    /// Declare parameter names (for query specialization, Section 5).
+    pub fn with_params<S: Into<String>>(mut self, params: impl IntoIterator<Item = S>) -> Self {
+        self.params = params.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The query name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The head arguments.
+    pub fn head(&self) -> &[Arg] {
+        &self.head
+    }
+
+    /// The output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// The body formula.
+    pub fn body(&self) -> &PosFormula {
+        &self.body
+    }
+
+    /// The declared parameter names.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Expand to an equivalent union of conjunctive queries.
+    ///
+    /// Bound variables are renamed apart so that quantifiers in different disjuncts (or
+    /// shadowed names) cannot collide. Each DNF conjunct becomes one CQ branch.
+    pub fn to_ucq(&self, catalog: &Catalog) -> Result<UnionQuery> {
+        let renamed = rename_bound_apart(&self.body, &mut 0, &HashMap::new());
+        let conjuncts = dnf(&renamed);
+        if conjuncts.is_empty() {
+            return Err(Error::invalid(format!(
+                "query `{}` has an empty disjunction and no UCQ equivalent",
+                self.name
+            )));
+        }
+        let mut branches = Vec::with_capacity(conjuncts.len());
+        for (i, conj) in conjuncts.iter().enumerate() {
+            let mut b = CqBuilder::new(format!("{}_{}", self.name, i + 1));
+            b = b.head(self.head.iter().cloned());
+            for (rel, args) in &conj.atoms {
+                b = b.atom(rel.clone(), args.iter().cloned());
+            }
+            for (l, r) in &conj.equalities {
+                b = b.eq(l.clone(), r.clone());
+            }
+            // Only declare the parameters that actually occur in this branch.
+            let occurring: BTreeSet<String> = conj
+                .atoms
+                .iter()
+                .flat_map(|(_, args)| args.iter())
+                .chain(conj.equalities.iter().flat_map(|(l, r)| [l, r]))
+                .chain(self.head.iter())
+                .filter_map(|a| match a {
+                    Arg::Var(n) => Some(n.clone()),
+                    Arg::Const(_) => None,
+                })
+                .collect();
+            b = b.params(self.params.iter().filter(|p| occurring.contains(*p)).cloned());
+            branches.push(b.build(catalog)?);
+        }
+        UnionQuery::from_branches(self.name.clone(), branches)
+    }
+}
+
+impl fmt::Display for PositiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head = self.head.iter().map(Arg::to_string).collect::<Vec<_>>();
+        write!(f, "{}({}) := {}", self.name, head.join(", "), self.body)
+    }
+}
+
+/// Rename bound variables apart, so DNF expansion cannot capture or confuse variables.
+fn rename_bound_apart(
+    f: &PosFormula,
+    counter: &mut usize,
+    env: &HashMap<String, String>,
+) -> PosFormula {
+    let rename_arg = |a: &Arg| match a {
+        Arg::Var(n) => Arg::Var(env.get(n).cloned().unwrap_or_else(|| n.clone())),
+        Arg::Const(c) => Arg::Const(c.clone()),
+    };
+    match f {
+        PosFormula::Atom { relation, args } => PosFormula::Atom {
+            relation: relation.clone(),
+            args: args.iter().map(rename_arg).collect(),
+        },
+        PosFormula::Eq(l, r) => PosFormula::Eq(rename_arg(l), rename_arg(r)),
+        PosFormula::And(fs) => PosFormula::And(
+            fs.iter()
+                .map(|x| rename_bound_apart(x, counter, env))
+                .collect(),
+        ),
+        PosFormula::Or(fs) => PosFormula::Or(
+            fs.iter()
+                .map(|x| rename_bound_apart(x, counter, env))
+                .collect(),
+        ),
+        PosFormula::Exists(vars, body) => {
+            let mut env = env.clone();
+            let mut new_vars = Vec::with_capacity(vars.len());
+            for v in vars {
+                let fresh = format!("{v}__b{}", *counter);
+                *counter += 1;
+                env.insert(v.clone(), fresh.clone());
+                new_vars.push(fresh);
+            }
+            PosFormula::Exists(
+                new_vars,
+                Box::new(rename_bound_apart(body, counter, &env)),
+            )
+        }
+    }
+}
+
+/// Disjunctive normal form: a list of conjuncts.
+fn dnf(f: &PosFormula) -> Vec<Conjunct> {
+    match f {
+        PosFormula::Atom { relation, args } => vec![Conjunct {
+            atoms: vec![(relation.clone(), args.clone())],
+            equalities: Vec::new(),
+        }],
+        PosFormula::Eq(l, r) => vec![Conjunct {
+            atoms: Vec::new(),
+            equalities: vec![(l.clone(), r.clone())],
+        }],
+        PosFormula::And(fs) => {
+            let mut acc = vec![Conjunct::default()];
+            for part in fs {
+                let expanded = dnf(part);
+                let mut next = Vec::with_capacity(acc.len() * expanded.len());
+                for a in &acc {
+                    for e in &expanded {
+                        next.push(a.clone().merge(e));
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        PosFormula::Or(fs) => fs.iter().flat_map(dnf).collect(),
+        PosFormula::Exists(_, body) => dnf(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare("S", ["a", "b"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn atom_and_eq_constructors() {
+        let f = PosFormula::And(vec![
+            PosFormula::atom("R", ["x", "y"]),
+            PosFormula::eq("y", Value::int(1)),
+        ]);
+        assert_eq!(f.free_vars(), BTreeSet::from(["x".into(), "y".into()]));
+        assert!(f.to_string().contains("R(x, y)"));
+    }
+
+    #[test]
+    fn exists_binds_variables() {
+        let f = PosFormula::exists(["y"], PosFormula::atom("R", ["x", "y"]));
+        assert_eq!(f.free_vars(), BTreeSet::from(["x".into()]));
+        assert!(f.to_string().starts_with("∃y"));
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        // R(x,y) ∧ (y = 1 ∨ y = 2) → two branches.
+        let c = catalog();
+        let q = PositiveQuery::new(
+            "Q",
+            ["x"],
+            PosFormula::exists(
+                ["y"],
+                PosFormula::And(vec![
+                    PosFormula::atom("R", ["x", "y"]),
+                    PosFormula::Or(vec![
+                        PosFormula::eq("y", Value::int(1)),
+                        PosFormula::eq("y", Value::int(2)),
+                    ]),
+                ]),
+            ),
+        );
+        let ucq = q.to_ucq(&c).unwrap();
+        assert_eq!(ucq.len(), 2);
+        assert_eq!(ucq.arity(), 1);
+        for b in ucq.branches() {
+            assert_eq!(b.atoms().len(), 1);
+        }
+    }
+
+    #[test]
+    fn nested_or_multiplies_branches() {
+        let c = catalog();
+        // (R(x,y) ∨ S(x,y)) ∧ (y=1 ∨ y=2) → 4 branches.
+        let q = PositiveQuery::new(
+            "Q",
+            ["x"],
+            PosFormula::exists(
+                ["y"],
+                PosFormula::And(vec![
+                    PosFormula::Or(vec![
+                        PosFormula::atom("R", ["x", "y"]),
+                        PosFormula::atom("S", ["x", "y"]),
+                    ]),
+                    PosFormula::Or(vec![
+                        PosFormula::eq("y", Value::int(1)),
+                        PosFormula::eq("y", Value::int(2)),
+                    ]),
+                ]),
+            ),
+        );
+        let ucq = q.to_ucq(&c).unwrap();
+        assert_eq!(ucq.len(), 4);
+    }
+
+    #[test]
+    fn bound_variable_renaming_prevents_capture() {
+        let c = catalog();
+        // ∃y R(x, y) ∧ ∃y S(x, y): the two `y`s are distinct variables.
+        let q = PositiveQuery::new(
+            "Q",
+            ["x"],
+            PosFormula::And(vec![
+                PosFormula::exists(["y"], PosFormula::atom("R", ["x", "y"])),
+                PosFormula::exists(["y"], PosFormula::atom("S", ["x", "y"])),
+            ]),
+        );
+        let ucq = q.to_ucq(&c).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let branch = &ucq.branches()[0];
+        assert_eq!(branch.atoms().len(), 2);
+        // x plus two distinct renamed ys.
+        assert_eq!(branch.num_vars(), 3);
+    }
+
+    #[test]
+    fn params_filtered_per_branch() {
+        let c = catalog();
+        let q = PositiveQuery::new(
+            "Q",
+            ["x"],
+            PosFormula::Or(vec![
+                PosFormula::exists(["y"], PosFormula::atom("R", ["x", "y"])),
+                PosFormula::exists(["z"], PosFormula::atom("S", ["x", "z"])),
+            ]),
+        )
+        .with_params(["x"]);
+        let ucq = q.to_ucq(&c).unwrap();
+        assert_eq!(ucq.len(), 2);
+        for b in ucq.branches() {
+            assert_eq!(b.params().len(), 1);
+        }
+        assert_eq!(q.params(), &["x".to_owned()]);
+    }
+
+    #[test]
+    fn constants_in_head_and_atoms() {
+        let c = catalog();
+        let q = PositiveQuery::new(
+            "Q",
+            [Arg::val(Value::int(9)), Arg::var("x")],
+            PosFormula::atom("R", [Arg::var("x"), Arg::val(Value::int(1))]),
+        );
+        let ucq = q.to_ucq(&c).unwrap();
+        assert_eq!(ucq.arity(), 2);
+        let b = &ucq.branches()[0];
+        assert_eq!(b.atoms().len(), 1);
+        assert!(!b.has_contradiction());
+    }
+
+    #[test]
+    fn display_positive_query() {
+        let q = PositiveQuery::new("Q", ["x"], PosFormula::atom("R", ["x", "y"]));
+        assert_eq!(q.to_string(), "Q(x) := R(x, y)");
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.name(), "Q");
+        assert!(matches!(q.body(), PosFormula::Atom { .. }));
+        assert_eq!(q.head().len(), 1);
+    }
+}

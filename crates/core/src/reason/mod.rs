@@ -1,0 +1,56 @@
+//! Reasoning about queries *under an access schema*: `A`-satisfiability,
+//! `A`-containment and `A`-equivalence (Section 3.1 of the paper).
+//!
+//! The presence of an access schema `A` changes the classical picture:
+//!
+//! * satisfiability of a CQ is trivial classically, but `A`-satisfiability is
+//!   NP-complete (Lemma 3.2);
+//! * containment and equivalence of CQs are NP-complete classically (Chandra–Merlin), but
+//!   Πᵖ₂-complete under `A` (Lemma 3.3), because *all* `A`-instances of the left query have
+//!   to be considered rather than a single canonical instance.
+//!
+//! The procedures here implement those definitions directly by enumerating canonical
+//! valuations of a query's tableau, in the style of representative instances for
+//! indefinite databases. The enumeration is exponential in the number of variables of the
+//! query (it cannot be otherwise unless the polynomial hierarchy collapses); a
+//! [`ReasonConfig::budget`] caps the work and turns the analysis into an explicit
+//! [`crate::error::Error::BudgetExhausted`] error instead of an open-ended search.
+
+pub mod containment;
+pub mod enumerate;
+pub mod instance;
+pub mod satisfiability;
+
+pub use containment::{a_contained, a_equivalent, classically_contained};
+pub use enumerate::{a_instances, canonical_instance, AInstance};
+pub use instance::SmallInstance;
+pub use satisfiability::{is_a_satisfiable, SatisfiabilityWitness};
+
+/// Configuration of the enumeration-based reasoning procedures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReasonConfig {
+    /// Maximum number of candidate valuations examined by one reasoning call.
+    pub budget: u64,
+    /// Database size assumed when evaluating general (sublinear) access constraints on
+    /// the small canonical instances.
+    pub assumed_db_size: u64,
+}
+
+impl Default for ReasonConfig {
+    fn default() -> Self {
+        Self {
+            budget: 2_000_000,
+            assumed_db_size: 1_000_000,
+        }
+    }
+}
+
+impl ReasonConfig {
+    /// A configuration with a custom enumeration budget.
+    pub fn with_budget(budget: u64) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `A`-satisfiability of conjunctive queries (Lemma 3.2).
+//!
+//! A query `Q` is `A`-satisfiable when some instance `D ⊨ A` has `Q(D) ≠ ∅`. Classical
+//! satisfiability of CQs is trivial; under an access schema it becomes NP-complete,
+//! because a valuation of the tableau must be found whose induced instance satisfies all
+//! cardinality constraints.
+
+use crate::access::AccessSchema;
+use crate::error::Result;
+use crate::query::cq::ConjunctiveQuery;
+use crate::query::ucq::UnionQuery;
+use crate::reason::enumerate::visit_a_instances;
+use crate::reason::instance::SmallInstance;
+use crate::reason::ReasonConfig;
+use crate::value::Row;
+
+/// A witness that a query is `A`-satisfiable: an instance satisfying the access schema on
+/// which the query returns the given answer row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatisfiabilityWitness {
+    /// The witnessing instance (`θ(T_Q)` for the found valuation).
+    pub instance: SmallInstance,
+    /// The answer `θ(u)` produced on the witnessing instance.
+    pub answer: Row,
+}
+
+/// Decide whether a CQ is `A`-satisfiable; returns a witness when it is.
+pub fn is_a_satisfiable(
+    query: &ConjunctiveQuery,
+    schema: &AccessSchema,
+    config: &ReasonConfig,
+) -> Result<Option<SatisfiabilityWitness>> {
+    let mut witness = None;
+    visit_a_instances(query, schema, &[], config, &mut |ai| {
+        witness = Some(SatisfiabilityWitness {
+            instance: ai.instance.clone(),
+            answer: ai.head.clone(),
+        });
+        true
+    })?;
+    Ok(witness)
+}
+
+/// Decide whether a UCQ is `A`-satisfiable (some branch is).
+pub fn is_ucq_a_satisfiable(
+    query: &UnionQuery,
+    schema: &AccessSchema,
+    config: &ReasonConfig,
+) -> Result<Option<SatisfiabilityWitness>> {
+    for branch in query.branches() {
+        if let Some(w) = is_a_satisfiable(branch, schema, config)? {
+            return Ok(Some(w));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessConstraint;
+    use crate::schema::Catalog;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("R2", ["a", "b"]).unwrap();
+        c
+    }
+
+    /// Q2 and A2 of Example 3.1(2): Q2 is *not* A2-satisfiable because R2(A → B, 1)
+    /// forbids (x, 1) and (x, 2) from coexisting.
+    fn example_3_1_2(c: &Catalog) -> (ConjunctiveQuery, AccessSchema) {
+        let q2 = ConjunctiveQuery::builder("Q2")
+            .head(["x"])
+            .atom("R2", ["x", "x1"])
+            .atom("R2", ["x", "x2"])
+            .eq("x1", 1i64)
+            .eq("x2", 2i64)
+            .build(c)
+            .unwrap();
+        let a2 = AccessSchema::from_constraints([AccessConstraint::new(
+            c,
+            "R2",
+            &["a"],
+            &["b"],
+            1,
+        )
+        .unwrap()]);
+        (q2, a2)
+    }
+
+    #[test]
+    fn example_3_1_2_is_unsatisfiable_under_a2() {
+        let c = catalog();
+        let (q2, a2) = example_3_1_2(&c);
+        let result = is_a_satisfiable(&q2, &a2, &ReasonConfig::default()).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn example_3_1_2_is_satisfiable_without_constraints() {
+        let c = catalog();
+        let (q2, _) = example_3_1_2(&c);
+        let witness = is_a_satisfiable(&q2, &AccessSchema::new(), &ReasonConfig::default())
+            .unwrap()
+            .expect("classically satisfiable");
+        assert_eq!(witness.answer.len(), 1);
+        assert_eq!(witness.instance.size(), 2);
+        // The witness really satisfies the (empty) schema and answers the query.
+        let out = crate::reason::instance::eval_cq(&q2, &witness.instance);
+        assert!(out.contains(&witness.answer));
+    }
+
+    #[test]
+    fn contradictory_query_is_never_satisfiable() {
+        let c = catalog();
+        let q = ConjunctiveQuery::builder("Q")
+            .head(["x"])
+            .eq("x", 1i64)
+            .eq("x", 2i64)
+            .build(&c)
+            .unwrap();
+        assert!(is_a_satisfiable(&q, &AccessSchema::new(), &ReasonConfig::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn witness_satisfies_the_schema() {
+        let c = catalog();
+        let q = ConjunctiveQuery::builder("Q")
+            .head(["x"])
+            .atom("R2", ["x", "y"])
+            .atom("R2", ["x", "z"])
+            .build(&c)
+            .unwrap();
+        let a = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R2",
+            &["a"],
+            &["b"],
+            1,
+        )
+        .unwrap()]);
+        let witness = is_a_satisfiable(&q, &a, &ReasonConfig::default())
+            .unwrap()
+            .expect("satisfiable: y and z can be merged");
+        assert!(witness.instance.satisfies(&a, 1_000_000));
+        assert_eq!(witness.instance.size(), 1);
+    }
+
+    #[test]
+    fn ucq_satisfiability_checks_branches() {
+        let c = catalog();
+        let (q2, a2) = example_3_1_2(&c);
+        let sat_branch = ConjunctiveQuery::builder("Q1")
+            .head(["x"])
+            .atom("R2", ["x", "y"])
+            .eq("y", 1i64)
+            .build(&c)
+            .unwrap();
+        let only_unsat = UnionQuery::from_branches("U", vec![q2.clone()]).unwrap();
+        assert!(
+            is_ucq_a_satisfiable(&only_unsat, &a2, &ReasonConfig::default())
+                .unwrap()
+                .is_none()
+        );
+        let mixed = UnionQuery::from_branches("U", vec![q2, sat_branch]).unwrap();
+        let w = is_ucq_a_satisfiable(&mixed, &a2, &ReasonConfig::default())
+            .unwrap()
+            .expect("second branch is satisfiable");
+        assert_eq!(w.answer.len(), 1);
+        assert!(w
+            .instance
+            .rows("R2")
+            .any(|row| row[1] == Value::int(1)));
+    }
+}

@@ -1,0 +1,194 @@
+//! The constant domain shared by queries, access constraints and data.
+//!
+//! The paper assumes a countably infinite domain `D` of data values. We model it with
+//! integers, strings and booleans, plus *labelled nulls* ([`Value::Labelled`]) which the
+//! reasoning procedures use as "fresh, pairwise distinct" constants when enumerating
+//! canonical instances (Section 3 of the paper works with representative instances in the
+//! style of indefinite databases).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single data value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A UTF-8 string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// A labelled null: a fresh constant distinct from every other value except itself.
+    ///
+    /// Labelled nulls never appear in user data; they are introduced by the reasoning
+    /// procedures ([`crate::reason`]) and by generic query specialization
+    /// ([`crate::specialize`]) to stand for "an arbitrary value".
+    Labelled(u32),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Build an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// True when the value is a labelled null (a generic placeholder constant).
+    pub const fn is_labelled(&self) -> bool {
+        matches!(self, Value::Labelled(_))
+    }
+
+    /// A short tag describing the value's type, used in error messages.
+    pub const fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Labelled(_) => "labelled-null",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Labelled(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across heterogeneous values: ints < strings < bools < labelled nulls,
+    /// with the natural order inside each group. The order is only used to make results
+    /// and canonical instances deterministic; it carries no query semantics.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Labelled(a), Labelled(b)) => a.cmp(b),
+            (Int(_), _) => Ordering::Less,
+            (_, Int(_)) => Ordering::Greater,
+            (Str(_), _) => Ordering::Less,
+            (_, Str(_)) => Ordering::Greater,
+            (Bool(_), _) => Ordering::Less,
+            (_, Bool(_)) => Ordering::Greater,
+        }
+    }
+}
+
+/// A tuple of values, i.e. one row of a relation or of a query answer.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("ab").to_string(), "\"ab\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Labelled(3).to_string(), "⊥3");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(String::from("y")), Value::Str("y".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn ordering_is_total_and_groups_types() {
+        let mut vals = vec![
+            Value::Labelled(0),
+            Value::Bool(false),
+            Value::str("a"),
+            Value::int(-1),
+            Value::int(5),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::int(-1),
+                Value::int(5),
+                Value::str("a"),
+                Value::Bool(false),
+                Value::Labelled(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn hashable_and_distinct() {
+        let set: HashSet<Value> = [
+            Value::int(1),
+            Value::str("1"),
+            Value::Bool(true),
+            Value::Labelled(1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn labelled_nulls_equal_only_themselves() {
+        assert_eq!(Value::Labelled(2), Value::Labelled(2));
+        assert_ne!(Value::Labelled(2), Value::Labelled(3));
+        assert_ne!(Value::Labelled(2), Value::int(2));
+        assert!(Value::Labelled(0).is_labelled());
+        assert!(!Value::int(0).is_labelled());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::int(0).type_name(), "int");
+        assert_eq!(Value::str("").type_name(), "string");
+        assert_eq!(Value::Bool(false).type_name(), "bool");
+        assert_eq!(Value::Labelled(0).type_name(), "labelled-null");
+    }
+}

@@ -1,0 +1,25 @@
+//! # bea-engine — executing bounded plans and baselines
+//!
+//! Two evaluators over `bea-storage` databases:
+//!
+//! * [`exec`] — the **bounded plan executor**: runs a [`bea_core::plan::QueryPlan`]
+//!   against an [`bea_storage::IndexedDatabase`], performing every `fetch` through the
+//!   index of its backing access constraint and accounting for every tuple it reads
+//!   ([`stats::AccessStats`]). For a boundedly evaluable plan the number of tuples read
+//!   is independent of the database size — this is the paper's headline property and the
+//!   quantity the experiments report.
+//! * [`naive`] — the **baseline evaluator**: answers CQ / UCQ / ∃FO⁺ queries by scanning
+//!   the relations and hash-joining them, the stand-in for "just run it on the DBMS"
+//!   (MySQL in the paper's Example 1.1). Its cost grows with `|D|`.
+//!
+//! [`table::Table`] is the shared result representation (set semantics).
+
+pub mod exec;
+pub mod naive;
+pub mod stats;
+pub mod table;
+
+pub use exec::execute_plan;
+pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
+pub use stats::AccessStats;
+pub use table::Table;

@@ -1,0 +1,76 @@
+//! Data-access accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// How much data a plan execution touched.
+///
+/// For a boundedly evaluable plan, [`AccessStats::tuples_fetched`] is bounded by a
+/// function of the query and the access schema alone — the experiments plot it against
+/// the database size to reproduce the paper's "access small data" claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Number of tuples returned by index fetches.
+    pub tuples_fetched: u64,
+    /// Number of distinct index lookups (one per key per fetch operation).
+    pub index_lookups: u64,
+    /// Number of fetch operations executed.
+    pub fetch_ops: u64,
+    /// Number of tuples scanned by full-relation scans (zero for bounded plans; the
+    /// naive baseline reports its scans here).
+    pub tuples_scanned: u64,
+}
+
+impl AccessStats {
+    /// Total number of tuples read from the database, by any means.
+    pub fn total_tuples_read(&self) -> u64 {
+        self.tuples_fetched + self.tuples_scanned
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.tuples_fetched += rhs.tuples_fetched;
+        self.index_lookups += rhs.index_lookups;
+        self.fetch_ops += rhs.fetch_ops;
+        self.tuples_scanned += rhs.tuples_scanned;
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples",
+            self.tuples_fetched, self.index_lookups, self.fetch_ops, self.tuples_scanned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_display() {
+        let mut a = AccessStats::default();
+        a += AccessStats {
+            tuples_fetched: 10,
+            index_lookups: 2,
+            fetch_ops: 1,
+            tuples_scanned: 0,
+        };
+        a += AccessStats {
+            tuples_fetched: 5,
+            index_lookups: 1,
+            fetch_ops: 1,
+            tuples_scanned: 100,
+        };
+        assert_eq!(a.tuples_fetched, 15);
+        assert_eq!(a.index_lookups, 3);
+        assert_eq!(a.fetch_ops, 2);
+        assert_eq!(a.total_tuples_read(), 115);
+        assert!(a.to_string().contains("fetched 15 tuples"));
+    }
+}

@@ -1,0 +1,356 @@
+//! A small hand-rolled lexer for the query and access-constraint syntax.
+
+use bea_core::error::{Error, Result};
+
+/// A lexical token with its position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+/// The kinds of tokens in the surface syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (relation, variable or attribute name).
+    Ident(String),
+    /// An identifier prefixed with `$`: a parameter variable.
+    Param(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (without the quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `:-`
+    Turnstile,
+    /// `->`
+    Arrow,
+    /// `=`
+    Equals,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Param(s) => format!("parameter `${s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Turnstile => "`:-`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Equals => "`=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize an input string. `%` starts a comment running to the end of the line.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(ch) = c {
+                if ch == '\n' {
+                    line += 1;
+                    column = 1;
+                } else {
+                    column += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (start_line, start_column) = (line, column);
+        let Some(&c) = chars.peek() else { break };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '%' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' | ')' | ',' | '.' | ';' | '=' => {
+                bump!();
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    ';' => TokenKind::Semicolon,
+                    _ => TokenKind::Equals,
+                };
+                tokens.push(Token {
+                    kind,
+                    line: start_line,
+                    column: start_column,
+                });
+            }
+            ':' => {
+                bump!();
+                match chars.peek() {
+                    Some('-') => {
+                        bump!();
+                        tokens.push(Token {
+                            kind: TokenKind::Turnstile,
+                            line: start_line,
+                            column: start_column,
+                        });
+                    }
+                    other => {
+                        return Err(Error::invalid(format!(
+                            "line {start_line}:{start_column}: expected `:-`, found `:{}`",
+                            other.map(|c| c.to_string()).unwrap_or_default()
+                        )))
+                    }
+                }
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some('>') => {
+                        bump!();
+                        tokens.push(Token {
+                            kind: TokenKind::Arrow,
+                            line: start_line,
+                            column: start_column,
+                        });
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut number = String::from("-");
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                number.push(d);
+                                bump!();
+                            } else {
+                                break;
+                            }
+                        }
+                        let value = number.parse::<i64>().map_err(|_| {
+                            Error::invalid(format!(
+                                "line {start_line}:{start_column}: invalid integer `{number}`"
+                            ))
+                        })?;
+                        tokens.push(Token {
+                            kind: TokenKind::Int(value),
+                            line: start_line,
+                            column: start_column,
+                        });
+                    }
+                    _ => {
+                        return Err(Error::invalid(format!(
+                            "line {start_line}:{start_column}: expected `->` or a negative integer"
+                        )))
+                    }
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => s.push(other),
+                            None => {
+                                return Err(Error::invalid(format!(
+                                    "line {start_line}:{start_column}: unterminated string literal"
+                                )))
+                            }
+                        },
+                        Some(other) => s.push(other),
+                        None => {
+                            return Err(Error::invalid(format!(
+                                "line {start_line}:{start_column}: unterminated string literal"
+                            )))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: start_line,
+                    column: start_column,
+                });
+            }
+            '$' => {
+                bump!();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(Error::invalid(format!(
+                        "line {start_line}:{start_column}: `$` must be followed by a parameter name"
+                    )));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(name),
+                    line: start_line,
+                    column: start_column,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut number = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        number.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let value = number.parse::<i64>().map_err(|_| {
+                    Error::invalid(format!(
+                        "line {start_line}:{start_column}: invalid integer `{number}`"
+                    ))
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: start_line,
+                    column: start_column,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '\'' {
+                        name.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    line: start_line,
+                    column: start_column,
+                });
+            }
+            other => {
+                return Err(Error::invalid(format!(
+                    "line {start_line}:{start_column}: unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds(r#"Q(x) :- R(x, 3), x = "a b". % comment"#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("Q".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Turnstile,
+                TokenKind::Ident("R".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Int(3),
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Ident("x".into()),
+                TokenKind::Equals,
+                TokenKind::Str("a b".into()),
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_negative_numbers_and_params() {
+        let ks = kinds("R(a -> b, 610); S($p, -42)");
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Int(610)));
+        assert!(ks.contains(&TokenKind::Int(-42)));
+        assert!(ks.contains(&TokenKind::Param("p".into())));
+        assert!(ks.contains(&TokenKind::Semicolon));
+    }
+
+    #[test]
+    fn string_escapes_and_quotes_in_identifiers() {
+        let ks = kinds(r#"x = "line\nbreak", d = "Queen's Park""#);
+        assert!(ks.contains(&TokenKind::Str("line\nbreak".into())));
+        assert!(ks.contains(&TokenKind::Str("Queen's Park".into())));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = tokenize("R(a) :\nx").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = tokenize("\"unterminated").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        let err = tokenize("a ? b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+        let err = tokenize("$ x").unwrap_err();
+        assert!(err.to_string().contains("parameter name"));
+        let err = tokenize("a - b").unwrap_err();
+        assert!(err.to_string().contains("expected `->`"));
+    }
+
+    #[test]
+    fn token_descriptions() {
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert!(TokenKind::Ident("x".into()).describe().contains('x'));
+        assert!(TokenKind::Str("s".into()).describe().contains("\"s\""));
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,114 @@
+//! Hash indexes on attribute subsets.
+//!
+//! An access constraint `R(X → Y, N)` requires "an index on `X` for `Y` that, given an
+//! `X`-value `ā`, retrieves `D_Y(X = ā)`". [`HashIndex`] implements it as a hash map from
+//! `X`-projections to the offsets of the matching tuples; the full tuples stay in the
+//! relation, so one index costs `O(|R|)` offsets regardless of how many constraints share
+//! the relation.
+
+use crate::relation::Relation;
+use bea_core::value::{Row, Value};
+use std::collections::HashMap;
+
+/// A hash index over one relation, keyed on a set of attribute positions.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    key_attrs: Vec<usize>,
+    buckets: HashMap<Row, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build an index on `key_attrs` (sorted attribute positions) over a relation.
+    pub fn build(relation: &Relation, key_attrs: &[usize]) -> Self {
+        let mut buckets: HashMap<Row, Vec<u32>> = HashMap::new();
+        for (i, row) in relation.rows().iter().enumerate() {
+            let key = Relation::project(row, key_attrs);
+            buckets.entry(key).or_default().push(i as u32);
+        }
+        Self {
+            key_attrs: key_attrs.to_vec(),
+            buckets,
+        }
+    }
+
+    /// The attribute positions forming the key.
+    pub fn key_attrs(&self) -> &[usize] {
+        &self.key_attrs
+    }
+
+    /// Offsets of the tuples whose key equals `key` (empty if none).
+    pub fn lookup(&self, key: &[Value]) -> &[u32] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The largest bucket size: the observed cardinality `max_ā |{t : t[X] = ā}|`.
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterate over `(key, offsets)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (&Row, &[u32])> {
+        self.buckets.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_core::schema::RelationSchema;
+    use bea_core::value::Value;
+
+    fn relation() -> Relation {
+        let mut r = Relation::new(RelationSchema::new("R", ["a", "b", "c"]).unwrap());
+        r.extend([
+            vec![Value::int(1), Value::str("x"), Value::int(10)],
+            vec![Value::int(1), Value::str("y"), Value::int(20)],
+            vec![Value::int(2), Value::str("x"), Value::int(30)],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let r = relation();
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.key_attrs(), &[0]);
+        assert_eq!(idx.num_keys(), 2);
+        assert_eq!(idx.lookup(&[Value::int(1)]).len(), 2);
+        assert_eq!(idx.lookup(&[Value::int(2)]), &[2]);
+        assert!(idx.lookup(&[Value::int(9)]).is_empty());
+        assert_eq!(idx.max_bucket_len(), 2);
+    }
+
+    #[test]
+    fn composite_key() {
+        let r = relation();
+        let idx = HashIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.num_keys(), 3);
+        assert_eq!(idx.lookup(&[Value::int(1), Value::str("y")]), &[1]);
+        assert_eq!(idx.buckets().count(), 3);
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        let r = relation();
+        let idx = HashIndex::build(&r, &[]);
+        assert_eq!(idx.num_keys(), 1);
+        assert_eq!(idx.lookup(&[]).len(), 3);
+        assert_eq!(idx.max_bucket_len(), 3);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new(RelationSchema::new("R", ["a"]).unwrap());
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.num_keys(), 0);
+        assert_eq!(idx.max_bucket_len(), 0);
+    }
+}

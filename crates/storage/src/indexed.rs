@@ -1,0 +1,262 @@
+//! A database equipped with the indexes mandated by an access schema.
+
+use crate::database::Database;
+use crate::index::HashIndex;
+use bea_core::access::AccessSchema;
+use bea_core::error::{Error, Result};
+use bea_core::value::{Row, Value};
+
+/// A violation of an access constraint by a database instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintViolation {
+    /// Index of the violated constraint in the access schema.
+    pub constraint_index: usize,
+    /// The offending `X`-value.
+    pub key: Row,
+    /// The number of distinct `Y`-values observed for that key.
+    pub observed: u64,
+    /// The bound allowed by the constraint (for this database's size).
+    pub allowed: u64,
+}
+
+/// A database instance together with one hash index per access constraint.
+///
+/// Building an `IndexedDatabase` is the physical-design step of the paper's strategy:
+/// "develop and maintain an access schema `A` for an application" and build the indices
+/// it requires. Fetches through [`IndexedDatabase::fetch`] never scan a relation.
+#[derive(Debug, Clone)]
+pub struct IndexedDatabase {
+    database: Database,
+    schema: AccessSchema,
+    indexes: Vec<HashIndex>,
+}
+
+impl IndexedDatabase {
+    /// Build the indexes required by the access schema over the database.
+    ///
+    /// Fails if the schema references relations or attribute positions the catalog does
+    /// not declare. Whether the *cardinality* part of each constraint holds is a separate
+    /// question — check it with [`IndexedDatabase::validate`].
+    pub fn build(database: Database, schema: AccessSchema) -> Result<Self> {
+        schema.validate(database.catalog())?;
+        let mut indexes = Vec::with_capacity(schema.len());
+        for constraint in schema.constraints() {
+            let relation = database.relation(constraint.relation())?;
+            indexes.push(HashIndex::build(relation, constraint.x()));
+        }
+        Ok(Self {
+            database,
+            schema,
+            indexes,
+        })
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The access schema whose indexes are materialized.
+    pub fn schema(&self) -> &AccessSchema {
+        &self.schema
+    }
+
+    /// Total number of tuples `|D|`.
+    pub fn size(&self) -> u64 {
+        self.database.size()
+    }
+
+    /// Retrieve, through the index of constraint `constraint_index`, the tuples of its
+    /// relation whose `X`-projection equals `key`. Returns full tuples; callers project
+    /// onto `X ∪ Y` as needed (the executor in `bea-engine` does).
+    pub fn fetch(&self, constraint_index: usize, key: &[Value]) -> Result<Vec<&Row>> {
+        let constraint = self
+            .schema
+            .constraint(constraint_index)
+            .ok_or_else(|| Error::MissingConstraint {
+                reason: format!("no access constraint with index {constraint_index}"),
+            })?;
+        if key.len() != constraint.x().len() {
+            return Err(Error::invalid(format!(
+                "fetch key has {} values but constraint {constraint_index} expects {}",
+                key.len(),
+                constraint.x().len()
+            )));
+        }
+        let relation = self.database.relation(constraint.relation())?;
+        let index = &self.indexes[constraint_index];
+        Ok(index
+            .lookup(key)
+            .iter()
+            .map(|&offset| &relation.rows()[offset as usize])
+            .collect())
+    }
+
+    /// Check the cardinality part of every constraint: does `D ⊨ A` hold?
+    ///
+    /// Returns the list of violations (empty iff the instance satisfies the schema).
+    pub fn validate(&self) -> Vec<ConstraintViolation> {
+        let db_size = self.size();
+        let mut violations = Vec::new();
+        for (ci, constraint) in self.schema.constraints().iter().enumerate() {
+            let allowed = constraint.cardinality().bound(db_size);
+            let relation = match self.database.relation(constraint.relation()) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            for (key, offsets) in self.indexes[ci].buckets() {
+                // Count distinct Y-projections in the bucket.
+                let mut ys: Vec<Row> = offsets
+                    .iter()
+                    .map(|&o| {
+                        crate::relation::Relation::project(
+                            &relation.rows()[o as usize],
+                            constraint.y(),
+                        )
+                    })
+                    .collect();
+                ys.sort();
+                ys.dedup();
+                if ys.len() as u64 > allowed {
+                    violations.push(ConstraintViolation {
+                        constraint_index: ci,
+                        key: key.clone(),
+                        observed: ys.len() as u64,
+                        allowed,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Convenience: `true` iff [`IndexedDatabase::validate`] reports no violation.
+    pub fn satisfies_schema(&self) -> bool {
+        self.validate().is_empty()
+    }
+
+    /// Tear the indexed database apart again (e.g. to add more data and rebuild).
+    pub fn into_parts(self) -> (Database, AccessSchema) {
+        (self.database, self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_core::access::AccessConstraint;
+    use bea_core::schema::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new(catalog());
+        db.extend(
+            "R",
+            [
+                vec![Value::int(1), Value::int(10)],
+                vec![Value::int(1), Value::int(11)],
+                vec![Value::int(2), Value::int(20)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn build_fetch_and_validate() {
+        let c = catalog();
+        let schema = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R",
+            &["a"],
+            &["b"],
+            2,
+        )
+        .unwrap()]);
+        let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
+        assert_eq!(idb.size(), 3);
+        let rows = idb.fetch(0, &[Value::int(1)]).unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = idb.fetch(0, &[Value::int(9)]).unwrap();
+        assert!(rows.is_empty());
+        assert!(idb.satisfies_schema());
+        let (db, schema) = idb.into_parts();
+        assert_eq!(db.size(), 3);
+        assert_eq!(schema.len(), 1);
+    }
+
+    #[test]
+    fn validation_reports_violations() {
+        let c = catalog();
+        let tight = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R",
+            &["a"],
+            &["b"],
+            1,
+        )
+        .unwrap()]);
+        let idb = IndexedDatabase::build(sample_db(), tight).unwrap();
+        let violations = idb.validate();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].key, vec![Value::int(1)]);
+        assert_eq!(violations[0].observed, 2);
+        assert_eq!(violations[0].allowed, 1);
+        assert!(!idb.satisfies_schema());
+    }
+
+    #[test]
+    fn fetch_errors() {
+        let c = catalog();
+        let schema = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R",
+            &["a"],
+            &["b"],
+            2,
+        )
+        .unwrap()]);
+        let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
+        assert!(idb.fetch(7, &[Value::int(1)]).is_err());
+        assert!(idb.fetch(0, &[]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_bad_schema() {
+        let mut other = Catalog::new();
+        other.declare("S", ["x"]).unwrap();
+        let bad = AccessSchema::from_constraints([AccessConstraint::new(
+            &other,
+            "S",
+            &["x"],
+            &["x"],
+            1,
+        )
+        .unwrap_or_else(|_| {
+            AccessConstraint::from_positions("S", vec![0], vec![1], 1).unwrap()
+        })]);
+        assert!(IndexedDatabase::build(sample_db(), bad).is_err());
+    }
+
+    #[test]
+    fn empty_key_constraint_fetches_everything() {
+        let c = catalog();
+        let schema = AccessSchema::from_constraints([AccessConstraint::new(
+            &c,
+            "R",
+            &[],
+            &["a"],
+            5,
+        )
+        .unwrap()]);
+        let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
+        let rows = idb.fetch(0, &[]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(idb.satisfies_schema());
+    }
+}

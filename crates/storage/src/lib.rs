@@ -1,0 +1,27 @@
+//! # bea-storage — relational storage with access-constraint indexes
+//!
+//! The substrate the paper assumes: an in-memory relational store whose physical design
+//! is driven by an access schema. For every access constraint `R(X → Y, N)` the store
+//! maintains a hash index on `X`, so that `D_{XY}(X = ā)` can be retrieved without
+//! scanning `R` — which is exactly the `fetch` operation of boundedly evaluable query
+//! plans.
+//!
+//! * [`relation`] / [`database`] — relations, instances, catalog validation.
+//! * [`index`] — hash indexes keyed on attribute subsets.
+//! * [`indexed`] — [`indexed::IndexedDatabase`]: a database plus the indexes mandated by
+//!   an access schema, with constraint validation (`D ⊨ A`).
+//! * [`discovery`] — mining access constraints from data (the paper notes that the
+//!   constraints of Example 1.1 "are discovered by simple aggregate queries on D₀").
+//! * [`io`] — minimal tab-separated import/export, for persisting generated workloads.
+
+pub mod database;
+pub mod discovery;
+pub mod index;
+pub mod indexed;
+pub mod io;
+pub mod relation;
+
+pub use database::Database;
+pub use discovery::{discover_constraints, measure_cardinality, DiscoveryOptions};
+pub use indexed::{ConstraintViolation, IndexedDatabase};
+pub use relation::Relation;

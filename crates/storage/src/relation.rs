@@ -1,0 +1,145 @@
+//! A single relation instance: a schema and its tuples.
+
+use bea_core::error::{Error, Result};
+use bea_core::schema::RelationSchema;
+use bea_core::value::{Row, Value};
+
+/// A relation instance. Tuples are stored in insertion order; the query semantics used
+/// throughout the workspace is set-based, so callers that may insert duplicates should
+/// deduplicate results (the executors do).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: RelationSchema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Create an empty relation instance for a schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The tuple at an offset.
+    pub fn row(&self, index: usize) -> Option<&Row> {
+        self.rows.get(index)
+    }
+
+    /// Insert a tuple; its arity must match the schema.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                relation: self.schema.name().to_owned(),
+                expected: self.schema.arity(),
+                found: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Insert many tuples.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Reserve capacity for additional tuples (useful for bulk loads).
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
+    /// Project a tuple onto a list of attribute positions.
+    pub fn project(row: &Row, positions: &[usize]) -> Row {
+        positions.iter().map(|&p| row[p].clone()).collect()
+    }
+
+    /// Number of distinct values of one attribute (used by statistics and discovery).
+    pub fn distinct_count(&self, attribute: usize) -> usize {
+        let mut values: Vec<&Value> = self.rows.iter().map(|r| &r[attribute]).collect();
+        values.sort();
+        values.dedup();
+        values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new("R", ["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut r = Relation::new(schema());
+        assert!(r.is_empty());
+        r.insert(vec![Value::int(1), Value::str("x")]).unwrap();
+        r.extend([
+            vec![Value::int(2), Value::str("y")],
+            vec![Value::int(3), Value::str("z")],
+        ])
+        .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.name(), "R");
+        assert_eq!(r.row(0).unwrap()[0], Value::int(1));
+        assert!(r.row(5).is_none());
+        assert_eq!(r.rows().len(), 3);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(schema());
+        let err = r.insert(vec![Value::int(1)]);
+        assert!(matches!(err, Err(Error::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn projection_and_distinct() {
+        let mut r = Relation::new(schema());
+        r.extend([
+            vec![Value::int(1), Value::str("x")],
+            vec![Value::int(1), Value::str("y")],
+            vec![Value::int(2), Value::str("y")],
+        ])
+        .unwrap();
+        assert_eq!(
+            Relation::project(&r.rows()[0], &[1, 0]),
+            vec![Value::str("x"), Value::int(1)]
+        );
+        assert_eq!(r.distinct_count(0), 2);
+        assert_eq!(r.distinct_count(1), 2);
+        r.reserve(100);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! An e-commerce workload with parameterized queries.
+//!
+//! Section 5 of the paper motivates bounded query specialization with e-commerce systems:
+//! queries ship with parameters (price range, make of a product, the current user) that
+//! are instantiated before execution. This workload provides a product/order/user schema,
+//! a generator whose cardinalities match the access schema, and a family of parameterized
+//! queries of varying "difficulty" (how many parameters must be instantiated before the
+//! query becomes covered).
+
+use bea_core::access::{AccessConstraint, AccessSchema};
+use bea_core::error::Result;
+use bea_core::query::cq::ConjunctiveQuery;
+use bea_core::schema::Catalog;
+use bea_core::value::Value;
+use bea_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum number of products per category enforced by the generator and promised by the
+/// access schema.
+pub const MAX_PRODUCTS_PER_CATEGORY: u64 = 400;
+/// Maximum number of orders per user.
+pub const MAX_ORDERS_PER_USER: u64 = 60;
+
+/// The e-commerce schema.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.declare("Product", ["pid", "category", "brand", "price"])
+        .expect("static schema");
+    c.declare("Orders", ["oid", "uid", "pid", "day"])
+        .expect("static schema");
+    c.declare("Customer", ["uid", "city"]).expect("static schema");
+    c
+}
+
+/// The access schema: key constraints on every id plus bounded "per category" and "per
+/// user" lookups.
+pub fn access_schema(catalog: &Catalog) -> AccessSchema {
+    AccessSchema::from_constraints([
+        AccessConstraint::new(
+            catalog,
+            "Product",
+            &["pid"],
+            &["category", "brand", "price"],
+            1,
+        )
+        .expect("static"),
+        AccessConstraint::new(
+            catalog,
+            "Product",
+            &["category"],
+            &["pid"],
+            MAX_PRODUCTS_PER_CATEGORY,
+        )
+        .expect("static"),
+        AccessConstraint::new(catalog, "Orders", &["oid"], &["uid", "pid", "day"], 1)
+            .expect("static"),
+        AccessConstraint::new(catalog, "Orders", &["uid"], &["oid"], MAX_ORDERS_PER_USER)
+            .expect("static"),
+        AccessConstraint::new(catalog, "Customer", &["uid"], &["city"], 1).expect("static"),
+    ])
+}
+
+/// Configuration of the e-commerce generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcommerceConfig {
+    /// Number of customers.
+    pub num_customers: u32,
+    /// Number of product categories.
+    pub num_categories: u32,
+    /// Products per category (capped by [`MAX_PRODUCTS_PER_CATEGORY`]).
+    pub products_per_category: u32,
+    /// Average orders per customer (capped by [`MAX_ORDERS_PER_USER`]).
+    pub avg_orders_per_customer: u32,
+    /// Number of distinct cities.
+    pub num_cities: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EcommerceConfig {
+    fn default() -> Self {
+        Self {
+            num_customers: 500,
+            num_categories: 20,
+            products_per_category: 50,
+            avg_orders_per_customer: 10,
+            num_cities: 15,
+            seed: 0xECC0,
+        }
+    }
+}
+
+/// Generate an e-commerce database satisfying the access schema.
+pub fn generate(config: &EcommerceConfig) -> Result<Database> {
+    let catalog = catalog();
+    let mut db = Database::new(catalog);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let products_per_category = config
+        .products_per_category
+        .min(MAX_PRODUCTS_PER_CATEGORY as u32);
+    let mut pid: i64 = 0;
+    let mut product_ids: Vec<i64> = Vec::new();
+    for category in 0..config.num_categories {
+        for _ in 0..products_per_category {
+            pid += 1;
+            product_ids.push(pid);
+            let brand = rng.gen_range(0..50);
+            let price = rng.gen_range(1..=2_000);
+            db.insert(
+                "Product",
+                vec![
+                    Value::Int(pid),
+                    Value::str(format!("category-{category:03}")),
+                    Value::str(format!("brand-{brand:02}")),
+                    Value::Int(price),
+                ],
+            )?;
+        }
+    }
+
+    let mut oid: i64 = 0;
+    for uid in 0..config.num_customers {
+        let city = rng.gen_range(0..config.num_cities.max(1));
+        db.insert(
+            "Customer",
+            vec![Value::Int(i64::from(uid)), Value::str(format!("city-{city:03}"))],
+        )?;
+        let orders = rng
+            .gen_range(0..=(2 * config.avg_orders_per_customer).max(1))
+            .min(MAX_ORDERS_PER_USER as u32);
+        for _ in 0..orders {
+            oid += 1;
+            let product = product_ids[rng.gen_range(0..product_ids.len())];
+            let day = rng.gen_range(0..365);
+            db.insert(
+                "Orders",
+                vec![
+                    Value::Int(oid),
+                    Value::Int(i64::from(uid)),
+                    Value::Int(product),
+                    Value::Int(day),
+                ],
+            )?;
+        }
+    }
+    Ok(db)
+}
+
+/// "Prices of the products a given customer ordered" with the customer as a parameter:
+/// covered as soon as `uid` is instantiated (one-parameter specialization).
+pub fn orders_of_customer(catalog: &Catalog) -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::builder("OrdersOf")
+        .head(["price"])
+        .atom("Orders", ["oid", "uid", "pid", "day"])
+        .atom("Product", ["pid", "category", "brand", "price"])
+        .params(["uid", "day"])
+        .build(catalog)
+}
+
+/// "Products of a category with their price" with the category as a parameter.
+pub fn products_in_category(catalog: &Catalog) -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::builder("InCategory")
+        .head(["pid", "price"])
+        .atom("Product", ["pid", "category", "brand", "price"])
+        .params(["category", "brand"])
+        .build(catalog)
+}
+
+/// "Cities of customers who ordered a product of a given brand": *not* boundedly
+/// specializable under the access schema — there is no index keyed on `brand`, and no
+/// choice of parameters repairs that. Used as the negative control of the QSP experiment.
+pub fn customers_by_brand(catalog: &Catalog) -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::builder("ByBrand")
+        .head(["city"])
+        .atom("Product", ["pid", "category", "brand", "price"])
+        .atom("Orders", ["oid", "uid", "pid", "day"])
+        .atom("Customer", ["uid", "city"])
+        .params(["brand", "price"])
+        .build(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_core::cover;
+    use bea_core::specialize::{specialize_cq, SpecializeConfig};
+    use bea_storage::IndexedDatabase;
+
+    fn small_config() -> EcommerceConfig {
+        EcommerceConfig {
+            num_customers: 50,
+            num_categories: 5,
+            products_per_category: 10,
+            avg_orders_per_customer: 5,
+            num_cities: 4,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn generated_data_satisfies_schema() {
+        let db = generate(&small_config()).unwrap();
+        let schema = access_schema(db.catalog());
+        assert!(db.size() > 100);
+        let idb = IndexedDatabase::build(db, schema).unwrap();
+        assert!(idb.satisfies_schema());
+    }
+
+    #[test]
+    fn orders_of_customer_specializes_with_one_parameter() {
+        let c = catalog();
+        let schema = access_schema(&c);
+        let q = orders_of_customer(&c).unwrap();
+        assert!(!cover::is_covered(&q, &schema));
+        let spec = specialize_cq(&q, &schema, 2, &SpecializeConfig::default())
+            .unwrap()
+            .expect("uid instantiation suffices");
+        assert_eq!(spec.parameter_names, vec!["uid".to_owned()]);
+    }
+
+    #[test]
+    fn products_in_category_specializes() {
+        let c = catalog();
+        let schema = access_schema(&c);
+        let q = products_in_category(&c).unwrap();
+        let spec = specialize_cq(&q, &schema, 1, &SpecializeConfig::default())
+            .unwrap()
+            .expect("category instantiation suffices");
+        assert_eq!(spec.parameter_names, vec!["category".to_owned()]);
+    }
+
+    #[test]
+    fn customers_by_brand_cannot_be_specialized() {
+        let c = catalog();
+        let schema = access_schema(&c);
+        let q = customers_by_brand(&c).unwrap();
+        assert!(specialize_cq(&q, &schema, 2, &SpecializeConfig::default())
+            .unwrap()
+            .is_none());
+    }
+}

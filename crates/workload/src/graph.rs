@@ -1,0 +1,270 @@
+//! A social-graph workload for personalized ("Graph Search") pattern queries.
+//!
+//! The introduction of the paper reports that 60% of graph pattern queries on real-life
+//! Web graphs are boundedly evaluable under simple access constraints, and that bounded
+//! evaluation beats conventional subgraph-isomorphism evaluation by orders of magnitude —
+//! the canonical example being *"find me all my friends in NYC who like cycling"*, which
+//! only needs data around the designated person.
+//!
+//! We encode graphs relationally (`Person`, `Friend`, `Likes`) and pattern queries as
+//! conjunctive queries, so the same bounded-evaluation machinery applies. The access
+//! constraints are degree bounds: a person has at most `max_degree` friends, at most
+//! `max_likes` liked tags, and exactly one home city.
+
+use bea_core::access::{AccessConstraint, AccessSchema};
+use bea_core::error::Result;
+use bea_core::query::cq::ConjunctiveQuery;
+use bea_core::query::term::Arg;
+use bea_core::schema::Catalog;
+use bea_core::value::Value;
+use bea_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The relational encoding of the social graph.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.declare("Person", ["pid", "city"]).expect("static schema");
+    c.declare("Friend", ["pid", "fid"]).expect("static schema");
+    c.declare("Likes", ["pid", "tag"]).expect("static schema");
+    c
+}
+
+/// Configuration of the social-graph generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphConfig {
+    /// Number of persons (nodes).
+    pub num_persons: u32,
+    /// Maximum out-degree of the friendship relation (the degree bound of the access
+    /// schema).
+    pub max_degree: u32,
+    /// Average out-degree (≤ `max_degree`).
+    pub avg_degree: u32,
+    /// Number of distinct cities.
+    pub num_cities: u32,
+    /// Number of distinct interest tags.
+    pub num_tags: u32,
+    /// Maximum number of tags per person.
+    pub max_likes: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            num_persons: 1_000,
+            max_degree: 50,
+            avg_degree: 10,
+            num_cities: 20,
+            num_tags: 50,
+            max_likes: 8,
+            seed: 0x50C1A1,
+        }
+    }
+}
+
+/// The access schema: degree bounds plus key constraints.
+pub fn access_schema(catalog: &Catalog, config: &GraphConfig) -> AccessSchema {
+    AccessSchema::from_constraints([
+        AccessConstraint::new(catalog, "Person", &["pid"], &["city"], 1).expect("static"),
+        AccessConstraint::new(
+            catalog,
+            "Friend",
+            &["pid"],
+            &["fid"],
+            u64::from(config.max_degree),
+        )
+        .expect("static"),
+        AccessConstraint::new(
+            catalog,
+            "Likes",
+            &["pid"],
+            &["tag"],
+            u64::from(config.max_likes),
+        )
+        .expect("static"),
+    ])
+}
+
+/// The textual form of city number `i`; city 0 is `"NYC"` to match the motivating query.
+pub fn city_value(i: u32) -> Value {
+    if i == 0 {
+        Value::str("NYC")
+    } else {
+        Value::str(format!("city-{i:03}"))
+    }
+}
+
+/// The textual form of tag number `i`; tag 0 is `"cycling"`.
+pub fn tag_value(i: u32) -> Value {
+    if i == 0 {
+        Value::str("cycling")
+    } else {
+        Value::str(format!("tag-{i:03}"))
+    }
+}
+
+/// Generate a social graph satisfying the degree-bound access schema.
+///
+/// Friendships follow a skewed (preferential-attachment-like) target distribution so the
+/// graph has hubs, but the *out*-degree — what the access constraint bounds — is capped
+/// at `max_degree`.
+pub fn generate(config: &GraphConfig) -> Result<Database> {
+    let catalog = catalog();
+    let mut db = Database::new(catalog);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    for pid in 0..config.num_persons {
+        let city = rng.gen_range(0..config.num_cities.max(1));
+        db.insert("Person", vec![Value::Int(i64::from(pid)), city_value(city)])?;
+
+        // Interests: between 0 and max_likes distinct tags, skewed towards low tag ids.
+        let num_likes = rng.gen_range(0..=config.max_likes);
+        let mut tags: Vec<u32> = Vec::new();
+        for _ in 0..num_likes {
+            let r: f64 = rng.gen::<f64>();
+            let tag = ((r * r) * f64::from(config.num_tags.max(1))) as u32;
+            if !tags.contains(&tag) {
+                tags.push(tag);
+            }
+        }
+        for tag in tags {
+            db.insert("Likes", vec![Value::Int(i64::from(pid)), tag_value(tag)])?;
+        }
+
+        // Friendships: out-degree uniform in [0, 2·avg], capped at max_degree; targets
+        // skewed towards low person ids (hubs).
+        let degree = rng
+            .gen_range(0..=(2 * config.avg_degree).max(1))
+            .min(config.max_degree);
+        let mut friends: Vec<u32> = Vec::new();
+        for _ in 0..degree {
+            let r: f64 = rng.gen::<f64>();
+            let fid = ((r * r) * f64::from(config.num_persons)) as u32;
+            if fid != pid && !friends.contains(&fid) {
+                friends.push(fid);
+            }
+        }
+        for fid in friends {
+            db.insert(
+                "Friend",
+                vec![Value::Int(i64::from(pid)), Value::Int(i64::from(fid))],
+            )?;
+        }
+    }
+    Ok(db)
+}
+
+/// The personalized pattern query of the introduction: *"find all friends of `me` living
+/// in `city` who like `tag`"* — boundedly evaluable once `me` is fixed.
+pub fn personalized_query(
+    catalog: &Catalog,
+    me: i64,
+    city: &Value,
+    tag: &Value,
+) -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::builder("Friends")
+        .head(["f"])
+        .atom("Friend", [Arg::val(Value::Int(me)), Arg::var("f")])
+        .atom("Person", [Arg::var("f"), Arg::Const(city.clone())])
+        .atom("Likes", [Arg::var("f"), Arg::Const(tag.clone())])
+        .build(catalog)
+}
+
+/// The same pattern with `me` as a *parameter* (the "$me" of Graph Search): not boundedly
+/// evaluable on its own, boundedly specializable by instantiating `me`.
+pub fn parameterized_pattern(catalog: &Catalog, city: &Value, tag: &Value) -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::builder("FriendsOf")
+        .head(["f"])
+        .atom("Friend", [Arg::var("me"), Arg::var("f")])
+        .atom("Person", [Arg::var("f"), Arg::Const(city.clone())])
+        .atom("Likes", [Arg::var("f"), Arg::Const(tag.clone())])
+        .params(["me"])
+        .build(catalog)
+}
+
+/// A *global* pattern query with no personal anchor: every pair of friends who both like
+/// `tag`. Not boundedly evaluable under the degree-bound schema (its output grows with
+/// the graph), used as the negative control in the experiments.
+pub fn global_pattern(catalog: &Catalog, tag: &Value) -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::builder("Pairs")
+        .head(["p", "f"])
+        .atom("Friend", ["p", "f"])
+        .atom("Likes", [Arg::var("p"), Arg::Const(tag.clone())])
+        .atom("Likes", [Arg::var("f"), Arg::Const(tag.clone())])
+        .build(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_core::cover;
+    use bea_core::specialize::{specialize_cq, SpecializeConfig};
+    use bea_storage::IndexedDatabase;
+
+    fn small_config() -> GraphConfig {
+        GraphConfig {
+            num_persons: 200,
+            max_degree: 20,
+            avg_degree: 5,
+            num_cities: 5,
+            num_tags: 10,
+            max_likes: 4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generated_graph_satisfies_schema() {
+        let config = small_config();
+        let db = generate(&config).unwrap();
+        let schema = access_schema(db.catalog(), &config);
+        assert!(db.size() > 200);
+        let idb = IndexedDatabase::build(db, schema).unwrap();
+        assert!(idb.satisfies_schema());
+    }
+
+    #[test]
+    fn personalized_query_is_covered_global_is_not() {
+        let c = catalog();
+        let config = small_config();
+        let schema = access_schema(&c, &config);
+        let personalized =
+            personalized_query(&c, 3, &city_value(0), &tag_value(0)).unwrap();
+        assert!(cover::is_covered(&personalized, &schema));
+
+        let global = global_pattern(&c, &tag_value(0)).unwrap();
+        assert!(!cover::is_covered(&global, &schema));
+        assert!(!cover::is_bounded(&global, &schema));
+    }
+
+    #[test]
+    fn parameterized_pattern_specializes_with_me() {
+        let c = catalog();
+        let config = small_config();
+        let schema = access_schema(&c, &config);
+        let q = parameterized_pattern(&c, &city_value(0), &tag_value(0)).unwrap();
+        assert!(!cover::is_covered(&q, &schema));
+        let spec = specialize_cq(&q, &schema, 1, &SpecializeConfig::default())
+            .unwrap()
+            .expect("instantiating `me` makes the pattern bounded");
+        assert_eq!(spec.parameter_names, vec!["me".to_owned()]);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let config = small_config();
+        let a = generate(&config).unwrap();
+        let b = generate(&config).unwrap();
+        assert_eq!(a.size(), b.size());
+    }
+
+    #[test]
+    fn value_helpers() {
+        assert_eq!(city_value(0), Value::str("NYC"));
+        assert_eq!(tag_value(0), Value::str("cycling"));
+        assert_eq!(city_value(2), Value::str("city-002"));
+        assert_eq!(tag_value(3), Value::str("tag-003"));
+    }
+}

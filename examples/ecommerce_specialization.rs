@@ -1,0 +1,61 @@
+//! Bounded query specialization in an e-commerce setting (Section 5).
+//!
+//! Parameterized queries ship with the application; the provider wants to know *which*
+//! parameters must be instantiated before a query becomes boundedly evaluable, and
+//! whether some queries can never be saved. This example runs the QSP analysis on three
+//! such queries, then executes a specialization of one of them.
+//!
+//! Run with `cargo run --example ecommerce_specialization`.
+
+use bea::core::envelope::{upper_envelope_cq, EnvelopeConfig};
+use bea::core::plan::bounded_plan;
+use bea::core::specialize::{instantiate, specialize_cq, SpecializeConfig};
+use bea::engine::{eval_cq, execute_plan};
+use bea::storage::IndexedDatabase;
+use bea::workload::ecommerce;
+use bea_core::value::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = ecommerce::catalog();
+    let schema = ecommerce::access_schema(&catalog);
+    let db = ecommerce::generate(&ecommerce::EcommerceConfig::default())?;
+    println!("e-commerce database: {}", db.summary());
+    println!("access schema:\n{}\n", schema.display_with(&catalog));
+
+    let queries = [
+        ecommerce::orders_of_customer(&catalog)?,
+        ecommerce::products_in_category(&catalog)?,
+        ecommerce::customers_by_brand(&catalog)?,
+    ];
+    for query in &queries {
+        print!("{query}\n  -> ");
+        match specialize_cq(query, &schema, 2, &SpecializeConfig::default())? {
+            Some(spec) => println!(
+                "boundedly specializable by instantiating {:?} (minimum tuple)",
+                spec.parameter_names
+            ),
+            None => {
+                println!("NOT boundedly specializable under this access schema");
+                // Fall back to an upper envelope if one exists.
+                match upper_envelope_cq(query, &schema, &EnvelopeConfig::default())? {
+                    Some(env) => println!("     but it has an upper envelope: {}", env.query),
+                    None => println!("     and it has no covered upper envelope either"),
+                }
+            }
+        }
+    }
+
+    // Execute a concrete specialization of the first query: the orders of customer 42.
+    let orders = &queries[0];
+    let concrete = instantiate(orders, &[("uid", Value::Int(42))])?;
+    let plan = bounded_plan(&concrete, &schema)?;
+    let indexed = IndexedDatabase::build(db, schema.clone())?;
+    let (answer, stats) = execute_plan(&plan, &indexed)?;
+    let (naive_answer, naive_stats) = eval_cq(&concrete, indexed.database())?;
+    assert!(answer.same_rows(&naive_answer));
+    println!(
+        "\nprices ordered by customer 42: {} distinct prices\n  bounded evaluation: {stats}\n  naive evaluation:   {naive_stats}",
+        answer.len()
+    );
+    Ok(())
+}

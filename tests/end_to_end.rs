@@ -1,0 +1,210 @@
+//! Workload-driven integration tests: generate data and query workloads with
+//! `bea-workload`, run the full pipeline (analysis → plan → bounded execution) and check
+//! the results against the naive baseline.
+
+use bea::core::bounded::{analyze_cq, bounded_plan_via_analysis, BoundedConfig};
+use bea::core::cover;
+use bea::core::plan::bounded_plan_for_report;
+use bea::engine::{eval_cq, execute_plan};
+use bea::storage::{discover_constraints, DiscoveryOptions, IndexedDatabase};
+use bea::workload::{accidents, ecommerce, graph, querygen};
+use bea_core::access::AccessSchema;
+
+/// Every covered query of a random accidents workload evaluates identically under the
+/// bounded plan and the naive baseline, while fetching no more than the plan's a-priori
+/// bound.
+#[test]
+fn accidents_workload_bounded_equals_naive() {
+    let catalog = accidents::catalog();
+    let schema = accidents::access_schema(&catalog);
+    let db = accidents::generate(&accidents::AccidentsConfig {
+        num_days: 6,
+        avg_accidents_per_day: 40,
+        avg_casualties_per_accident: 2,
+        num_districts: 8,
+        seed: 21,
+    })
+    .unwrap();
+    let workload = querygen::random_workload_from_db(
+        &catalog,
+        Some(&schema),
+        &db,
+        60,
+        &querygen::QueryGenConfig {
+            seed: 77,
+            ..querygen::QueryGenConfig::default()
+        },
+    )
+    .unwrap();
+
+    let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+    assert!(indexed.satisfies_schema());
+
+    let mut covered_count = 0;
+    let mut nonempty = 0;
+    for query in &workload {
+        let report = cover::coverage(query, &schema);
+        if !report.is_covered() {
+            continue;
+        }
+        covered_count += 1;
+        let plan = bounded_plan_for_report(query, &schema, &report).unwrap();
+        assert!(plan.is_bounded_under(&schema));
+        let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+        let (naive, _) = eval_cq(query, indexed.database()).unwrap();
+        assert!(
+            bounded.same_rows(&naive),
+            "bounded and naive answers differ for {query}"
+        );
+        let cost = plan.cost(&schema, indexed.size());
+        assert!(
+            stats.tuples_fetched <= cost.max_fetched_tuples,
+            "executed fetches exceed the static bound for {query}"
+        );
+        if !bounded.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(covered_count >= 20, "too few covered queries: {covered_count}");
+    assert!(nonempty >= 5, "too few queries with non-empty answers: {nonempty}");
+}
+
+/// The same pipeline on the social-graph workload, via the full analysis entry point
+/// (which may rewrite queries before planning).
+#[test]
+fn graph_workload_via_analysis() {
+    let catalog = graph::catalog();
+    let config = graph::GraphConfig {
+        num_persons: 400,
+        max_degree: 15,
+        avg_degree: 6,
+        num_cities: 4,
+        num_tags: 8,
+        max_likes: 4,
+        seed: 5,
+    };
+    let schema = graph::access_schema(&catalog, &config);
+    let db = graph::generate(&config).unwrap();
+    let workload = querygen::random_workload_from_db(
+        &catalog,
+        Some(&schema),
+        &db,
+        40,
+        &querygen::QueryGenConfig {
+            seed: 13,
+            ..querygen::QueryGenConfig::default()
+        },
+    )
+    .unwrap();
+    let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+    assert!(indexed.satisfies_schema());
+
+    let analysis_config = BoundedConfig::default();
+    let mut planned = 0;
+    for query in &workload {
+        let Some(plan) =
+            bounded_plan_via_analysis(query, &schema, &analysis_config).unwrap()
+        else {
+            continue;
+        };
+        planned += 1;
+        let (bounded, _) = execute_plan(&plan, &indexed).unwrap();
+        let (naive, _) = eval_cq(query, indexed.database()).unwrap();
+        assert!(bounded.same_rows(&naive), "mismatch for {query}");
+    }
+    assert!(planned >= 10, "too few planned queries: {planned}");
+}
+
+/// Constraint discovery on generated data yields constraints the data satisfies, and
+/// richer discovered schemas cover at least as many workload queries as ψ1–ψ4 alone.
+#[test]
+fn discovered_constraints_extend_coverage() {
+    let catalog = accidents::catalog();
+    let handcrafted = accidents::access_schema(&catalog);
+    let db = accidents::generate(&accidents::AccidentsConfig {
+        num_days: 4,
+        avg_accidents_per_day: 30,
+        avg_casualties_per_accident: 2,
+        num_districts: 5,
+        seed: 8,
+    })
+    .unwrap();
+
+    let discovered = discover_constraints(
+        &db,
+        &DiscoveryOptions {
+            max_key_size: 1,
+            max_cardinality: 2_000,
+            include_empty_keys: false,
+        },
+    )
+    .unwrap();
+    assert!(discovered.len() >= 8);
+    let discovered_schema = AccessSchema::from_constraints(discovered);
+    let indexed = IndexedDatabase::build(db, discovered_schema.clone()).unwrap();
+    assert!(
+        indexed.satisfies_schema(),
+        "mined constraints must hold on the data they were mined from"
+    );
+
+    let workload = querygen::random_workload(
+        &catalog,
+        Some(&handcrafted),
+        80,
+        &querygen::QueryGenConfig {
+            seed: 3,
+            ..querygen::QueryGenConfig::default()
+        },
+    )
+    .unwrap();
+    let covered = |schema: &AccessSchema| {
+        workload
+            .iter()
+            .filter(|q| cover::is_covered(q, schema))
+            .count()
+    };
+    // The discovered schema contains key/cardinality constraints for every attribute
+    // pair, so it covers at least as much of the workload as the four hand-written ones.
+    assert!(covered(&discovered_schema) >= covered(&handcrafted));
+}
+
+/// The e-commerce parameterized workload: every query that the QSP analysis accepts
+/// executes boundedly for several concrete valuations drawn from the data.
+#[test]
+fn ecommerce_specializations_execute() {
+    use bea::core::specialize::{instantiate, specialize_cq, SpecializeConfig};
+    use bea_core::value::Value;
+
+    let catalog = ecommerce::catalog();
+    let schema = ecommerce::access_schema(&catalog);
+    let db = ecommerce::generate(&ecommerce::EcommerceConfig {
+        num_customers: 80,
+        num_categories: 6,
+        products_per_category: 12,
+        avg_orders_per_customer: 6,
+        num_cities: 4,
+        seed: 44,
+    })
+    .unwrap();
+    let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+    assert!(indexed.satisfies_schema());
+
+    let query = ecommerce::orders_of_customer(&catalog).unwrap();
+    let spec = specialize_cq(&query, &schema, 1, &SpecializeConfig::default())
+        .unwrap()
+        .unwrap();
+    assert_eq!(spec.parameter_names, vec!["uid".to_owned()]);
+
+    for uid in [0i64, 7, 41, 79] {
+        let concrete = instantiate(&query, &[("uid", Value::Int(uid))]).unwrap();
+        let verdict = analyze_cq(&concrete, &schema, &BoundedConfig::default()).unwrap();
+        assert!(verdict.is_bounded());
+        let plan = bounded_plan_via_analysis(&concrete, &schema, &BoundedConfig::default())
+            .unwrap()
+            .unwrap();
+        let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+        let (naive, naive_stats) = eval_cq(&concrete, indexed.database()).unwrap();
+        assert!(bounded.same_rows(&naive));
+        assert!(stats.tuples_fetched < naive_stats.tuples_scanned);
+    }
+}

@@ -1,0 +1,294 @@
+//! Property-based tests over randomly generated workloads and databases.
+//!
+//! The generators from `bea-workload` are driven by proptest-chosen seeds and shape
+//! parameters, so each property explores a different random workload every run while
+//! remaining reproducible from the failure seed.
+
+use bea::core::bounded::{analyze_cq, BoundedConfig, BoundedVerdict};
+use bea::core::cover;
+use bea::core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
+use bea::core::plan::{bounded_plan_for_report, bounded_plan};
+use bea::core::reason::{instance::eval_cq as eval_cq_small, instance::SmallInstance};
+use bea::core::specialize::{generic_template, instantiate, specialize_cq, SpecializeConfig};
+use bea::engine::{eval_cq, execute_plan};
+use bea::storage::{discover_constraints, DiscoveryOptions, IndexedDatabase};
+use bea::workload::{accidents, graph, querygen};
+use bea_core::access::AccessSchema;
+use bea_core::value::Value;
+use proptest::prelude::*;
+
+/// A small accidents database plus its access schema, parameterized by seed and size.
+fn accidents_fixture(seed: u64, days: u32) -> (bea::storage::Database, AccessSchema) {
+    let catalog = accidents::catalog();
+    let schema = accidents::access_schema(&catalog);
+    let db = accidents::generate(&accidents::AccidentsConfig {
+        num_days: days,
+        avg_accidents_per_day: 15,
+        avg_casualties_per_accident: 2,
+        num_districts: 5,
+        seed,
+    })
+    .expect("generation succeeds");
+    (db, schema)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Soundness of plan synthesis (Theorem 3.11, constructive direction): for every
+    /// covered query of a random workload, the bounded plan computes exactly the naive
+    /// answer, and never fetches more than the statically derived bound.
+    #[test]
+    fn covered_plans_agree_with_naive_evaluation(seed in 0u64..1_000, qseed in 0u64..1_000) {
+        let (db, schema) = accidents_fixture(seed, 3);
+        let catalog = accidents::catalog();
+        let workload = querygen::random_workload_from_db(
+            &catalog,
+            Some(&schema),
+            &db,
+            12,
+            &querygen::QueryGenConfig { seed: qseed, ..querygen::QueryGenConfig::default() },
+        ).unwrap();
+        let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+        prop_assert!(indexed.satisfies_schema());
+
+        for query in &workload {
+            let report = cover::coverage(query, &schema);
+            if !report.is_covered() {
+                continue;
+            }
+            let plan = bounded_plan_for_report(query, &schema, &report).unwrap();
+            prop_assert!(plan.is_bounded_under(&schema));
+            let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+            let (naive, _) = eval_cq(query, indexed.database()).unwrap();
+            prop_assert!(bounded.same_rows(&naive), "mismatch for {query}");
+            let cost = plan.cost(&schema, indexed.size());
+            prop_assert!(stats.tuples_fetched <= cost.max_fetched_tuples);
+            prop_assert!(bounded.len() as u64 <= report.output_bound(&schema, indexed.size()).unwrap());
+        }
+    }
+
+    /// cov(Q, A) is deterministic and monotone in the access schema (Lemma 3.9).
+    #[test]
+    fn coverage_is_deterministic_and_monotone(qseed in 0u64..2_000, split in 1usize..4) {
+        let catalog = accidents::catalog();
+        let schema = accidents::access_schema(&catalog);
+        let workload = querygen::random_workload(
+            &catalog,
+            Some(&schema),
+            8,
+            &querygen::QueryGenConfig { seed: qseed, ..querygen::QueryGenConfig::default() },
+        ).unwrap();
+        let partial = AccessSchema::from_constraints(schema.constraints()[..split].to_vec());
+        for query in &workload {
+            let (cov1, _) = cover::covered_variables(query, &schema);
+            let (cov2, _) = cover::covered_variables(query, &schema);
+            prop_assert_eq!(&cov1, &cov2);
+            let (cov_partial, _) = cover::covered_variables(query, &partial);
+            prop_assert!(cov_partial.is_subset(&cov1));
+            // Covered queries remain covered when constraints are added.
+            if cover::is_covered(query, &partial) {
+                prop_assert!(cover::is_covered(query, &schema));
+            }
+        }
+    }
+
+    /// The bounded-evaluability analysis is sound: whenever it claims an A-equivalent
+    /// covered rewriting, the rewriting gives the same answers as the original query on
+    /// instances satisfying the schema.
+    #[test]
+    fn analysis_rewrites_are_equivalent_on_data(seed in 0u64..500, qseed in 0u64..500) {
+        let (db, schema) = accidents_fixture(seed, 2);
+        let catalog = accidents::catalog();
+        let workload = querygen::random_workload_from_db(
+            &catalog,
+            Some(&schema),
+            &db,
+            8,
+            &querygen::QueryGenConfig {
+                seed: qseed,
+                join_probability: 0.5,
+                ..querygen::QueryGenConfig::default()
+            },
+        ).unwrap();
+        for query in &workload {
+            match analyze_cq(query, &schema, &BoundedConfig::default()).unwrap() {
+                BoundedVerdict::EquivalentCovered { rewritten, .. } => {
+                    let (a, _) = eval_cq(query, &db).unwrap();
+                    let (b, _) = eval_cq(&rewritten, &db).unwrap();
+                    prop_assert!(a.same_rows(&b), "rewriting changed answers for {query}");
+                }
+                BoundedVerdict::Unsatisfiable => {
+                    let (a, _) = eval_cq(query, &db).unwrap();
+                    prop_assert!(a.is_empty(), "A-unsatisfiable query answered on D ⊨ A: {query}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Envelopes sandwich the exact answer on instances satisfying the schema, within
+    /// their derived bounds (Section 4).
+    #[test]
+    fn envelopes_sandwich_exact_answers(seed in 0u64..500, qseed in 0u64..500) {
+        let (db, schema) = accidents_fixture(seed, 2);
+        let catalog = accidents::catalog();
+        let workload = querygen::random_workload_from_db(
+            &catalog,
+            Some(&schema),
+            &db,
+            6,
+            &querygen::QueryGenConfig {
+                seed: qseed,
+                join_probability: 0.4,
+                ..querygen::QueryGenConfig::default()
+            },
+        ).unwrap();
+        let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+        let config = EnvelopeConfig::default();
+
+        for query in &workload {
+            if cover::is_covered(query, &schema) {
+                continue;
+            }
+            let (exact, _) = eval_cq(query, indexed.database()).unwrap();
+            if let Some(upper) = upper_envelope_cq(query, &schema, &config).unwrap() {
+                let plan = bounded_plan(&upper.query, &schema).unwrap();
+                let (answer, _) = execute_plan(&plan, &indexed).unwrap();
+                prop_assert!(exact.row_set().is_subset(&answer.row_set()));
+                let bound = upper.approximation_bound(&schema, indexed.size()).unwrap();
+                prop_assert!((answer.len() - exact.len()) as u64 <= bound);
+            }
+            if let Some(lower) = lower_envelope_cq(query, &schema, &catalog, 1, &config).unwrap() {
+                let plan = bounded_plan(&lower.query, &schema).unwrap();
+                let (answer, _) = execute_plan(&plan, &indexed).unwrap();
+                prop_assert!(answer.row_set().is_subset(&exact.row_set()));
+            }
+        }
+    }
+
+    /// Bounded specialization is generic: when the QSP analysis picks a parameter tuple,
+    /// *every* valuation of those parameters yields a covered query (Section 5).
+    #[test]
+    fn specialization_is_generic_over_valuations(day in 0u32..500, district in 0u32..500) {
+        let catalog = accidents::catalog();
+        let schema = accidents::access_schema(&catalog);
+        let query = accidents::parameterized_query(&catalog).unwrap();
+        let spec = specialize_cq(&query, &schema, 2, &SpecializeConfig::default())
+            .unwrap()
+            .expect("Example 5.1 specializes");
+        // The template itself is covered…
+        prop_assert!(spec.report.is_covered());
+        // …and so is every concrete instantiation, whatever the values are.
+        let bindings: Vec<(&str, Value)> = spec
+            .parameter_names
+            .iter()
+            .map(|name| {
+                let value = if name == "date" {
+                    accidents::date_value(day)
+                } else {
+                    accidents::district_value(district)
+                };
+                (name.as_str(), value)
+            })
+            .collect();
+        let concrete = instantiate(&query, &bindings).unwrap();
+        prop_assert!(cover::is_covered(&concrete, &schema));
+        // Unchosen parameters stay parameters; the generic template marks the chosen ones
+        // as constants.
+        let template = generic_template(&query, &spec.parameters).unwrap();
+        for &p in &spec.parameters {
+            prop_assert!(template.constant_vars().contains(&p));
+        }
+    }
+
+    /// Constraint discovery is sound: constraints mined from an instance are satisfied by
+    /// that instance, at every discovery setting.
+    #[test]
+    fn discovered_constraints_hold(seed in 0u64..1_000, max_key in 1usize..3) {
+        let (db, _) = accidents_fixture(seed, 2);
+        let discovered = discover_constraints(
+            &db,
+            &DiscoveryOptions {
+                max_key_size: max_key,
+                max_cardinality: 100_000,
+                include_empty_keys: true,
+            },
+        )
+        .unwrap();
+        prop_assert!(!discovered.is_empty());
+        let schema = AccessSchema::from_constraints(discovered);
+        let indexed = IndexedDatabase::build(db, schema).unwrap();
+        prop_assert!(indexed.satisfies_schema());
+    }
+
+    /// The graph workload's personalized pattern is always answerable boundedly once the
+    /// person is fixed, and the bounded answer matches the baseline for every person.
+    #[test]
+    fn personalized_graph_search_matches_naive(seed in 0u64..300, me in 0i64..200) {
+        let catalog = graph::catalog();
+        let config = graph::GraphConfig {
+            num_persons: 200,
+            max_degree: 12,
+            avg_degree: 5,
+            num_cities: 3,
+            num_tags: 6,
+            max_likes: 3,
+            seed,
+        };
+        let schema = graph::access_schema(&catalog, &config);
+        let db = graph::generate(&config).unwrap();
+        let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+        prop_assert!(indexed.satisfies_schema());
+
+        let query = graph::personalized_query(&catalog, me, &graph::city_value(0), &graph::tag_value(0)).unwrap();
+        prop_assert!(cover::is_covered(&query, &schema));
+        let plan = bounded_plan(&query, &schema).unwrap();
+        let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+        let (naive, _) = eval_cq(&query, indexed.database()).unwrap();
+        prop_assert!(bounded.same_rows(&naive));
+        // Personalized search touches at most (1 + 2·max_degree) + a few person/likes
+        // lookups — far less than the database size for any graph.
+        prop_assert!(stats.tuples_fetched <= 1 + 3 * u64::from(config.max_degree) + 10);
+    }
+
+    /// The tiny evaluator used inside the reasoning procedures agrees with the engine's
+    /// baseline evaluator on small instances.
+    #[test]
+    fn small_instance_evaluator_agrees_with_engine(seed in 0u64..1_000, qseed in 0u64..1_000) {
+        let catalog = accidents::catalog();
+        let schema = accidents::access_schema(&catalog);
+        let (db, _) = accidents_fixture(seed, 1);
+        let workload = querygen::random_workload_from_db(
+            &catalog,
+            Some(&schema),
+            &db,
+            5,
+            &querygen::QueryGenConfig { seed: qseed, max_atoms: 2, ..querygen::QueryGenConfig::default() },
+        ).unwrap();
+
+        // Copy a small sample of the database into a SmallInstance.
+        let mut small = SmallInstance::new();
+        let mut copied = 0;
+        for relation in db.relations() {
+            for row in relation.rows().iter().take(40) {
+                small.insert(relation.name(), row.clone());
+                copied += 1;
+            }
+        }
+        prop_assert!(copied > 0);
+        let mut small_db = bea::storage::Database::new(catalog.clone());
+        for relation in db.relations() {
+            small_db.extend(relation.name(), relation.rows().iter().take(40).cloned()).unwrap();
+        }
+
+        for query in &workload {
+            let from_reasoner = eval_cq_small(query, &small);
+            let (from_engine, _) = eval_cq(query, &small_db).unwrap();
+            prop_assert_eq!(from_reasoner, from_engine.row_set(), "evaluators disagree on {}", query);
+        }
+    }
+}
