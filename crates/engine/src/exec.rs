@@ -12,8 +12,35 @@ use bea_core::value::Row;
 use bea_storage::IndexedDatabase;
 use std::collections::BTreeSet;
 
+/// Options controlling plan execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Run the deferred-product peephole: `σ[key equalities](source × fetch)` patterns
+    /// execute as hash joins instead of materializing the cross product. On by default;
+    /// the switch exists so tests and ablations can compare against the literal plan
+    /// semantics.
+    pub defer_products: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            defer_products: true,
+        }
+    }
+}
+
 /// Execute a plan, returning the output table and the access statistics.
 pub fn execute_plan(plan: &QueryPlan, database: &IndexedDatabase) -> Result<(Table, AccessStats)> {
+    execute_plan_with_options(plan, database, &ExecOptions::default())
+}
+
+/// Execute a plan under explicit [`ExecOptions`].
+pub fn execute_plan_with_options(
+    plan: &QueryPlan,
+    database: &IndexedDatabase,
+    options: &ExecOptions,
+) -> Result<(Table, AccessStats)> {
     plan.validate()?;
     let mut stats = AccessStats::default();
     let mut results: Vec<Table> = Vec::with_capacity(plan.len());
@@ -23,7 +50,11 @@ pub fn execute_plan(plan: &QueryPlan, database: &IndexedDatabase) -> Result<(Tab
     // wasteful (it is |source| · |fetch| rows even though each source row matches at most
     // N fetched rows), so products that are consumed *only* by such a selection are
     // deferred and the selection is executed as a hash join.
-    let deferred_products = find_deferred_products(plan);
+    let deferred_products = if options.defer_products {
+        find_deferred_products(plan)
+    } else {
+        BTreeSet::new()
+    };
 
     for (node, step) in plan.steps().iter().enumerate() {
         if deferred_products.contains(&node) {
@@ -105,6 +136,7 @@ pub fn execute_plan(plan: &QueryPlan, database: &IndexedDatabase) -> Result<(Tab
                         out.push(row);
                     }
                 }
+                stats.product_rows_materialized += (l.len() * r.len()) as u64;
                 out
             }
             PlanOp::Union { left, right } => {
@@ -394,6 +426,112 @@ mod tests {
         let f = b.fetch(k, vec![0], "R", vec![0], vec![1], 99, vec!["a".into(), "b".into()]);
         let plan = b.finish("Q", f).unwrap();
         assert!(execute_plan(&plan, &idb).is_err());
+    }
+
+    /// Hand-build the exact shape the peephole targets: `σ[k = a](keys × fetch)` where
+    /// the fetch reads `R(a → b)` keyed by the `keys` column.
+    fn keyed_join_plan() -> bea_core::plan::QueryPlan {
+        let mut b = bea_core::plan::PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let k2 = b.constant(Value::int(2), "k");
+        let keys = b.union(k1, k2);
+        let fetched = b.fetch(
+            keys,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(keys, fetched);
+        // Tie the fetch's key column (position 1 = left arity 1 + first X attr) back to
+        // the source key — the pattern the synthesis emits for every fetch.
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        b.finish("Q", sel).unwrap()
+    }
+
+    #[test]
+    fn deferred_product_peephole_is_transparent() {
+        let (_, _, idb) = setup();
+        let plan = keyed_join_plan();
+        let peephole_on = ExecOptions {
+            defer_products: true,
+        };
+        let peephole_off = ExecOptions {
+            defer_products: false,
+        };
+
+        let (fast, fast_stats) = execute_plan_with_options(&plan, &idb, &peephole_on).unwrap();
+        let (slow, slow_stats) = execute_plan_with_options(&plan, &idb, &peephole_off).unwrap();
+
+        // Identical output either way…
+        assert_eq!(fast.columns(), slow.columns());
+        assert_eq!(fast.row_set(), slow.row_set());
+        assert_eq!(
+            fast.row_set(),
+            [
+                vec![Value::int(1), Value::int(1), Value::int(10)],
+                vec![Value::int(1), Value::int(1), Value::int(11)],
+                vec![Value::int(2), Value::int(2), Value::int(10)],
+            ]
+            .into_iter()
+            .collect()
+        );
+        // …and identical data access: the peephole changes join strategy, not fetches.
+        assert_eq!(fast_stats.tuples_fetched, slow_stats.tuples_fetched);
+
+        // The peephole never materializes the cross product; the literal semantics
+        // materialize |keys| · |fetched| = 2 · 3 rows.
+        assert_eq!(fast_stats.product_rows_materialized, 0);
+        assert_eq!(slow_stats.product_rows_materialized, 6);
+    }
+
+    #[test]
+    fn deferred_product_peephole_is_transparent_on_synthesized_plans() {
+        // Same property on a plan produced by the synthesizer (not hand-built): the
+        // join query from `execute_join_query` exercises σ[key eq](source × fetch).
+        let (c, schema, idb) = setup();
+        let q = ConjunctiveQuery::builder("Q")
+            .head(["z"])
+            .atom("R", ["x", "y"])
+            .atom("R", ["z", "y"])
+            .eq("x", 1i64)
+            .build(&c)
+            .unwrap();
+        let plan = bounded_plan(&q, &schema).unwrap();
+
+        let (fast, fast_stats) = execute_plan_with_options(
+            &plan,
+            &idb,
+            &ExecOptions {
+                defer_products: true,
+            },
+        )
+        .unwrap();
+        let (slow, slow_stats) = execute_plan_with_options(
+            &plan,
+            &idb,
+            &ExecOptions {
+                defer_products: false,
+            },
+        )
+        .unwrap();
+
+        assert_eq!(fast.row_set(), slow.row_set());
+        assert_eq!(fast_stats.tuples_fetched, slow_stats.tuples_fetched);
+        // The synthesized plan contains at least one deferrable keyed-join product the
+        // peephole eliminates. (Constant-sized seed products — unit × const — are not
+        // part of the pattern and may still materialize a row each.)
+        assert!(slow_stats.product_rows_materialized > fast_stats.product_rows_materialized);
+        let seed_products = plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.op, PlanOp::Product { .. }))
+            .count() as u64;
+        // Whatever remains materialized under the peephole is at most one row per
+        // product node — never a data-dependent cross product.
+        assert!(fast_stats.product_rows_materialized <= seed_products);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod naive;
 pub mod stats;
 pub mod table;
 
-pub use exec::execute_plan;
+pub use exec::{execute_plan, execute_plan_with_options, ExecOptions};
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
 pub use stats::AccessStats;
 pub use table::Table;

@@ -20,6 +20,11 @@ pub struct AccessStats {
     /// Number of tuples scanned by full-relation scans (zero for bounded plans; the
     /// naive baseline reports its scans here).
     pub tuples_scanned: u64,
+    /// Number of rows materialized by cross-product nodes. Stays zero when the
+    /// deferred-product peephole turns `σ[key eq](source × fetch)` into a hash join;
+    /// executing the same plan with the peephole disabled reports `|source| · |fetch|`
+    /// here.
+    pub product_rows_materialized: u64,
 }
 
 impl AccessStats {
@@ -35,6 +40,7 @@ impl AddAssign for AccessStats {
         self.index_lookups += rhs.index_lookups;
         self.fetch_ops += rhs.fetch_ops;
         self.tuples_scanned += rhs.tuples_scanned;
+        self.product_rows_materialized += rhs.product_rows_materialized;
     }
 }
 
@@ -60,16 +66,19 @@ mod tests {
             index_lookups: 2,
             fetch_ops: 1,
             tuples_scanned: 0,
+            product_rows_materialized: 0,
         };
         a += AccessStats {
             tuples_fetched: 5,
             index_lookups: 1,
             fetch_ops: 1,
             tuples_scanned: 100,
+            product_rows_materialized: 4,
         };
         assert_eq!(a.tuples_fetched, 15);
         assert_eq!(a.index_lookups, 3);
         assert_eq!(a.fetch_ops, 2);
+        assert_eq!(a.product_rows_materialized, 4);
         assert_eq!(a.total_tuples_read(), 115);
         assert!(a.to_string().contains("fetched 15 tuples"));
     }

@@ -15,6 +15,8 @@
 //! * [`parser`] — a datalog-style text syntax for queries and access constraints.
 //! * [`workload`] — synthetic data and query generators used by the examples,
 //!   tests and benchmarks.
+//! * [`bench`] — the experiment harness behind the `exp_*` binaries and criterion
+//!   benches: scenario builders, chain-query families, report helpers.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 //! assert!(report.is_covered());
 //! ```
 
+pub use bea_bench as bench;
 pub use bea_core as core;
 pub use bea_engine as engine;
 pub use bea_parser as parser;

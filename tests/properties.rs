@@ -1,21 +1,57 @@
 //! Property-based tests over randomly generated workloads and databases.
 //!
-//! The generators from `bea-workload` are driven by proptest-chosen seeds and shape
-//! parameters, so each property explores a different random workload every run while
-//! remaining reproducible from the failure seed.
+//! Seeded and dependency-free: each property runs a fixed number of cases, and case `i`
+//! derives every shape parameter from an `StdRng` seeded by a per-property constant
+//! mixed with `i`. Every run therefore explores the same reproducible family of random
+//! workloads, and a failure report names the property and case (hence the exact seeds)
+//! that produced it.
 
 use bea::core::bounded::{analyze_cq, BoundedConfig, BoundedVerdict};
 use bea::core::cover;
 use bea::core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
-use bea::core::plan::{bounded_plan_for_report, bounded_plan};
+use bea::core::plan::{bounded_plan, bounded_plan_for_report};
 use bea::core::reason::{instance::eval_cq as eval_cq_small, instance::SmallInstance};
 use bea::core::specialize::{generic_template, instantiate, specialize_cq, SpecializeConfig};
 use bea::engine::{eval_cq, execute_plan};
 use bea::storage::{discover_constraints, DiscoveryOptions, IndexedDatabase};
-use bea::workload::{accidents, graph, querygen};
+use bea::workload::{accidents, ecommerce, graph, querygen};
 use bea_core::access::AccessSchema;
+use bea_core::query::cq::ConjunctiveQuery;
 use bea_core::value::Value;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of randomized cases per property (mirrors the proptest config this suite
+/// replaced).
+const CASES: u64 = 12;
+
+/// Run `body` for `CASES` deterministic cases, attributing any panic to its case.
+fn run_cases(property: &str, tag: u64, mut body: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let seed = tag ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!("property `{property}` failed at case {case} (rng seed {seed:#x})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Like [`run_cases`], but `body` reports how many interesting instances it exercised;
+/// the property must not be vacuous across the whole run (the seeds are fixed, so this
+/// is deterministic).
+fn run_cases_counting(property: &str, tag: u64, mut body: impl FnMut(&mut StdRng) -> usize) {
+    let mut exercised = 0;
+    run_cases(property, tag, |rng| {
+        exercised += body(rng);
+    });
+    assert!(
+        exercised > 0,
+        "property `{property}` never exercised a covered query — generator or coverage broke"
+    );
+}
 
 /// A small accidents database plus its access schema, parameterized by seed and size.
 fn accidents_fixture(seed: u64, days: u32) -> (bea::storage::Database, AccessSchema) {
@@ -32,17 +68,47 @@ fn accidents_fixture(seed: u64, days: u32) -> (bea::storage::Database, AccessSch
     (db, schema)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+/// The core bounded-vs-naive property shared by the three scenario families: for every
+/// covered query of a random workload over `db`, the bounded plan computes exactly the
+/// naive answer and never fetches more than the statically derived bound (Theorem 3.11,
+/// constructive direction).
+fn assert_bounded_plans_agree_with_naive(
+    schema: &AccessSchema,
+    db: bea::storage::Database,
+    workload: &[ConjunctiveQuery],
+) -> usize {
+    let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+    assert!(indexed.satisfies_schema());
 
-    /// Soundness of plan synthesis (Theorem 3.11, constructive direction): for every
-    /// covered query of a random workload, the bounded plan computes exactly the naive
-    /// answer, and never fetches more than the statically derived bound.
-    #[test]
-    fn covered_plans_agree_with_naive_evaluation(seed in 0u64..1_000, qseed in 0u64..1_000) {
+    let mut exercised = 0;
+    for query in workload {
+        let report = cover::coverage(query, schema);
+        if !report.is_covered() {
+            continue;
+        }
+        exercised += 1;
+        let plan = bounded_plan_for_report(query, schema, &report).unwrap();
+        assert!(plan.is_bounded_under(schema));
+        let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+        let (naive, _) = eval_cq(query, indexed.database()).unwrap();
+        assert!(bounded.same_rows(&naive), "mismatch for {query}");
+        let cost = plan.cost(schema, indexed.size());
+        assert!(
+            stats.tuples_fetched <= cost.max_fetched_tuples,
+            "plan for {query} fetched {} tuples, above its a-priori bound {}",
+            stats.tuples_fetched,
+            cost.max_fetched_tuples
+        );
+        assert!(bounded.len() as u64 <= report.output_bound(schema, indexed.size()).unwrap());
+    }
+    exercised
+}
+
+#[test]
+fn covered_plans_agree_with_naive_evaluation() {
+    run_cases_counting("covered_plans_agree_with_naive_evaluation", 0xACC1, |rng| {
+        let seed = rng.gen_range(0u64..1_000);
+        let qseed = rng.gen_range(0u64..1_000);
         let (db, schema) = accidents_fixture(seed, 3);
         let catalog = accidents::catalog();
         let workload = querygen::random_workload_from_db(
@@ -50,57 +116,128 @@ proptest! {
             Some(&schema),
             &db,
             12,
-            &querygen::QueryGenConfig { seed: qseed, ..querygen::QueryGenConfig::default() },
-        ).unwrap();
-        let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
-        prop_assert!(indexed.satisfies_schema());
+            &querygen::QueryGenConfig {
+                seed: qseed,
+                ..querygen::QueryGenConfig::default()
+            },
+        )
+        .unwrap();
+        assert_bounded_plans_agree_with_naive(&schema, db, &workload)
+    });
+}
 
-        for query in &workload {
-            let report = cover::coverage(query, &schema);
-            if !report.is_covered() {
-                continue;
-            }
-            let plan = bounded_plan_for_report(query, &schema, &report).unwrap();
-            prop_assert!(plan.is_bounded_under(&schema));
-            let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
-            let (naive, _) = eval_cq(query, indexed.database()).unwrap();
-            prop_assert!(bounded.same_rows(&naive), "mismatch for {query}");
-            let cost = plan.cost(&schema, indexed.size());
-            prop_assert!(stats.tuples_fetched <= cost.max_fetched_tuples);
-            prop_assert!(bounded.len() as u64 <= report.output_bound(&schema, indexed.size()).unwrap());
-        }
-    }
+#[test]
+fn covered_plans_agree_with_naive_evaluation_on_ecommerce() {
+    run_cases_counting(
+        "covered_plans_agree_with_naive_evaluation_on_ecommerce",
+        0xECC0,
+        |rng| {
+            let seed = rng.gen_range(0u64..1_000);
+            let qseed = rng.gen_range(0u64..1_000);
+            let catalog = ecommerce::catalog();
+            let schema = ecommerce::access_schema(&catalog);
+            let db = ecommerce::generate(&ecommerce::EcommerceConfig {
+                num_customers: 60,
+                num_categories: 5,
+                products_per_category: 12,
+                avg_orders_per_customer: 6,
+                num_cities: 4,
+                seed,
+            })
+            .unwrap();
+            let workload = querygen::random_workload_from_db(
+                &catalog,
+                Some(&schema),
+                &db,
+                12,
+                &querygen::QueryGenConfig {
+                    seed: qseed,
+                    ..querygen::QueryGenConfig::default()
+                },
+            )
+            .unwrap();
+            assert_bounded_plans_agree_with_naive(&schema, db, &workload)
+        },
+    );
+}
 
-    /// cov(Q, A) is deterministic and monotone in the access schema (Lemma 3.9).
-    #[test]
-    fn coverage_is_deterministic_and_monotone(qseed in 0u64..2_000, split in 1usize..4) {
+#[test]
+fn covered_plans_agree_with_naive_evaluation_on_graph() {
+    run_cases_counting(
+        "covered_plans_agree_with_naive_evaluation_on_graph",
+        0x64AF,
+        |rng| {
+            let seed = rng.gen_range(0u64..1_000);
+            let qseed = rng.gen_range(0u64..1_000);
+            let catalog = graph::catalog();
+            let config = graph::GraphConfig {
+                num_persons: 120,
+                max_degree: 10,
+                avg_degree: 4,
+                num_cities: 3,
+                num_tags: 5,
+                max_likes: 3,
+                seed,
+            };
+            let schema = graph::access_schema(&catalog, &config);
+            let db = graph::generate(&config).unwrap();
+            let workload = querygen::random_workload_from_db(
+                &catalog,
+                Some(&schema),
+                &db,
+                12,
+                &querygen::QueryGenConfig {
+                    seed: qseed,
+                    ..querygen::QueryGenConfig::default()
+                },
+            )
+            .unwrap();
+            assert_bounded_plans_agree_with_naive(&schema, db, &workload)
+        },
+    );
+}
+
+/// cov(Q, A) is deterministic and monotone in the access schema (Lemma 3.9).
+#[test]
+fn coverage_is_deterministic_and_monotone() {
+    run_cases("coverage_is_deterministic_and_monotone", 0xC0F0, |rng| {
+        let qseed = rng.gen_range(0u64..2_000);
+        let split = rng.gen_range(1usize..4);
         let catalog = accidents::catalog();
         let schema = accidents::access_schema(&catalog);
         let workload = querygen::random_workload(
             &catalog,
             Some(&schema),
             8,
-            &querygen::QueryGenConfig { seed: qseed, ..querygen::QueryGenConfig::default() },
-        ).unwrap();
+            &querygen::QueryGenConfig {
+                seed: qseed,
+                ..querygen::QueryGenConfig::default()
+            },
+        )
+        .unwrap();
         let partial = AccessSchema::from_constraints(schema.constraints()[..split].to_vec());
         for query in &workload {
             let (cov1, _) = cover::covered_variables(query, &schema);
             let (cov2, _) = cover::covered_variables(query, &schema);
-            prop_assert_eq!(&cov1, &cov2);
+            assert_eq!(&cov1, &cov2);
             let (cov_partial, _) = cover::covered_variables(query, &partial);
-            prop_assert!(cov_partial.is_subset(&cov1));
+            assert!(cov_partial.is_subset(&cov1));
             // Covered queries remain covered when constraints are added.
             if cover::is_covered(query, &partial) {
-                prop_assert!(cover::is_covered(query, &schema));
+                assert!(cover::is_covered(query, &schema));
             }
         }
-    }
+    });
+}
 
-    /// The bounded-evaluability analysis is sound: whenever it claims an A-equivalent
-    /// covered rewriting, the rewriting gives the same answers as the original query on
-    /// instances satisfying the schema.
-    #[test]
-    fn analysis_rewrites_are_equivalent_on_data(seed in 0u64..500, qseed in 0u64..500) {
+/// The bounded-evaluability analysis is sound: whenever it claims an A-equivalent
+/// covered rewriting, the rewriting gives the same answers as the original query on
+/// instances satisfying the schema.
+#[test]
+fn analysis_rewrites_are_equivalent_on_data() {
+    run_cases("analysis_rewrites_are_equivalent_on_data", 0xBE90, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let qseed = rng.gen_range(0u64..500);
         let (db, schema) = accidents_fixture(seed, 2);
         let catalog = accidents::catalog();
         let workload = querygen::random_workload_from_db(
@@ -113,27 +250,32 @@ proptest! {
                 join_probability: 0.5,
                 ..querygen::QueryGenConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         for query in &workload {
             match analyze_cq(query, &schema, &BoundedConfig::default()).unwrap() {
                 BoundedVerdict::EquivalentCovered { rewritten, .. } => {
                     let (a, _) = eval_cq(query, &db).unwrap();
                     let (b, _) = eval_cq(&rewritten, &db).unwrap();
-                    prop_assert!(a.same_rows(&b), "rewriting changed answers for {query}");
+                    assert!(a.same_rows(&b), "rewriting changed answers for {query}");
                 }
                 BoundedVerdict::Unsatisfiable => {
                     let (a, _) = eval_cq(query, &db).unwrap();
-                    prop_assert!(a.is_empty(), "A-unsatisfiable query answered on D ⊨ A: {query}");
+                    assert!(a.is_empty(), "A-unsatisfiable query answered on D ⊨ A: {query}");
                 }
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    /// Envelopes sandwich the exact answer on instances satisfying the schema, within
-    /// their derived bounds (Section 4).
-    #[test]
-    fn envelopes_sandwich_exact_answers(seed in 0u64..500, qseed in 0u64..500) {
+/// Envelopes sandwich the exact answer on instances satisfying the schema, within
+/// their derived bounds (Section 4).
+#[test]
+fn envelopes_sandwich_exact_answers() {
+    run_cases("envelopes_sandwich_exact_answers", 0xE47E, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let qseed = rng.gen_range(0u64..500);
         let (db, schema) = accidents_fixture(seed, 2);
         let catalog = accidents::catalog();
         let workload = querygen::random_workload_from_db(
@@ -146,7 +288,8 @@ proptest! {
                 join_probability: 0.4,
                 ..querygen::QueryGenConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
         let config = EnvelopeConfig::default();
 
@@ -158,22 +301,26 @@ proptest! {
             if let Some(upper) = upper_envelope_cq(query, &schema, &config).unwrap() {
                 let plan = bounded_plan(&upper.query, &schema).unwrap();
                 let (answer, _) = execute_plan(&plan, &indexed).unwrap();
-                prop_assert!(exact.row_set().is_subset(&answer.row_set()));
+                assert!(exact.row_set().is_subset(&answer.row_set()));
                 let bound = upper.approximation_bound(&schema, indexed.size()).unwrap();
-                prop_assert!((answer.len() - exact.len()) as u64 <= bound);
+                assert!((answer.len() - exact.len()) as u64 <= bound);
             }
             if let Some(lower) = lower_envelope_cq(query, &schema, &catalog, 1, &config).unwrap() {
                 let plan = bounded_plan(&lower.query, &schema).unwrap();
                 let (answer, _) = execute_plan(&plan, &indexed).unwrap();
-                prop_assert!(answer.row_set().is_subset(&exact.row_set()));
+                assert!(answer.row_set().is_subset(&exact.row_set()));
             }
         }
-    }
+    });
+}
 
-    /// Bounded specialization is generic: when the QSP analysis picks a parameter tuple,
-    /// *every* valuation of those parameters yields a covered query (Section 5).
-    #[test]
-    fn specialization_is_generic_over_valuations(day in 0u32..500, district in 0u32..500) {
+/// Bounded specialization is generic: when the QSP analysis picks a parameter tuple,
+/// *every* valuation of those parameters yields a covered query (Section 5).
+#[test]
+fn specialization_is_generic_over_valuations() {
+    run_cases("specialization_is_generic_over_valuations", 0x59EC, |rng| {
+        let day = rng.gen_range(0u32..500);
+        let district = rng.gen_range(0u32..500);
         let catalog = accidents::catalog();
         let schema = accidents::access_schema(&catalog);
         let query = accidents::parameterized_query(&catalog).unwrap();
@@ -181,7 +328,7 @@ proptest! {
             .unwrap()
             .expect("Example 5.1 specializes");
         // The template itself is covered…
-        prop_assert!(spec.report.is_covered());
+        assert!(spec.report.is_covered());
         // …and so is every concrete instantiation, whatever the values are.
         let bindings: Vec<(&str, Value)> = spec
             .parameter_names
@@ -196,19 +343,23 @@ proptest! {
             })
             .collect();
         let concrete = instantiate(&query, &bindings).unwrap();
-        prop_assert!(cover::is_covered(&concrete, &schema));
+        assert!(cover::is_covered(&concrete, &schema));
         // Unchosen parameters stay parameters; the generic template marks the chosen ones
         // as constants.
         let template = generic_template(&query, &spec.parameters).unwrap();
         for &p in &spec.parameters {
-            prop_assert!(template.constant_vars().contains(&p));
+            assert!(template.constant_vars().contains(&p));
         }
-    }
+    });
+}
 
-    /// Constraint discovery is sound: constraints mined from an instance are satisfied by
-    /// that instance, at every discovery setting.
-    #[test]
-    fn discovered_constraints_hold(seed in 0u64..1_000, max_key in 1usize..3) {
+/// Constraint discovery is sound: constraints mined from an instance are satisfied by
+/// that instance, at every discovery setting.
+#[test]
+fn discovered_constraints_hold() {
+    run_cases("discovered_constraints_hold", 0xD15C, |rng| {
+        let seed = rng.gen_range(0u64..1_000);
+        let max_key = rng.gen_range(1usize..3);
         let (db, _) = accidents_fixture(seed, 2);
         let discovered = discover_constraints(
             &db,
@@ -219,16 +370,20 @@ proptest! {
             },
         )
         .unwrap();
-        prop_assert!(!discovered.is_empty());
+        assert!(!discovered.is_empty());
         let schema = AccessSchema::from_constraints(discovered);
         let indexed = IndexedDatabase::build(db, schema).unwrap();
-        prop_assert!(indexed.satisfies_schema());
-    }
+        assert!(indexed.satisfies_schema());
+    });
+}
 
-    /// The graph workload's personalized pattern is always answerable boundedly once the
-    /// person is fixed, and the bounded answer matches the baseline for every person.
-    #[test]
-    fn personalized_graph_search_matches_naive(seed in 0u64..300, me in 0i64..200) {
+/// The graph workload's personalized pattern is always answerable boundedly once the
+/// person is fixed, and the bounded answer matches the baseline for every person.
+#[test]
+fn personalized_graph_search_matches_naive() {
+    run_cases("personalized_graph_search_matches_naive", 0x6A50, |rng| {
+        let seed = rng.gen_range(0u64..300);
+        let me = rng.gen_range(0i64..200);
         let catalog = graph::catalog();
         let config = graph::GraphConfig {
             num_persons: 200,
@@ -242,23 +397,29 @@ proptest! {
         let schema = graph::access_schema(&catalog, &config);
         let db = graph::generate(&config).unwrap();
         let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
-        prop_assert!(indexed.satisfies_schema());
+        assert!(indexed.satisfies_schema());
 
-        let query = graph::personalized_query(&catalog, me, &graph::city_value(0), &graph::tag_value(0)).unwrap();
-        prop_assert!(cover::is_covered(&query, &schema));
+        let query =
+            graph::personalized_query(&catalog, me, &graph::city_value(0), &graph::tag_value(0))
+                .unwrap();
+        assert!(cover::is_covered(&query, &schema));
         let plan = bounded_plan(&query, &schema).unwrap();
         let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
         let (naive, _) = eval_cq(&query, indexed.database()).unwrap();
-        prop_assert!(bounded.same_rows(&naive));
+        assert!(bounded.same_rows(&naive));
         // Personalized search touches at most (1 + 2·max_degree) + a few person/likes
         // lookups — far less than the database size for any graph.
-        prop_assert!(stats.tuples_fetched <= 1 + 3 * u64::from(config.max_degree) + 10);
-    }
+        assert!(stats.tuples_fetched <= 1 + 3 * u64::from(config.max_degree) + 10);
+    });
+}
 
-    /// The tiny evaluator used inside the reasoning procedures agrees with the engine's
-    /// baseline evaluator on small instances.
-    #[test]
-    fn small_instance_evaluator_agrees_with_engine(seed in 0u64..1_000, qseed in 0u64..1_000) {
+/// The tiny evaluator used inside the reasoning procedures agrees with the engine's
+/// baseline evaluator on small instances.
+#[test]
+fn small_instance_evaluator_agrees_with_engine() {
+    run_cases("small_instance_evaluator_agrees_with_engine", 0x5A11, |rng| {
+        let seed = rng.gen_range(0u64..1_000);
+        let qseed = rng.gen_range(0u64..1_000);
         let catalog = accidents::catalog();
         let schema = accidents::access_schema(&catalog);
         let (db, _) = accidents_fixture(seed, 1);
@@ -267,8 +428,13 @@ proptest! {
             Some(&schema),
             &db,
             5,
-            &querygen::QueryGenConfig { seed: qseed, max_atoms: 2, ..querygen::QueryGenConfig::default() },
-        ).unwrap();
+            &querygen::QueryGenConfig {
+                seed: qseed,
+                max_atoms: 2,
+                ..querygen::QueryGenConfig::default()
+            },
+        )
+        .unwrap();
 
         // Copy a small sample of the database into a SmallInstance.
         let mut small = SmallInstance::new();
@@ -279,16 +445,22 @@ proptest! {
                 copied += 1;
             }
         }
-        prop_assert!(copied > 0);
+        assert!(copied > 0);
         let mut small_db = bea::storage::Database::new(catalog.clone());
         for relation in db.relations() {
-            small_db.extend(relation.name(), relation.rows().iter().take(40).cloned()).unwrap();
+            small_db
+                .extend(relation.name(), relation.rows().iter().take(40).cloned())
+                .unwrap();
         }
 
         for query in &workload {
             let from_reasoner = eval_cq_small(query, &small);
             let (from_engine, _) = eval_cq(query, &small_db).unwrap();
-            prop_assert_eq!(from_reasoner, from_engine.row_set(), "evaluators disagree on {}", query);
+            assert_eq!(
+                from_reasoner,
+                from_engine.row_set(),
+                "evaluators disagree on {query}"
+            );
         }
-    }
+    });
 }

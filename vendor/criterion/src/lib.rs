@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion` (0.5 API surface).
+//!
+//! The build container cannot fetch crates.io, so this vendored crate implements the
+//! subset of the criterion API the `bea-bench` benches use — `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — as a real measuring harness: each sample
+//! times one batch of iterations with `std::time::Instant`, and the per-bench summary
+//! (min / median / mean) is printed as plain text. No statistics beyond that, no HTML
+//! reports, no command-line filtering. Swap the path dependency for crates.io
+//! `criterion` when network access is available; the bench sources need no changes.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one measurement within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and the parameter it was measured at.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to the bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: a few warm-up runs, then `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3.min(self.sample_size) {
+            std_black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn summarize(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:<60} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// A named collection of related measurements.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per bench (criterion's floor of 10 not enforced).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure `routine` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, R>(&mut self, id: I, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        summarize(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Measure `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R) -> &mut Self
+    where
+        I: ?Sized,
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        summarize(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// End the group (prints a separator; the real crate runs its analysis here).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Measure a standalone function outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        routine(&mut bencher);
+        summarize(id, &bencher.samples);
+        self
+    }
+}
+
+/// Define a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

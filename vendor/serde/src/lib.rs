@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `vendor/serde_derive` for the rationale).
+//!
+//! Exposes the two trait names and their derives with the same import paths as the
+//! real crate (`use serde::{Deserialize, Serialize}` + `#[derive(Serialize,
+//! Deserialize)]`), so the workspace compiles unchanged whether this stub or the real
+//! `serde` backs the dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

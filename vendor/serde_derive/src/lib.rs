@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the real
+//! `serde` cannot be fetched. Nothing in the workspace serializes data yet — the
+//! derives exist so that plan/query/stats types are *ready* to serialize once a real
+//! backend needs it — so the derives here expand to marker-trait impls only. Swap this
+//! path dependency for the crates.io `serde` when the build environment has network
+//! access; no source changes are required.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, has_generics)` of the struct/enum a derive was applied to.
+fn derived_type(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, impl_header: &str) -> TokenStream {
+    match derived_type(input) {
+        // Generic types would need bounds we cannot compute without `syn`; no workspace
+        // type currently is, so an empty expansion is safe there.
+        Some((name, false)) => format!("{impl_header} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de>")
+}
