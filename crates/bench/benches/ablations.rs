@@ -6,15 +6,23 @@
 //! * **`A`-equivalence rewrites on/off** — how much the rewrite search costs when it is
 //!   enabled but cannot help;
 //! * **reasoning budget** — the effect of the enumeration budget on `A`-containment
-//!   checks (larger budgets admit more of the search space before giving up).
+//!   checks (larger budgets admit more of the search space before giving up);
+//! * **materialized vs streaming execution** — the same bounded plans run through the
+//!   historical table-per-step executor and the streaming batch pipeline, on all three
+//!   scenario families. Before timing, the bench prints the memory-residency comparison
+//!   (`peak_rows_resident`): identical data access, lower high-water mark.
 
 #![allow(missing_docs)] // criterion_group! expands to undocumented items
 
-use bea_bench::families;
+use bea_bench::scenarios::{AccidentsScenario, EcommerceScenario, GraphScenario};
+use bea_bench::{families, report::TextTable};
 use bea_core::bounded::{analyze_cq, BoundedConfig};
 use bea_core::cover;
+use bea_core::plan::QueryPlan;
 use bea_core::reason::containment::a_contained;
 use bea_core::reason::ReasonConfig;
+use bea_engine::{execute_plan_with_options, ExecOptions};
+use bea_storage::IndexedDatabase;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ablations(c: &mut Criterion) {
@@ -69,5 +77,75 @@ fn bench_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ablations);
+/// Materialized vs streaming execution on the three scenario families. Prints the
+/// residency comparison once, then times both strategies.
+fn bench_execution_strategies(c: &mut Criterion) {
+    let accidents = AccidentsScenario::with_total_tuples(20_000, 42).expect("scenario builds");
+    let graph = GraphScenario::with_persons(500, 42).expect("scenario builds");
+    let ecommerce = EcommerceScenario::with_customers(300, 42).expect("scenario builds");
+    let cases: Vec<(&str, &QueryPlan, &IndexedDatabase)> = vec![
+        ("accidents_q0", &accidents.plan, &accidents.indexed),
+        ("graph_personalized", &graph.plan, &graph.indexed),
+        ("ecommerce_orders", &ecommerce.plan, &ecommerce.indexed),
+    ];
+
+    let mut table = TextTable::new([
+        "scenario",
+        "db tuples",
+        "tuples fetched",
+        "peak resident (materialized)",
+        "peak resident (streaming)",
+    ]);
+    for (name, plan, indexed) in &cases {
+        let (streamed, streaming_stats) =
+            execute_plan_with_options(plan, indexed, &ExecOptions::new()).expect("plan executes");
+        let (materialized, materialized_stats) =
+            execute_plan_with_options(plan, indexed, &ExecOptions::materialized())
+                .expect("plan executes");
+        assert!(
+            streamed.same_rows(&materialized),
+            "{name}: strategies disagree"
+        );
+        assert!(
+            streaming_stats.same_data_access(&materialized_stats),
+            "{name}: strategies read different data"
+        );
+        assert!(
+            streaming_stats.peak_rows_resident < materialized_stats.peak_rows_resident,
+            "{name}: streaming peak {} not below materialized peak {}",
+            streaming_stats.peak_rows_resident,
+            materialized_stats.peak_rows_resident
+        );
+        table.row([
+            name.to_string(),
+            indexed.size().to_string(),
+            streaming_stats.tuples_fetched.to_string(),
+            materialized_stats.peak_rows_resident.to_string(),
+            streaming_stats.peak_rows_resident.to_string(),
+        ]);
+    }
+    println!("\nmemory residency, materialized vs streaming (identical data access):\n");
+    table.print();
+    println!();
+
+    let mut group = c.benchmark_group("execution_strategies");
+    group.sample_size(20);
+    for (name, plan, indexed) in &cases {
+        group.bench_with_input(BenchmarkId::new("materialized", name), name, |b, _| {
+            b.iter(|| {
+                execute_plan_with_options(plan, indexed, &ExecOptions::materialized())
+                    .expect("plan executes")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", name), name, |b, _| {
+            b.iter(|| {
+                execute_plan_with_options(plan, indexed, &ExecOptions::new())
+                    .expect("plan executes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_execution_strategies);
 criterion_main!(benches);

@@ -12,17 +12,14 @@ fn bench_accidents_q0(c: &mut Criterion) {
     let mut group = c.benchmark_group("accidents_q0");
     group.sample_size(20);
     for &tuples in &[50_000u64, 200_000] {
-        let scenario =
-            AccidentsScenario::with_total_tuples(tuples, 42).expect("scenario builds");
+        let scenario = AccidentsScenario::with_total_tuples(tuples, 42).expect("scenario builds");
         let size = scenario.indexed.size();
 
         group.bench_with_input(
             BenchmarkId::new("bounded_plan", size),
             &scenario,
             |b, scenario| {
-                b.iter(|| {
-                    execute_plan(&scenario.plan, &scenario.indexed).expect("plan executes")
-                })
+                b.iter(|| execute_plan(&scenario.plan, &scenario.indexed).expect("plan executes"))
             },
         );
         group.bench_with_input(

@@ -42,8 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let ((bounded, bounded_stats), bounded_ms) =
             time_ms(|| execute_plan(&scenario.plan, &scenario.indexed).expect("plan executes"));
-        let ((naive, naive_stats), naive_ms) =
-            time_ms(|| eval_cq(&scenario.q0, scenario.indexed.database()).expect("naive evaluates"));
+        let ((naive, naive_stats), naive_ms) = time_ms(|| {
+            eval_cq(&scenario.q0, scenario.indexed.database()).expect("naive evaluates")
+        });
         assert!(bounded.same_rows(&naive), "answers must agree");
 
         let static_bound = scenario

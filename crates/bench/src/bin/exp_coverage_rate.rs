@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             include_empty_keys: true,
         },
     )?;
-    println!("mined {} candidate access constraints from the data\n", mined.len());
+    println!(
+        "mined {} candidate access constraints from the data\n",
+        mined.len()
+    );
 
     let workload = querygen::random_workload_from_db(
         &catalog,

@@ -13,10 +13,10 @@ use bea_bench::report::TextTable;
 use bea_core::cover;
 use bea_core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
 use bea_core::plan::bounded_plan;
+use bea_core::value::Value;
 use bea_engine::{eval_cq, execute_plan};
 use bea_parser::{parse_access_schema, parse_catalog, parse_query};
 use bea_storage::{Database, IndexedDatabase};
-use bea_core::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,12 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q2 = parse_query(&catalog, "Q2(x, y) :- R(w, x), R(y, w), w = 1.")?;
     let q2 = q2.as_cq().unwrap().clone();
 
-    println!("Q1 bounded? {}  covered? {}", cover::is_bounded(&q1, &schema), cover::is_covered(&q1, &schema));
-    println!("Q2 bounded? {}  (Lemma 4.2: not bounded ⇒ no envelopes)\n", cover::is_bounded(&q2, &schema));
+    println!(
+        "Q1 bounded? {}  covered? {}",
+        cover::is_bounded(&q1, &schema),
+        cover::is_covered(&q1, &schema)
+    );
+    println!(
+        "Q2 bounded? {}  (Lemma 4.2: not bounded ⇒ no envelopes)\n",
+        cover::is_bounded(&q2, &schema)
+    );
 
     let upper = upper_envelope_cq(&q1, &schema, &config)?.expect("Q1 has an upper envelope");
-    let lower = lower_envelope_cq(&q1, &schema, &catalog, 2, &config)?
-        .expect("Q1 has a lower envelope");
+    let lower =
+        lower_envelope_cq(&q1, &schema, &catalog, 2, &config)?.expect("Q1 has a lower envelope");
     assert!(upper_envelope_cq(&q2, &schema, &config)?.is_none());
     assert!(lower_envelope_cq(&q2, &schema, &catalog, 2, &config)?.is_none());
 

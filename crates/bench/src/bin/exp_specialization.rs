@@ -12,10 +12,10 @@
 
 use bea_bench::report::{fmt_ms, time_ms, TextTable};
 use bea_core::plan::bounded_plan;
+use bea_core::query::fo::{FirstOrderQuery, Formula};
 use bea_core::specialize::{
     always_boundedly_specializable, instantiate, specialize_cq, SpecializeConfig,
 };
-use bea_core::query::fo::{FirstOrderQuery, Formula};
 use bea_core::value::Value;
 use bea_engine::{eval_cq, execute_plan};
 use bea_storage::IndexedDatabase;
@@ -43,9 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ec_catalog = ecommerce::catalog();
     let ec_schema = ecommerce::access_schema(&ec_catalog);
     for (label, query) in [
-        ("e-commerce: orders of $uid on $day", ecommerce::orders_of_customer(&ec_catalog)?),
-        ("e-commerce: products in $category of $brand", ecommerce::products_in_category(&ec_catalog)?),
-        ("e-commerce: cities buying $brand at $price", ecommerce::customers_by_brand(&ec_catalog)?),
+        (
+            "e-commerce: orders of $uid on $day",
+            ecommerce::orders_of_customer(&ec_catalog)?,
+        ),
+        (
+            "e-commerce: products in $category of $brand",
+            ecommerce::products_in_category(&ec_catalog)?,
+        ),
+        (
+            "e-commerce: cities buying $brand at $price",
+            ecommerce::customers_by_brand(&ec_catalog)?,
+        ),
     ] {
         let params = format!(
             "{{{}}}",
@@ -80,13 +89,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &fully,
             &bea_core::access::AccessSchema::from_constraints([
                 bea_core::access::AccessConstraint::new(
-                    &acc_catalog, "Accident", &["aid"], &["district", "date"], 1
+                    &acc_catalog,
+                    "Accident",
+                    &["aid"],
+                    &["district", "date"],
+                    1
                 )?,
                 bea_core::access::AccessConstraint::new(
-                    &acc_catalog, "Casualty", &["cid"], &["aid", "class", "vid"], 1
+                    &acc_catalog,
+                    "Casualty",
+                    &["cid"],
+                    &["aid", "class", "vid"],
+                    1
                 )?,
                 bea_core::access::AccessConstraint::new(
-                    &acc_catalog, "Vehicle", &["vid"], &["driver", "age"], 1
+                    &acc_catalog,
+                    "Vehicle",
+                    &["vid"],
+                    &["driver", "age"],
+                    1
                 )?,
             ]),
             &acc_catalog
@@ -110,8 +131,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = bounded_plan(&concrete, &acc_schema)?;
         let ((naive, naive_stats), naive_ms) = time_ms(|| eval_cq(&concrete, &db).unwrap());
         let indexed = IndexedDatabase::build(db, acc_schema.clone())?;
-        let ((bounded, stats), bounded_ms) =
-            time_ms(|| execute_plan(&plan, &indexed).unwrap());
+        let ((bounded, stats), bounded_ms) = time_ms(|| execute_plan(&plan, &indexed).unwrap());
         assert!(bounded.same_rows(&naive));
         table.row([
             indexed.size().to_string(),
@@ -127,7 +147,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The specialization is generic: any valuation works, including ones not in the data.
     let odd = instantiate(
         &acc_query,
-        &[("date", Value::str("nonexistent-day")), ("district", Value::str("Atlantis"))],
+        &[
+            ("date", Value::str("nonexistent-day")),
+            ("district", Value::str("Atlantis")),
+        ],
     )?;
     println!(
         "\ngenericity: Q(date = \"nonexistent-day\", district = \"Atlantis\") is still covered: {}",

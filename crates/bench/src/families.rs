@@ -26,7 +26,8 @@ use bea_core::value::Value;
 pub fn chain_catalog(n: usize) -> Catalog {
     let mut c = Catalog::new();
     for i in 1..=n {
-        c.declare(format!("R{i}"), ["a", "b"]).expect("static schema");
+        c.declare(format!("R{i}"), ["a", "b"])
+            .expect("static schema");
     }
     c
 }

@@ -21,7 +21,8 @@ impl TextTable {
 
     /// Append a row (cells are formatted with `Display`).
     pub fn row<S: Display>(&mut self, cells: impl IntoIterator<Item = S>) {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows so far.

@@ -7,7 +7,7 @@ use bea_core::plan::{bounded_plan, QueryPlan};
 use bea_core::query::cq::ConjunctiveQuery;
 use bea_core::schema::Catalog;
 use bea_storage::IndexedDatabase;
-use bea_workload::{accidents, graph};
+use bea_workload::{accidents, ecommerce, graph};
 
 /// The Example 1.1 scenario at a given scale: an indexed accidents database, the query
 /// Q0 and its boundedly evaluable plan.
@@ -96,10 +96,56 @@ impl GraphScenario {
     }
 }
 
+/// The e-commerce scenario: an indexed product/order/customer database plus the
+/// "orders of one customer, with product prices" query anchored at a known customer —
+/// the shape bounded specialization produces (Section 5) once the user is fixed.
+pub struct EcommerceScenario {
+    /// The relational schema.
+    pub catalog: Catalog,
+    /// Key + per-category + per-user constraints.
+    pub schema: AccessSchema,
+    /// The indexed database (satisfies the schema by construction).
+    pub indexed: IndexedDatabase,
+    /// The anchored orders-of-customer query.
+    pub query: ConjunctiveQuery,
+    /// Its boundedly evaluable plan.
+    pub plan: QueryPlan,
+}
+
+impl EcommerceScenario {
+    /// Build the scenario for the given number of customers.
+    pub fn with_customers(num_customers: u32, seed: u64) -> Result<Self> {
+        let catalog = ecommerce::catalog();
+        let schema = ecommerce::access_schema(&catalog);
+        let config = ecommerce::EcommerceConfig {
+            num_customers,
+            seed,
+            ..ecommerce::EcommerceConfig::default()
+        };
+        let db = ecommerce::generate(&config)?;
+        // "Prices of everything customer 3 ordered" — covered once uid is a constant.
+        let query = ConjunctiveQuery::builder("OrdersOf3")
+            .head(["price"])
+            .atom("Orders", ["oid", "uid", "pid", "day"])
+            .atom("Product", ["pid", "category", "brand", "price"])
+            .eq("uid", 3i64)
+            .build(&catalog)?;
+        let plan = bounded_plan(&query, &schema)?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+        Ok(Self {
+            catalog,
+            schema,
+            indexed,
+            query,
+            plan,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bea_engine::{eval_cq, execute_plan};
+    use bea_engine::{eval_cq, execute_plan, execute_plan_with_options, ExecOptions};
 
     #[test]
     fn accidents_scenario_is_consistent() {
@@ -120,6 +166,60 @@ mod tests {
         let (bounded, _) = execute_plan(&scenario.plan, &scenario.indexed).unwrap();
         let (naive, _) = eval_cq(&scenario.personalized, scenario.indexed.database()).unwrap();
         assert!(bounded.same_rows(&naive));
-        assert!(!bea_core::cover::is_bounded(&scenario.global, &scenario.schema));
+        assert!(!bea_core::cover::is_bounded(
+            &scenario.global,
+            &scenario.schema
+        ));
+    }
+
+    #[test]
+    fn ecommerce_scenario_is_consistent() {
+        let scenario = EcommerceScenario::with_customers(120, 7).unwrap();
+        assert!(scenario.indexed.satisfies_schema());
+        assert!(scenario.plan.is_bounded_under(&scenario.schema));
+        let (bounded, stats) = execute_plan(&scenario.plan, &scenario.indexed).unwrap();
+        let (naive, _) = eval_cq(&scenario.query, scenario.indexed.database()).unwrap();
+        assert!(bounded.same_rows(&naive));
+        assert!(!bounded.is_empty(), "customer 3 should have orders");
+        assert!(stats.tuples_fetched < scenario.indexed.size());
+        assert_eq!(scenario.catalog.len(), 3);
+    }
+
+    /// The acceptance property of the streaming rewrite, checked on every scenario
+    /// family: same answers, same data access, strictly lower peak residency.
+    fn assert_streaming_beats_materialized(
+        plan: &bea_core::plan::QueryPlan,
+        indexed: &IndexedDatabase,
+    ) {
+        let (streamed, streamed_stats) =
+            execute_plan_with_options(plan, indexed, &ExecOptions::new()).unwrap();
+        let (materialized, materialized_stats) =
+            execute_plan_with_options(plan, indexed, &ExecOptions::materialized()).unwrap();
+        assert!(streamed.same_rows(&materialized));
+        assert!(streamed_stats.same_data_access(&materialized_stats));
+        assert!(
+            streamed_stats.peak_rows_resident < materialized_stats.peak_rows_resident,
+            "streaming peak {} not below materialized peak {}",
+            streamed_stats.peak_rows_resident,
+            materialized_stats.peak_rows_resident
+        );
+    }
+
+    #[test]
+    fn streaming_residency_win_on_accidents() {
+        let scenario = AccidentsScenario::with_total_tuples(5_000, 3).unwrap();
+        assert_streaming_beats_materialized(&scenario.plan, &scenario.indexed);
+    }
+
+    #[test]
+    fn streaming_residency_win_on_graph() {
+        let scenario = GraphScenario::with_persons(300, 5).unwrap();
+        assert_streaming_beats_materialized(&scenario.plan, &scenario.indexed);
+    }
+
+    #[test]
+    fn streaming_residency_win_on_ecommerce() {
+        let scenario = EcommerceScenario::with_customers(120, 7).unwrap();
+        assert_streaming_beats_materialized(&scenario.plan, &scenario.indexed);
     }
 }

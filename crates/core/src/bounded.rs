@@ -373,14 +373,9 @@ mod tests {
     #[test]
     fn covered_query_is_reported_as_covered() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            4,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 4).unwrap()
+        ]);
         let q = ConjunctiveQuery::builder("Q")
             .head(["y"])
             .atom("R", ["x", "y"])
@@ -401,14 +396,9 @@ mod tests {
     #[test]
     fn redundant_atom_removal_establishes_bounded_evaluability() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            4,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 4).unwrap()
+        ]);
         // Q(y) :- R(x, y), R(z, y), x = 1: the second atom is not indexed (z is not
         // determined), but it is classically redundant (map z ↦ x).
         let q = ConjunctiveQuery::builder("Q")
@@ -442,14 +432,10 @@ mod tests {
     #[test]
     fn example_3_1_2_unsatisfiable_is_bounded() {
         let c = catalog();
-        let a2 = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R2",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let a2 =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R2", &["a"], &["b"], 1).unwrap()
+            ]);
         let q2 = ConjunctiveQuery::builder("Q2")
             .head(["x"])
             .atom("R2", ["x", "x1"])
@@ -493,9 +479,11 @@ mod tests {
         let verdict = analyze_cq(&q1, &a1, &BoundedConfig::default()).unwrap();
         assert!(matches!(verdict, BoundedVerdict::Unknown { .. }));
         assert!(!verdict.is_bounded());
-        assert!(bounded_plan_via_analysis(&q1, &a1, &BoundedConfig::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            bounded_plan_via_analysis(&q1, &a1, &BoundedConfig::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     /// Unification through a unit-cardinality constraint: under R3(∅ → c, 1) the
@@ -533,14 +521,9 @@ mod tests {
     #[test]
     fn ucq_analysis_combines_branch_verdicts() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            4,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 4).unwrap()
+        ]);
         // Branch 1 covered; branch 2 equivalent-covered after removing a redundant atom.
         let b1 = ConjunctiveQuery::builder("Q1")
             .head(["y"])
@@ -579,8 +562,7 @@ mod tests {
             .build(&c)
             .unwrap();
         let union = UnionQuery::from_branches("Q", vec![b1]).unwrap();
-        let verdict =
-            analyze_ucq(&union, &AccessSchema::new(), &BoundedConfig::default()).unwrap();
+        let verdict = analyze_ucq(&union, &AccessSchema::new(), &BoundedConfig::default()).unwrap();
         assert!(!verdict.is_bounded());
     }
 
@@ -602,14 +584,9 @@ mod tests {
     #[test]
     fn a_redundancy_removal_can_be_disabled() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            4,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 4).unwrap()
+        ]);
         let q = ConjunctiveQuery::builder("Q")
             .head(["y"])
             .atom("R", ["x", "y"])

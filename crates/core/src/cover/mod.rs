@@ -306,8 +306,7 @@ pub fn coverage(query: &ConjunctiveQuery, schema: &AccessSchema) -> CoverageRepo
     let (covered, trace) = covered_variables(query, schema);
     let constant_vars = query.constant_vars();
     let data_dependent = query.data_dependent_vars();
-    let determined =
-        |v: Var| -> bool { covered.contains(&v) || constant_vars.contains(&v) };
+    let determined = |v: Var| -> bool { covered.contains(&v) || constant_vars.contains(&v) };
 
     let mut violations = Vec::new();
 
@@ -550,14 +549,10 @@ mod tests {
     fn example_3_12_q2_not_covered() {
         let mut c = Catalog::new();
         c.declare("R2", ["a", "b"]).unwrap();
-        let a2 = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R2",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let a2 =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R2", &["a"], &["b"], 1).unwrap()
+            ]);
         let q2 = ConjunctiveQuery::builder("Q2")
             .head(["x"])
             .atom("R2", ["x", "x1"])
@@ -631,14 +626,9 @@ mod tests {
     fn boolean_query_with_constant_filter_is_not_covered_without_index() {
         let mut c = Catalog::new();
         c.declare("R", ["a", "b"]).unwrap();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            4,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 4).unwrap()
+        ]);
         // Q() :- R(x, y), y = 1: the constant filter is on b, but the only index is keyed
         // on a, so the atom is not indexed (we cannot find the matching tuples without a
         // scan).
@@ -656,14 +646,10 @@ mod tests {
             .any(|v| matches!(v, CoverageViolation::AtomNotIndexed { .. })));
 
         // With the index keyed on b instead, the query becomes covered.
-        let a2 = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["b"],
-            &["a"],
-            4,
-        )
-        .unwrap()]);
+        let a2 =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["b"], &["a"], 4).unwrap()
+            ]);
         assert!(is_covered(&q, &a2));
     }
 
@@ -671,14 +657,9 @@ mod tests {
     fn join_through_uncovered_variable_is_rejected() {
         let mut c = Catalog::new();
         c.declare("R", ["a", "b"]).unwrap();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            4,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 4).unwrap()
+        ]);
         // Q(x) :- R(x, w), R(w, z), x = 1: w occurs twice and is not covered...
         // actually w *is* covered (R(a→b) applied to the first atom). Use the reverse
         // direction to get an uncovered join variable: Q(x) :- R(w, x), R(z, w), x = 1

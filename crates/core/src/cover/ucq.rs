@@ -160,14 +160,10 @@ mod tests {
     #[test]
     fn example_3_5_union_covered_through_subsumption() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "Rp",
-            &["a"],
-            &["b"],
-            7,
-        )
-        .unwrap()]);
+        let a =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "Rp", &["a"], &["b"], 7).unwrap()
+            ]);
         // Q1(y) = ∃x,z (R′(x,y,z) ∧ x = 1)
         let q1 = ConjunctiveQuery::builder("Q1")
             .head(["y"])
@@ -204,14 +200,9 @@ mod tests {
     #[test]
     fn union_with_genuinely_uncovered_branch_is_not_covered() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            3,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 3).unwrap()
+        ]);
         // Q1(y) :- R(x, y), x = 1 — covered.
         let q1 = ConjunctiveQuery::builder("Q1")
             .head(["y"])
@@ -228,21 +219,19 @@ mod tests {
         let union = UnionQuery::from_branches("Q", vec![q1, q2]).unwrap();
         let report = ucq_coverage(&union, &a, &ReasonConfig::default()).unwrap();
         assert!(!report.is_covered());
-        assert!(matches!(report.branches()[1], BranchCoverage::NotCovered(_)));
+        assert!(matches!(
+            report.branches()[1],
+            BranchCoverage::NotCovered(_)
+        ));
         assert!(!report.is_bounded());
     }
 
     #[test]
     fn all_branches_covered() {
         let c = catalog();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            3,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 3).unwrap()
+        ]);
         let mk = |name: &str, k: i64| {
             ConjunctiveQuery::builder(name)
                 .head(["y"])

@@ -330,9 +330,7 @@ fn expansion_children(
                 let Ok(rel) = catalog.relation(&atom.relation) else {
                     continue;
                 };
-                let copy_for = |c: &crate::access::AccessConstraint,
-                                tag: &str|
-                 -> Vec<Arg> {
+                let copy_for = |c: &crate::access::AccessConstraint, tag: &str| -> Vec<Arg> {
                     let xy = c.xy();
                     (0..rel.arity())
                         .map(|p| {
@@ -469,14 +467,9 @@ mod tests {
     fn example_4_1() -> (Catalog, AccessSchema) {
         let mut c = Catalog::new();
         c.declare("R", ["a", "b"]).unwrap();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            6,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 6).unwrap()
+        ]);
         (c, a)
     }
 
@@ -524,9 +517,7 @@ mod tests {
         let nu = env.approximation_bound(&a, 1_000_000).unwrap();
         assert!(nu <= 6 * 6);
         // The envelope contains the original query on all instances.
-        assert!(
-            crate::reason::containment::classically_contained(&q1, &env.query).unwrap()
-        );
+        assert!(crate::reason::containment::classically_contained(&q1, &env.query).unwrap());
     }
 
     #[test]
@@ -558,9 +549,11 @@ mod tests {
         assert!(upper_envelope_cq(&q2, &a, &EnvelopeConfig::default())
             .unwrap()
             .is_none());
-        assert!(lower_envelope_cq(&q2, &a, &c, 3, &EnvelopeConfig::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            lower_envelope_cq(&q2, &a, &c, 3, &EnvelopeConfig::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     /// Example 4.5: Q(x, y) = R(1, x, y) under {R(A → B, N), R(B → C, 1)} has a covered
@@ -639,9 +632,11 @@ mod tests {
             .build(&c)
             .unwrap();
         let unbounded = UnionQuery::from_branches("U", vec![unbounded_branch, q1(&c)]).unwrap();
-        assert!(lower_envelope_ucq(&unbounded, &a, &c, 2, &EnvelopeConfig::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            lower_envelope_ucq(&unbounded, &a, &c, 2, &EnvelopeConfig::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

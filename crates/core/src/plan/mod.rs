@@ -7,14 +7,22 @@
 //! amount of data it retrieves is bounded by the constraint's cardinality) and the plan
 //! length depends only on the query, the schema and `A` — never on the database.
 //!
-//! * [`QueryPlan`] / [`PlanOp`] — the plan IR, validation, cost bounds and pretty-printing.
+//! * [`QueryPlan`] / [`PlanOp`] — the logical plan IR, validation, cost bounds and
+//!   pretty-printing.
 //! * [`synthesis`] — construction of a boundedly evaluable plan from a coverage witness,
 //!   which is the constructive half of Theorem 3.11 ("covered ⇒ boundedly evaluable").
+//! * [`physical`] — rule-based lowering of logical plans into streaming
+//!   [`physical::PhysicalPlan`]s (keyed-lookup fusion, projection pushdown, dedup
+//!   elimination, explicit materialization points).
 //!
 //! Plans are executed against indexed data by `bea-engine`.
 
+pub mod physical;
 pub mod synthesis;
 
+pub use physical::{
+    keys_all_tied, lower_plan, residual_predicates, PhysOp, PhysStep, PhysicalPlan,
+};
 pub use synthesis::{bounded_plan, bounded_plan_for_report, bounded_plan_ucq};
 
 use crate::access::AccessSchema;
@@ -152,7 +160,11 @@ pub struct PlanCost {
 
 impl QueryPlan {
     /// Build a plan from its steps; validates structural well-formedness.
-    pub fn new(query_name: impl Into<String>, steps: Vec<PlanStep>, output: NodeId) -> Result<Self> {
+    pub fn new(
+        query_name: impl Into<String>,
+        steps: Vec<PlanStep>,
+        output: NodeId,
+    ) -> Result<Self> {
         let plan = Self {
             query_name: query_name.into(),
             steps,
@@ -214,7 +226,9 @@ impl QueryPlan {
             let check_source = |j: NodeId, what: &str| -> Result<()> {
                 if j >= i {
                     return Err(Error::InvalidPlan {
-                        reason: format!("step {i} references {what} {j}, which is not an earlier step"),
+                        reason: format!(
+                            "step {i} references {what} {j}, which is not an earlier step"
+                        ),
                     });
                 }
                 Ok(())
@@ -238,7 +252,10 @@ impl QueryPlan {
                 PlanOp::Empty { arity: a } => {
                     if step.columns.len() != *a {
                         return Err(Error::InvalidPlan {
-                            reason: format!("empty step {i} declares arity {a} but has {} labels", step.columns.len()),
+                            reason: format!(
+                                "empty step {i} declares arity {a} but has {} labels",
+                                step.columns.len()
+                            ),
                         });
                     }
                 }
@@ -293,7 +310,9 @@ impl QueryPlan {
                         };
                         if !ok {
                             return Err(Error::InvalidPlan {
-                                reason: format!("selection step {i} references a column out of range"),
+                                reason: format!(
+                                    "selection step {i} references a column out of range"
+                                ),
                             });
                         }
                     }
@@ -391,9 +410,7 @@ impl QueryPlan {
                     fetched = fetched.saturating_add(total);
                     total
                 }
-                PlanOp::Project { source, .. } | PlanOp::Rename { source } => {
-                    row_bounds[*source]
-                }
+                PlanOp::Project { source, .. } | PlanOp::Rename { source } => row_bounds[*source],
                 PlanOp::Select { source, predicates } => {
                     // Keyed-join pattern emitted by plan synthesis: σ over
                     // `T × fetch(X ∈ T, R, …)` with equality predicates on all key
@@ -616,14 +633,10 @@ mod tests {
     fn schema() -> (Catalog, AccessSchema) {
         let mut c = Catalog::new();
         c.declare("R", ["a", "b"]).unwrap();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            10,
-        )
-        .unwrap()]);
+        let a =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 10).unwrap()
+            ]);
         (c, a)
     }
 
@@ -664,14 +677,10 @@ mod tests {
         // A schema whose only constraint is on a different key does not back the fetch.
         let mut c2 = Catalog::new();
         c2.declare("R", ["a", "b"]).unwrap();
-        let other = AccessSchema::from_constraints([AccessConstraint::new(
-            &c2,
-            "R",
-            &["b"],
-            &["a"],
-            10,
-        )
-        .unwrap()]);
+        let other =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c2, "R", &["b"], &["a"], 10).unwrap()
+            ]);
         assert!(!plan.is_bounded_under(&other));
         assert!(!plan.is_bounded_under(&AccessSchema::new()));
     }

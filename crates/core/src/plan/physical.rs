@@ -1,0 +1,1140 @@
+//! Physical plans: pipeline-aware lowering of logical bounded plans.
+//!
+//! A [`super::QueryPlan`] says *what* to compute — a sequence of fetch/π/σ/×/∪/−/ρ
+//! steps mirroring the paper's plan algebra. This module decides *how*: [`lower_plan`]
+//! rewrites the logical step list into a [`PhysicalPlan`] of streaming operators that a
+//! batch pipeline (in `bea-engine`) can execute without materializing a table per step.
+//! Boundedness is untouched by lowering — every physical access still goes through the
+//! index of an access constraint, and the set of `(constraint, key)` lookups is exactly
+//! the one the logical plan performs — only the *residency* of intermediate results
+//! changes, which is the point: the memory footprint of a bounded plan should scale with
+//! the access schema's bounds, not with whatever the intermediate relational algebra
+//! happens to materialize.
+//!
+//! Lowering applies these rules:
+//!
+//! * **Keyed-lookup fusion** — the synthesis emits every fetch as
+//!   `σ[key equalities](T × fetch(X ∈ T, R, Y))`. When the product and the fetch have no
+//!   other consumer, the triple collapses into one [`PhysOp::KeyedLookup`]: an index
+//!   nested-loop join that streams `T`, probes the constraint's index once per distinct
+//!   key, and never materializes the cross product *or* the fetched table. This
+//!   generalizes the `defer_products` peephole that used to live in the executor.
+//! * **Hash-join fallback** — same pattern but with a fetch that other steps also
+//!   consume: the product/selection pair becomes a [`PhysOp::HashJoin`] against the
+//!   (still shared) fetch node instead of a materialized product.
+//! * **Projection pushdown** — a projection that is the sole consumer of a fetch is
+//!   folded into the fetch's output positions ([`PhysOp::Fetch::positions`]), so dropped
+//!   `Y`-attributes are never copied out of the store.
+//! * **Dedup elimination** — each physical step tracks whether its output is already a
+//!   set ([`PhysStep::set_valued`]); explicit [`PhysOp::Dedup`] steps are inserted only
+//!   where the logical plan's set semantics actually needs them (e.g. after a union, or
+//!   after a projection that drops key columns), never after an operator whose output is
+//!   provably duplicate-free.
+//! * **Rename and empty-branch elimination** — ρ steps vanish into column labels;
+//!   `T ∪ ∅` and `T − ∅` collapse to `T`.
+//! * **Materialization points** — a step is marked [`PhysStep::materialize`] only when
+//!   it is a genuine pipeline breaker: its result is consumed by more than one operator
+//!   (or it is the plan output). Everything else streams.
+//!
+//! The companion executor lives in `bea-engine` (`ops` module); it assigns one streaming
+//! operator per physical step and reports peak rows resident alongside the usual access
+//! statistics, so the materialized-vs-streaming ablation is observable.
+
+use crate::error::{Error, Result};
+use crate::plan::{NodeId, PlanOp, Predicate, QueryPlan};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a physical step within a [`PhysicalPlan`].
+pub type PhysId = usize;
+
+/// One physical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// A single-row, single-column constant table.
+    Const {
+        /// The constant.
+        value: Value,
+    },
+    /// A single row of arity 0.
+    Unit,
+    /// The empty relation of the given arity.
+    Empty {
+        /// Number of columns.
+        arity: usize,
+    },
+    /// Streaming index fetch: drain `source`, deduplicate the key projections, then for
+    /// each key probe the constraint's index and emit the `positions`-projection of every
+    /// matching tuple (deduplicated per key).
+    Fetch {
+        /// The step supplying the key values.
+        source: PhysId,
+        /// Columns of `source` holding the key, aligned with `x_attrs`.
+        key_cols: Vec<usize>,
+        /// The relation fetched from.
+        relation: String,
+        /// Attribute positions of the relation forming the index key `X`.
+        x_attrs: Vec<usize>,
+        /// Attribute positions of the relation to emit, in output-column order. For an
+        /// unfused fetch this is `x_attrs ++ y_attrs`; projection pushdown narrows or
+        /// reorders it.
+        positions: Vec<usize>,
+        /// Index of the backing access constraint in the access schema.
+        constraint_index: usize,
+    },
+    /// Index nested-loop join: for each row of `source`, probe the constraint's index
+    /// with the row's `key_cols` projection (once per distinct key) and emit the row
+    /// concatenated with each matching tuple's `positions`-projection, filtered by the
+    /// `residual` predicates. This is the fused form of
+    /// `σ[key equalities](T × fetch(X ∈ T, R, Y))`.
+    KeyedLookup {
+        /// The step supplying the probe rows.
+        source: PhysId,
+        /// Columns of `source` holding the key, aligned with `x_attrs`.
+        key_cols: Vec<usize>,
+        /// The relation fetched from.
+        relation: String,
+        /// Attribute positions of the relation forming the index key `X`.
+        x_attrs: Vec<usize>,
+        /// Attribute positions of the relation to emit for the fetch side.
+        positions: Vec<usize>,
+        /// Index of the backing access constraint in the access schema.
+        constraint_index: usize,
+        /// Predicates (over the concatenated output) beyond the fused key equalities.
+        residual: Vec<Predicate>,
+    },
+    /// Hash join on column equalities: build a hash table over `right` keyed by
+    /// `right_keys`, stream `left`, and emit matching concatenations filtered by the
+    /// `residual` predicates. Used when the keyed-lookup pattern matches but the fetch
+    /// result is shared with other consumers and must stay a separate step.
+    HashJoin {
+        /// Probe side.
+        left: PhysId,
+        /// Build side.
+        right: PhysId,
+        /// Key columns of the probe side.
+        left_keys: Vec<usize>,
+        /// Key columns of the build side.
+        right_keys: Vec<usize>,
+        /// Predicates (over the concatenated output) beyond the join equalities.
+        residual: Vec<Predicate>,
+    },
+    /// Streaming selection.
+    Filter {
+        /// Input step.
+        source: PhysId,
+        /// Conjunction of predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Streaming projection (no deduplication — a [`PhysOp::Dedup`] follows if needed).
+    Project {
+        /// Input step.
+        source: PhysId,
+        /// Columns to keep.
+        cols: Vec<usize>,
+    },
+    /// Streaming duplicate elimination (keeps a set of rows seen so far).
+    Dedup {
+        /// Input step.
+        source: PhysId,
+    },
+    /// Cartesian product: the right side is buffered, the left side streams.
+    Product {
+        /// Streaming side.
+        left: PhysId,
+        /// Buffered side.
+        right: PhysId,
+    },
+    /// Streaming concatenation of both inputs (a [`PhysOp::Dedup`] restores set
+    /// semantics downstream).
+    Union {
+        /// First input.
+        left: PhysId,
+        /// Second input.
+        right: PhysId,
+    },
+    /// Anti-semijoin on whole rows: the right side is buffered as a set, the left side
+    /// streams through it.
+    Difference {
+        /// Streaming side.
+        left: PhysId,
+        /// Buffered side.
+        right: PhysId,
+    },
+}
+
+impl PhysOp {
+    /// The steps this operator reads from.
+    pub fn inputs(&self) -> Vec<PhysId> {
+        match self {
+            PhysOp::Const { .. } | PhysOp::Unit | PhysOp::Empty { .. } => Vec::new(),
+            PhysOp::Fetch { source, .. }
+            | PhysOp::KeyedLookup { source, .. }
+            | PhysOp::Filter { source, .. }
+            | PhysOp::Project { source, .. }
+            | PhysOp::Dedup { source } => vec![*source],
+            PhysOp::HashJoin { left, right, .. }
+            | PhysOp::Product { left, right }
+            | PhysOp::Union { left, right }
+            | PhysOp::Difference { left, right } => vec![*left, *right],
+        }
+    }
+}
+
+/// One physical step: an operator plus its output description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysStep {
+    /// The operator producing this step's result.
+    pub op: PhysOp,
+    /// Labels of the result columns.
+    pub columns: Vec<String>,
+    /// True when the operator's output is provably duplicate-free; lowering inserts
+    /// [`PhysOp::Dedup`] steps exactly where this is false but set semantics is needed.
+    pub set_valued: bool,
+    /// True when this step's result must be materialized (it has several consumers, or
+    /// it is the plan output); everything else streams into its single consumer.
+    pub materialize: bool,
+    /// Number of operators consuming this step's result (the plan output counts once).
+    pub consumers: usize,
+}
+
+/// A physical plan: streaming operators plus the index of the output step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    query_name: String,
+    steps: Vec<PhysStep>,
+    output: PhysId,
+}
+
+impl PhysicalPlan {
+    /// The name of the query this plan answers.
+    pub fn query_name(&self) -> &str {
+        &self.query_name
+    }
+
+    /// The physical steps in evaluation order.
+    pub fn steps(&self) -> &[PhysStep] {
+        &self.steps
+    }
+
+    /// The output step.
+    pub fn output(&self) -> PhysId {
+        self.output
+    }
+
+    /// Number of physical steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the plan has no steps (never the case for lowered plans).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Structural validation: inputs precede their consumers and arities line up.
+    pub fn validate(&self) -> Result<()> {
+        if self.steps.is_empty() {
+            return Err(Error::InvalidPlan {
+                reason: "physical plan has no steps".into(),
+            });
+        }
+        if self.output >= self.steps.len() {
+            return Err(Error::InvalidPlan {
+                reason: format!("physical output step {} is out of range", self.output),
+            });
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            for input in step.op.inputs() {
+                if input >= i {
+                    return Err(Error::InvalidPlan {
+                        reason: format!(
+                            "physical step {i} reads step {input}, which is not earlier"
+                        ),
+                    });
+                }
+            }
+            let arity = |j: PhysId| self.steps[j].columns.len();
+            let preds_in_range = |predicates: &[Predicate], arity: usize| {
+                predicates.iter().all(|p| match p {
+                    Predicate::ColEqCol(a, b) => *a < arity && *b < arity,
+                    Predicate::ColEqConst(a, _) => *a < arity,
+                })
+            };
+            let ok = match &step.op {
+                PhysOp::Const { .. } => step.columns.len() == 1,
+                PhysOp::Unit => step.columns.is_empty(),
+                PhysOp::Empty { arity: a } => step.columns.len() == *a,
+                PhysOp::Fetch {
+                    key_cols,
+                    x_attrs,
+                    positions,
+                    source,
+                    ..
+                } => {
+                    key_cols.len() == x_attrs.len()
+                        && key_cols.iter().all(|&c| c < arity(*source))
+                        && step.columns.len() == positions.len()
+                }
+                PhysOp::KeyedLookup {
+                    key_cols,
+                    x_attrs,
+                    positions,
+                    source,
+                    residual,
+                    ..
+                } => {
+                    key_cols.len() == x_attrs.len()
+                        && key_cols.iter().all(|&c| c < arity(*source))
+                        && step.columns.len() == arity(*source) + positions.len()
+                        && preds_in_range(residual, step.columns.len())
+                }
+                PhysOp::HashJoin {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    residual,
+                } => {
+                    left_keys.len() == right_keys.len()
+                        && left_keys.iter().all(|&c| c < arity(*left))
+                        && right_keys.iter().all(|&c| c < arity(*right))
+                        && step.columns.len() == arity(*left) + arity(*right)
+                        && preds_in_range(residual, step.columns.len())
+                }
+                PhysOp::Filter { source, predicates } => {
+                    step.columns.len() == arity(*source)
+                        && preds_in_range(predicates, arity(*source))
+                }
+                PhysOp::Project { source, cols } => {
+                    cols.iter().all(|&c| c < arity(*source)) && step.columns.len() == cols.len()
+                }
+                PhysOp::Dedup { source } => step.columns.len() == arity(*source),
+                PhysOp::Product { left, right } => {
+                    step.columns.len() == arity(*left) + arity(*right)
+                }
+                PhysOp::Union { left, right } | PhysOp::Difference { left, right } => {
+                    arity(*left) == arity(*right) && step.columns.len() == arity(*left)
+                }
+            };
+            if !ok {
+                return Err(Error::InvalidPlan {
+                    reason: format!("physical step {i} has inconsistent arity"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Count how many steps are marked as materialization points (pipeline breakers).
+    pub fn materialization_points(&self) -> usize {
+        self.steps.iter().filter(|s| s.materialize).count()
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "physical plan for {}:", self.query_name)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut marks = String::new();
+            if i == self.output {
+                marks.push_str(" (output)");
+            }
+            if step.materialize {
+                marks.push_str(" [mat]");
+            }
+            let cols = step.columns.join(", ");
+            match &step.op {
+                PhysOp::Const { value } => writeln!(f, "  P{i} = {{{value}}}{marks} [{cols}]")?,
+                PhysOp::Unit => writeln!(f, "  P{i} = {{()}}{marks}")?,
+                PhysOp::Empty { arity } => writeln!(f, "  P{i} = ∅/{arity}{marks}")?,
+                PhysOp::Fetch {
+                    source,
+                    key_cols,
+                    relation,
+                    positions,
+                    constraint_index,
+                    ..
+                } => writeln!(
+                    f,
+                    "  P{i} = fetch(X ∈ π{key_cols:?}(P{source}), {relation}→{positions:?}) via φ{constraint_index}{marks} [{cols}]"
+                )?,
+                PhysOp::KeyedLookup {
+                    source,
+                    key_cols,
+                    relation,
+                    positions,
+                    constraint_index,
+                    residual,
+                    ..
+                } => writeln!(
+                    f,
+                    "  P{i} = P{source} ⋉× lookup({relation}→{positions:?} by {key_cols:?}, σ[{} residual]) via φ{constraint_index}{marks} [{cols}]",
+                    residual.len()
+                )?,
+                PhysOp::HashJoin {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    ..
+                } => writeln!(
+                    f,
+                    "  P{i} = P{left} ⋈[{left_keys:?}={right_keys:?}] P{right}{marks} [{cols}]"
+                )?,
+                PhysOp::Filter { source, predicates } => {
+                    let preds = predicates
+                        .iter()
+                        .map(Predicate::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ∧ ");
+                    writeln!(f, "  P{i} = σ[{preds}](P{source}){marks} [{cols}]")?
+                }
+                PhysOp::Project { source, cols: c } => {
+                    writeln!(f, "  P{i} = π{c:?}(P{source}){marks} [{cols}]")?
+                }
+                PhysOp::Dedup { source } => writeln!(f, "  P{i} = δ(P{source}){marks} [{cols}]")?,
+                PhysOp::Product { left, right } => {
+                    writeln!(f, "  P{i} = P{left} × P{right}{marks} [{cols}]")?
+                }
+                PhysOp::Union { left, right } => {
+                    writeln!(f, "  P{i} = P{left} ∪ P{right}{marks} [{cols}]")?
+                }
+                PhysOp::Difference { left, right } => {
+                    writeln!(f, "  P{i} = P{left} − P{right}{marks} [{cols}]")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a logical `σ(product)` pair lowers when the keyed-join pattern matches.
+enum Fusion {
+    /// Product and fetch both disappear into a [`PhysOp::KeyedLookup`].
+    Keyed { left: NodeId, fetch: NodeId },
+    /// Only the product disappears; the fetch stays shared and the selection becomes a
+    /// [`PhysOp::HashJoin`] against it.
+    Hash { left: NodeId, fetch: NodeId },
+}
+
+/// Lower a logical plan to a physical streaming plan. See the module docs for the rules.
+pub fn lower_plan(plan: &QueryPlan) -> Result<PhysicalPlan> {
+    plan.validate()?;
+    let steps = plan.steps();
+    let n = steps.len();
+
+    // Logical consumer lists; the plan output counts as one extra (virtual) consumer.
+    let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (i, step) in steps.iter().enumerate() {
+        match &step.op {
+            PlanOp::Fetch { source, .. }
+            | PlanOp::Project { source, .. }
+            | PlanOp::Select { source, .. }
+            | PlanOp::Rename { source } => consumers[*source].push(i),
+            PlanOp::Product { left, right }
+            | PlanOp::Union { left, right }
+            | PlanOp::Difference { left, right } => {
+                consumers[*left].push(i);
+                consumers[*right].push(i);
+            }
+            PlanOp::Const { .. } | PlanOp::Unit | PlanOp::Empty { .. } => {}
+        }
+    }
+    consumers[plan.output()].push(n); // virtual consumer: the caller
+
+    // Keyed-join fusion: σ[all keys tied](T × fetch(X ∈ T, …)) where the product has no
+    // other consumer. The fetch is absorbed too when the selection is its only transitive
+    // consumer; otherwise it stays shared and the selection becomes a hash join.
+    let mut fusion: BTreeMap<NodeId, Fusion> = BTreeMap::new();
+    let mut absorbed: BTreeSet<NodeId> = BTreeSet::new();
+    for (i, step) in steps.iter().enumerate() {
+        let PlanOp::Select { source, predicates } = &step.op else {
+            continue;
+        };
+        let PlanOp::Product { left, right } = &steps[*source].op else {
+            continue;
+        };
+        if consumers[*source].len() != 1 {
+            continue;
+        }
+        let PlanOp::Fetch {
+            source: fetch_source,
+            key_cols,
+            ..
+        } = &steps[*right].op
+        else {
+            continue;
+        };
+        if fetch_source != left {
+            continue;
+        }
+        let left_arity = steps[*left].columns.len();
+        if !keys_all_tied(predicates, key_cols, left_arity) {
+            continue;
+        }
+        absorbed.insert(*source);
+        if consumers[*right].len() == 1 {
+            absorbed.insert(*right);
+            fusion.insert(
+                i,
+                Fusion::Keyed {
+                    left: *left,
+                    fetch: *right,
+                },
+            );
+        } else {
+            fusion.insert(
+                i,
+                Fusion::Hash {
+                    left: *left,
+                    fetch: *right,
+                },
+            );
+        }
+    }
+
+    // Projection pushdown: a projection that is the sole consumer of a fetch folds into
+    // the fetch's output positions.
+    let mut pushdown: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    for (i, step) in steps.iter().enumerate() {
+        let PlanOp::Project { source, .. } = &step.op else {
+            continue;
+        };
+        if absorbed.contains(source) || consumers[*source].len() != 1 {
+            continue;
+        }
+        if matches!(&steps[*source].op, PlanOp::Fetch { .. }) {
+            pushdown.insert(i, *source);
+            absorbed.insert(*source);
+        }
+    }
+
+    // Emit physical steps.
+    let mut phys: Vec<PhysStep> = Vec::with_capacity(n);
+    let mut map: Vec<Option<PhysId>> = vec![None; n];
+    let push = |phys: &mut Vec<PhysStep>, op: PhysOp, columns: Vec<String>, sv: bool| {
+        phys.push(PhysStep {
+            op,
+            columns,
+            set_valued: sv,
+            materialize: false,
+            consumers: 0,
+        });
+        phys.len() - 1
+    };
+    // Fetch output = x_attrs ++ y_attrs, expressed as relation-attribute positions.
+    let fetch_base_positions = |node: NodeId| -> Vec<usize> {
+        let PlanOp::Fetch {
+            x_attrs, y_attrs, ..
+        } = &steps[node].op
+        else {
+            unreachable!("caller checked the step is a fetch");
+        };
+        x_attrs.iter().chain(y_attrs.iter()).copied().collect()
+    };
+
+    for (i, step) in steps.iter().enumerate() {
+        if absorbed.contains(&i) {
+            continue;
+        }
+        let node = match &step.op {
+            PlanOp::Const { value } => push(
+                &mut phys,
+                PhysOp::Const {
+                    value: value.clone(),
+                },
+                step.columns.clone(),
+                true,
+            ),
+            PlanOp::Unit => push(&mut phys, PhysOp::Unit, step.columns.clone(), true),
+            PlanOp::Empty { arity } => push(
+                &mut phys,
+                PhysOp::Empty { arity: *arity },
+                step.columns.clone(),
+                true,
+            ),
+            PlanOp::Fetch {
+                source,
+                key_cols,
+                relation,
+                x_attrs,
+                constraint_index,
+                ..
+            } => {
+                // An unfused fetch emits X ++ Y: distinct keys yield rows that differ on
+                // the X prefix, and the operator deduplicates within each key, so the
+                // output is a set and the logical fetch's dedup is eliminated.
+                push(
+                    &mut phys,
+                    PhysOp::Fetch {
+                        source: map[*source].expect("source lowered earlier"),
+                        key_cols: key_cols.clone(),
+                        relation: relation.clone(),
+                        x_attrs: x_attrs.clone(),
+                        positions: fetch_base_positions(i),
+                        constraint_index: *constraint_index,
+                    },
+                    step.columns.clone(),
+                    true,
+                )
+            }
+            PlanOp::Project { source, cols } => {
+                if let Some(&fetch_node) = pushdown.get(&i) {
+                    let PlanOp::Fetch {
+                        source: fsrc,
+                        key_cols,
+                        relation,
+                        x_attrs,
+                        constraint_index,
+                        ..
+                    } = &steps[fetch_node].op
+                    else {
+                        unreachable!("pushdown targets are fetches");
+                    };
+                    let base = fetch_base_positions(fetch_node);
+                    let positions: Vec<usize> = cols.iter().map(|&c| base[c]).collect();
+                    // Set-valued only if the projection kept every key attribute —
+                    // otherwise rows from different keys can collide.
+                    let sv = x_attrs.iter().all(|a| positions.contains(a));
+                    let id = push(
+                        &mut phys,
+                        PhysOp::Fetch {
+                            source: map[*fsrc].expect("source lowered earlier"),
+                            key_cols: key_cols.clone(),
+                            relation: relation.clone(),
+                            x_attrs: x_attrs.clone(),
+                            positions,
+                            constraint_index: *constraint_index,
+                        },
+                        step.columns.clone(),
+                        sv,
+                    );
+                    if sv {
+                        id
+                    } else {
+                        push(
+                            &mut phys,
+                            PhysOp::Dedup { source: id },
+                            step.columns.clone(),
+                            true,
+                        )
+                    }
+                } else {
+                    let src = map[*source].expect("source lowered earlier");
+                    let src_arity = phys[src].columns.len();
+                    // Keeping every input column (in any order, possibly duplicated)
+                    // makes the projection injective on rows.
+                    let injective = (0..src_arity).all(|c| cols.contains(&c));
+                    let sv = phys[src].set_valued && injective;
+                    let id = push(
+                        &mut phys,
+                        PhysOp::Project {
+                            source: src,
+                            cols: cols.clone(),
+                        },
+                        step.columns.clone(),
+                        sv,
+                    );
+                    if sv {
+                        id
+                    } else {
+                        push(
+                            &mut phys,
+                            PhysOp::Dedup { source: id },
+                            step.columns.clone(),
+                            true,
+                        )
+                    }
+                }
+            }
+            PlanOp::Select { source, predicates } => match fusion.get(&i) {
+                Some(Fusion::Keyed { left, fetch }) => {
+                    let PlanOp::Fetch {
+                        key_cols,
+                        relation,
+                        x_attrs,
+                        constraint_index,
+                        ..
+                    } = &steps[*fetch].op
+                    else {
+                        unreachable!("fusion targets are fetches");
+                    };
+                    let src = map[*left].expect("source lowered earlier");
+                    let residual =
+                        residual_predicates(predicates, key_cols, phys[src].columns.len());
+                    // Distinct probe rows emit distinct concatenations (the fetched
+                    // side is deduplicated per key).
+                    let sv = phys[src].set_valued;
+                    push(
+                        &mut phys,
+                        PhysOp::KeyedLookup {
+                            source: src,
+                            key_cols: key_cols.clone(),
+                            relation: relation.clone(),
+                            x_attrs: x_attrs.clone(),
+                            positions: fetch_base_positions(*fetch),
+                            constraint_index: *constraint_index,
+                            residual,
+                        },
+                        step.columns.clone(),
+                        sv,
+                    )
+                }
+                Some(Fusion::Hash { left, fetch }) => {
+                    let PlanOp::Fetch { key_cols, .. } = &steps[*fetch].op else {
+                        unreachable!("fusion targets are fetches");
+                    };
+                    let l = map[*left].expect("source lowered earlier");
+                    let r = map[*fetch].expect("source lowered earlier");
+                    let residual = residual_predicates(predicates, key_cols, phys[l].columns.len());
+                    let sv = phys[l].set_valued && phys[r].set_valued;
+                    push(
+                        &mut phys,
+                        PhysOp::HashJoin {
+                            left: l,
+                            right: r,
+                            left_keys: key_cols.clone(),
+                            right_keys: (0..key_cols.len()).collect(),
+                            residual,
+                        },
+                        step.columns.clone(),
+                        sv,
+                    )
+                }
+                None => {
+                    let src = map[*source].expect("source lowered earlier");
+                    let sv = phys[src].set_valued;
+                    push(
+                        &mut phys,
+                        PhysOp::Filter {
+                            source: src,
+                            predicates: predicates.clone(),
+                        },
+                        step.columns.clone(),
+                        sv,
+                    )
+                }
+            },
+            PlanOp::Product { left, right } => {
+                let (l, r) = (
+                    map[*left].expect("source lowered earlier"),
+                    map[*right].expect("source lowered earlier"),
+                );
+                let sv = phys[l].set_valued && phys[r].set_valued;
+                push(
+                    &mut phys,
+                    PhysOp::Product { left: l, right: r },
+                    step.columns.clone(),
+                    sv,
+                )
+            }
+            PlanOp::Union { left, right } => {
+                let (l, r) = (
+                    map[*left].expect("source lowered earlier"),
+                    map[*right].expect("source lowered earlier"),
+                );
+                // ∅ branches vanish (the logical union still dedups, so guard that).
+                let alias = if matches!(phys[l].op, PhysOp::Empty { .. }) {
+                    Some(r)
+                } else if matches!(phys[r].op, PhysOp::Empty { .. }) {
+                    Some(l)
+                } else {
+                    None
+                };
+                match alias {
+                    Some(a) if phys[a].set_valued => a,
+                    Some(a) => push(
+                        &mut phys,
+                        PhysOp::Dedup { source: a },
+                        step.columns.clone(),
+                        true,
+                    ),
+                    None => {
+                        let u = push(
+                            &mut phys,
+                            PhysOp::Union { left: l, right: r },
+                            step.columns.clone(),
+                            false,
+                        );
+                        push(
+                            &mut phys,
+                            PhysOp::Dedup { source: u },
+                            step.columns.clone(),
+                            true,
+                        )
+                    }
+                }
+            }
+            PlanOp::Difference { left, right } => {
+                let (l, r) = (
+                    map[*left].expect("source lowered earlier"),
+                    map[*right].expect("source lowered earlier"),
+                );
+                if matches!(phys[r].op, PhysOp::Empty { .. }) {
+                    l
+                } else {
+                    let sv = phys[l].set_valued;
+                    push(
+                        &mut phys,
+                        PhysOp::Difference { left: l, right: r },
+                        step.columns.clone(),
+                        sv,
+                    )
+                }
+            }
+            PlanOp::Rename { source } => map[*source].expect("source lowered earlier"),
+        };
+        map[i] = Some(node);
+    }
+
+    // Restore set semantics at the output and force the logical column labels.
+    let mut output = map[plan.output()].expect("output lowered");
+    if !phys[output].set_valued {
+        let columns = phys[output].columns.clone();
+        output = push(&mut phys, PhysOp::Dedup { source: output }, columns, true);
+    }
+    phys[output].columns = steps[plan.output()].columns.clone();
+
+    // Prune steps no longer reachable from the output (sources of eliminated renames,
+    // ∅ branches, steps absorbed into fused operators).
+    let (mut phys, output) = prune_unreachable(phys, output);
+
+    // Consumer counts over the physical graph decide the materialization points.
+    let mut counts: Vec<usize> = vec![0; phys.len()];
+    for step in &phys {
+        for input in step.op.inputs() {
+            counts[input] += 1;
+        }
+    }
+    counts[output] += 1; // virtual consumer: the caller takes the output table
+    for (step, &count) in phys.iter_mut().zip(counts.iter()) {
+        step.consumers = count;
+        step.materialize = count >= 2;
+    }
+    phys[output].materialize = true;
+
+    let plan = PhysicalPlan {
+        query_name: plan.query_name().to_owned(),
+        steps: phys,
+        output,
+    };
+    plan.validate()?;
+    Ok(plan)
+}
+
+/// Drop steps unreachable from the output, remapping step ids (order is preserved, so
+/// topological validity is too).
+fn prune_unreachable(steps: Vec<PhysStep>, output: PhysId) -> (Vec<PhysStep>, PhysId) {
+    let mut reachable = vec![false; steps.len()];
+    let mut stack = vec![output];
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut reachable[i], true) {
+            continue;
+        }
+        stack.extend(steps[i].op.inputs());
+    }
+    if reachable.iter().all(|&r| r) {
+        return (steps, output);
+    }
+    let mut remap: Vec<Option<PhysId>> = vec![None; steps.len()];
+    let mut kept: Vec<PhysStep> = Vec::with_capacity(steps.len());
+    for (i, mut step) in steps.into_iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let fix = |j: &mut PhysId| *j = remap[*j].expect("inputs of reachable steps are reachable");
+        match &mut step.op {
+            PhysOp::Const { .. } | PhysOp::Unit | PhysOp::Empty { .. } => {}
+            PhysOp::Fetch { source, .. }
+            | PhysOp::KeyedLookup { source, .. }
+            | PhysOp::Filter { source, .. }
+            | PhysOp::Project { source, .. }
+            | PhysOp::Dedup { source } => fix(source),
+            PhysOp::HashJoin { left, right, .. }
+            | PhysOp::Product { left, right }
+            | PhysOp::Union { left, right }
+            | PhysOp::Difference { left, right } => {
+                fix(left);
+                fix(right);
+            }
+        }
+        remap[i] = Some(kept.len());
+        kept.push(step);
+    }
+    let output = remap[output].expect("output is reachable");
+    (kept, output)
+}
+
+/// True when `predicates` equates every fetch key column with its source column — the
+/// `σ[key equalities](T × fetch(X ∈ T, …))` shape plan synthesis emits for every fetch.
+/// Shared with the materialized executor's deferred-product peephole so the two
+/// strategies always recognize the same pattern.
+pub fn keys_all_tied(predicates: &[Predicate], key_cols: &[usize], left_arity: usize) -> bool {
+    key_cols
+        .iter()
+        .enumerate()
+        .all(|(k, &kc)| predicates.contains(&Predicate::ColEqCol(kc, left_arity + k)))
+}
+
+/// The predicates of a fused selection that go beyond the key equalities (the part a
+/// keyed join still has to check per emitted row). Counterpart of [`keys_all_tied`].
+pub fn residual_predicates(
+    predicates: &[Predicate],
+    key_cols: &[usize],
+    left_arity: usize,
+) -> Vec<Predicate> {
+    predicates
+        .iter()
+        .filter(|p| match p {
+            Predicate::ColEqCol(a, b) => !key_cols
+                .iter()
+                .enumerate()
+                .any(|(k, &kc)| *a == kc && *b == left_arity + k),
+            Predicate::ColEqConst(_, _) => true,
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+
+    /// `σ[k = a](keys × fetch(a ∈ keys, R, b))` — the exact shape plan synthesis emits.
+    fn keyed_join_plan() -> QueryPlan {
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let k2 = b.constant(Value::int(2), "k");
+        let keys = b.union(k1, k2);
+        let fetched = b.fetch(
+            keys,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(keys, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        b.finish("Q", sel).unwrap()
+    }
+
+    #[test]
+    fn keyed_join_fuses_into_lookup() {
+        let plan = keyed_join_plan();
+        let phys = lower_plan(&plan).unwrap();
+        assert!(phys.validate().is_ok());
+        // No physical product, no standalone fetch: the whole pattern is one lookup.
+        assert!(phys
+            .steps()
+            .iter()
+            .all(|s| !matches!(s.op, PhysOp::Product { .. } | PhysOp::Fetch { .. })));
+        let lookups = phys
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.op, PhysOp::KeyedLookup { .. }))
+            .count();
+        assert_eq!(lookups, 1);
+        // The fused key equality leaves no residual predicate.
+        let Some(PhysOp::KeyedLookup { residual, .. }) = phys
+            .steps()
+            .iter()
+            .map(|s| &s.op)
+            .find(|op| matches!(op, PhysOp::KeyedLookup { .. }))
+        else {
+            panic!("no keyed lookup");
+        };
+        assert!(residual.is_empty());
+        let display = phys.to_string();
+        assert!(display.contains("lookup"));
+        assert!(display.contains("(output)"));
+    }
+
+    #[test]
+    fn shared_fetch_falls_back_to_hash_join() {
+        // Same pattern, but the fetch result is also consumed by a projection, so it
+        // must stay a step of its own and the selection becomes a hash join.
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let fetched = b.fetch(
+            k1,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(k1, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        let other = b.project(fetched, vec![1]);
+        let out = b.product(sel, other);
+        let plan = b.finish("Q", out).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::Fetch { .. })));
+        // The shared fetch is a pipeline breaker: it feeds both the join and the
+        // projection.
+        let fetch_step = phys
+            .steps()
+            .iter()
+            .find(|s| matches!(s.op, PhysOp::Fetch { .. }))
+            .unwrap();
+        assert!(fetch_step.materialize);
+        assert_eq!(fetch_step.consumers, 2);
+    }
+
+    #[test]
+    fn projection_pushes_into_fetch_positions() {
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "k");
+        let fetched = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1, 2],
+            0,
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        // Keep only (a, c): the y-attribute b is never copied out of the store.
+        let projected = b.project(fetched, vec![0, 2]);
+        let plan = b.finish("Q", projected).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        assert!(phys
+            .steps()
+            .iter()
+            .all(|s| !matches!(s.op, PhysOp::Project { .. })));
+        let Some(PhysOp::Fetch { positions, .. }) = phys
+            .steps()
+            .iter()
+            .map(|s| &s.op)
+            .find(|op| matches!(op, PhysOp::Fetch { .. }))
+        else {
+            panic!("no fetch");
+        };
+        assert_eq!(positions, &[0, 2]);
+        // The key attribute survives the projection, so no dedup step is needed.
+        assert!(phys
+            .steps()
+            .iter()
+            .all(|s| !matches!(s.op, PhysOp::Dedup { .. })));
+    }
+
+    #[test]
+    fn projection_dropping_keys_requires_dedup() {
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let k2 = b.constant(Value::int(2), "k");
+        let keys = b.union(k1, k2);
+        let fetched = b.fetch(
+            keys,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        // Keep only b: rows fetched under different keys can now collide.
+        let projected = b.project(fetched, vec![1]);
+        let plan = b.finish("Q", projected).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        let Some(PhysOp::Fetch { positions, .. }) = phys
+            .steps()
+            .iter()
+            .map(|s| &s.op)
+            .find(|op| matches!(op, PhysOp::Fetch { .. }))
+        else {
+            panic!("no fetch");
+        };
+        assert_eq!(positions, &[1]);
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::Dedup { .. })));
+    }
+
+    #[test]
+    fn rename_and_empty_branches_vanish() {
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "x");
+        let e = b.empty(1);
+        let u = b.union(k, e);
+        let d = b.difference(u, e);
+        let r = b.rename(d, vec!["y".into()]);
+        let plan = b.finish("Q", r).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        // Everything collapses to the constant: one step, already set-valued.
+        assert_eq!(phys.len(), 1);
+        assert!(matches!(phys.steps()[0].op, PhysOp::Const { .. }));
+        // The output keeps the rename's label.
+        assert_eq!(phys.steps()[phys.output()].columns, vec!["y".to_owned()]);
+    }
+
+    #[test]
+    fn injective_projection_eliminates_dedup() {
+        let mut b = PlanBuilder::new();
+        let x = b.constant(Value::int(1), "x");
+        let y = b.constant(Value::int(2), "y");
+        let p = b.product(x, y);
+        // Swapping columns keeps every input column: injective, no dedup needed.
+        let swapped = b.project(p, vec![1, 0]);
+        let plan = b.finish("Q", swapped).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        assert!(phys
+            .steps()
+            .iter()
+            .all(|s| !matches!(s.op, PhysOp::Dedup { .. })));
+        // Dropping a column of a product of singletons is still injective-free but the
+        // source is set-valued… dropping makes it non-injective:
+        let mut b = PlanBuilder::new();
+        let x = b.constant(Value::int(1), "x");
+        let y = b.constant(Value::int(2), "y");
+        let p = b.product(x, y);
+        let dropped = b.project(p, vec![0]);
+        let plan = b.finish("Q", dropped).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::Dedup { .. })));
+    }
+
+    #[test]
+    fn materialization_points_are_shared_nodes_and_output() {
+        let plan = keyed_join_plan();
+        let phys = lower_plan(&plan).unwrap();
+        // Only the output is a breaker here: the union of keys feeds exactly one
+        // operator (the fused lookup), so everything streams.
+        assert_eq!(phys.materialization_points(), 1);
+        assert!(phys.steps()[phys.output()].materialize);
+    }
+
+    #[test]
+    fn unit_and_empty_lower_unchanged() {
+        let mut b = PlanBuilder::new();
+        let u = b.unit();
+        let k = b.constant(Value::int(1), "x");
+        let p = b.product(u, k);
+        let plan = b.finish("Q", p).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        assert!(phys.steps().iter().any(|s| matches!(s.op, PhysOp::Unit)));
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::Product { .. })));
+        assert!(!phys.is_empty());
+        assert_eq!(phys.query_name(), "Q");
+    }
+}

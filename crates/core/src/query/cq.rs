@@ -514,8 +514,8 @@ impl ConjunctiveQuery {
             let eq = probe.eq_classes();
             let mut unsafe_vars: BTreeSet<Var> = BTreeSet::new();
             for v in probe.vars_in_use() {
-                let safe = eq.members(v).iter().any(|m| atom_vars.contains(m))
-                    || eq.constant(v).is_some();
+                let safe =
+                    eq.members(v).iter().any(|m| atom_vars.contains(m)) || eq.constant(v).is_some();
                 if !safe {
                     unsafe_vars.insert(v);
                 }
@@ -1094,7 +1094,10 @@ mod tests {
             .unwrap();
         let relaxed = q.without_atoms(&BTreeSet::from([casualty_idx])).unwrap();
         assert_eq!(relaxed.atoms().len(), 2);
-        assert!(relaxed.var_by_name("cid").is_none(), "cid is compacted away");
+        assert!(
+            relaxed.var_by_name("cid").is_none(),
+            "cid is compacted away"
+        );
         assert_eq!(relaxed.arity(), 1);
     }
 
@@ -1111,9 +1114,7 @@ mod tests {
             .unwrap();
         let y = q.var_by_name("y").unwrap();
         let z = q.var_by_name("z").unwrap();
-        let merged = q
-            .merge_vars(&BTreeMap::from([(z, y)]))
-            .unwrap();
+        let merged = q.merge_vars(&BTreeMap::from([(z, y)])).unwrap();
         assert_eq!(merged.atoms().len(), 1, "identical atoms are deduplicated");
         // y = w survives once.
         assert_eq!(

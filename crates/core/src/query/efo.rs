@@ -225,7 +225,12 @@ impl PositiveQuery {
                     Arg::Const(_) => None,
                 })
                 .collect();
-            b = b.params(self.params.iter().filter(|p| occurring.contains(*p)).cloned());
+            b = b.params(
+                self.params
+                    .iter()
+                    .filter(|p| occurring.contains(*p))
+                    .cloned(),
+            );
             branches.push(b.build(catalog)?);
         }
         UnionQuery::from_branches(self.name.clone(), branches)
@@ -274,10 +279,7 @@ fn rename_bound_apart(
                 env.insert(v.clone(), fresh.clone());
                 new_vars.push(fresh);
             }
-            PosFormula::Exists(
-                new_vars,
-                Box::new(rename_bound_apart(body, counter, &env)),
-            )
+            PosFormula::Exists(new_vars, Box::new(rename_bound_apart(body, counter, &env)))
         }
     }
 }

@@ -400,8 +400,7 @@ mod tests {
 
     #[test]
     fn specialization_of_free_parameter() {
-        let q = FirstOrderQuery::new("Q", ["x"], Formula::atom("R", ["x", "y"]))
-            .with_params(["y"]);
+        let q = FirstOrderQuery::new("Q", ["x"], Formula::atom("R", ["x", "y"])).with_params(["y"]);
         let s = q.specialized(&[("y".into(), Value::int(3))]);
         // The equality is conjoined at the top level because y is free.
         match s.body() {

@@ -16,10 +16,7 @@ pub struct UnionQuery {
 impl UnionQuery {
     /// Build a union from CQ branches; at least one branch is required and all branches
     /// must have the same arity.
-    pub fn from_branches(
-        name: impl Into<String>,
-        branches: Vec<ConjunctiveQuery>,
-    ) -> Result<Self> {
+    pub fn from_branches(name: impl Into<String>, branches: Vec<ConjunctiveQuery>) -> Result<Self> {
         let name = name.into();
         let Some(first) = branches.first() else {
             return Err(Error::invalid(format!(
@@ -120,8 +117,8 @@ mod tests {
     #[test]
     fn build_and_access() {
         let c = catalog();
-        let u = UnionQuery::from_branches("Q", vec![branch(&c, "Q1", 1), branch(&c, "Q2", 2)])
-            .unwrap();
+        let u =
+            UnionQuery::from_branches("Q", vec![branch(&c, "Q1", 1), branch(&c, "Q2", 2)]).unwrap();
         assert_eq!(u.name(), "Q");
         assert_eq!(u.len(), 2);
         assert_eq!(u.arity(), 1);
@@ -175,8 +172,8 @@ mod tests {
     #[test]
     fn replace_branch() {
         let c = catalog();
-        let u = UnionQuery::from_branches("Q", vec![branch(&c, "Q1", 1), branch(&c, "Q2", 2)])
-            .unwrap();
+        let u =
+            UnionQuery::from_branches("Q", vec![branch(&c, "Q1", 1), branch(&c, "Q2", 2)]).unwrap();
         let u2 = u.with_branch_replaced(1, branch(&c, "Q2b", 3)).unwrap();
         assert_eq!(u2.branches()[1].name(), "Q2b");
         assert!(u.with_branch_replaced(5, branch(&c, "X", 0)).is_err());

@@ -212,9 +212,7 @@ mod tests {
             .build(&c)
             .unwrap();
         assert!(classically_contained(&empty, &q).unwrap());
-        assert!(
-            a_contained(&empty, &q, &AccessSchema::new(), &ReasonConfig::default()).unwrap()
-        );
+        assert!(a_contained(&empty, &q, &AccessSchema::new(), &ReasonConfig::default()).unwrap());
     }
 
     #[test]
@@ -283,14 +281,9 @@ mod tests {
     fn example_3_5_union_containment() {
         let c = catalog();
         // A: R1(∅ → X, 2) — the unary relation R1 holds at most two distinct values.
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R1",
-            &[],
-            &["x"],
-            2,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R1", &[], &["x"], 2).unwrap()
+        ]);
         // Qψ(x, y) := R(x, y) ∧ R1(y), and Qc asserts that both 0 and 1 appear in R1, so
         // that under A the relation R1 encodes exactly the Boolean domain {0, 1}.
         // Q(x) = ∃y (Qc ∧ Qψ(x, y)).

@@ -86,7 +86,11 @@ pub fn visit_a_instances(
     }
 
     impl Search<'_> {
-        fn run(&mut self, depth: usize, visitor: &mut dyn FnMut(&AInstance) -> bool) -> Result<bool> {
+        fn run(
+            &mut self,
+            depth: usize,
+            visitor: &mut dyn FnMut(&AInstance) -> bool,
+        ) -> Result<bool> {
             if depth == self.roots.len() {
                 self.examined += 1;
                 if self.examined > self.config.budget {
@@ -139,7 +143,10 @@ pub fn visit_a_instances(
         fn emit(&self, visitor: &mut dyn FnMut(&AInstance) -> bool) -> bool {
             let value_of = |v: crate::query::term::Var| -> Value {
                 let root = self.eq.root(v);
-                let idx = self.roots.binary_search(&root).expect("root must be listed");
+                let idx = self
+                    .roots
+                    .binary_search(&root)
+                    .expect("root must be listed");
                 self.choice[idx].clone()
             };
             let mut instance = SmallInstance::new();
@@ -287,9 +294,13 @@ mod tests {
         let all = a_instances(&q, &AccessSchema::new(), &[], &ReasonConfig::default()).unwrap();
         assert_eq!(all.len(), 2);
         // With an extra named constant there is one more choice for x.
-        let all =
-            a_instances(&q, &AccessSchema::new(), &[Value::int(7)], &ReasonConfig::default())
-                .unwrap();
+        let all = a_instances(
+            &q,
+            &AccessSchema::new(),
+            &[Value::int(7)],
+            &ReasonConfig::default(),
+        )
+        .unwrap();
         assert_eq!(all.len(), 3);
     }
 
@@ -306,25 +317,17 @@ mod tests {
             .eq("y2", 2i64)
             .build(&c)
             .unwrap();
-        let unit = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let unit =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 1).unwrap()
+            ]);
         let none = a_instances(&q, &unit, &[], &ReasonConfig::default()).unwrap();
         assert!(none.is_empty());
 
-        let relaxed = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            2,
-        )
-        .unwrap()]);
+        let relaxed =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 2).unwrap()
+            ]);
         let some = a_instances(&q, &relaxed, &[], &ReasonConfig::default()).unwrap();
         assert!(!some.is_empty());
         for ai in &some {

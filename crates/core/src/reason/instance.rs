@@ -24,7 +24,10 @@ impl SmallInstance {
 
     /// Insert a tuple into a relation.
     pub fn insert(&mut self, relation: impl Into<String>, row: Row) {
-        self.relations.entry(relation.into()).or_default().insert(row);
+        self.relations
+            .entry(relation.into())
+            .or_default()
+            .insert(row);
     }
 
     /// The rows of a relation (empty if the relation has no tuples).
@@ -202,22 +205,14 @@ mod tests {
     fn satisfies_cardinality_constraints() {
         let c = catalog();
         let d = inst(&[(1, 2), (1, 3), (2, 4)], &[]);
-        let one = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
-        let two = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            2,
-        )
-        .unwrap()]);
+        let one =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 1).unwrap()
+            ]);
+        let two =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 2).unwrap()
+            ]);
         assert!(!d.satisfies(&one, 1_000));
         assert!(d.satisfies(&two, 1_000));
     }
@@ -226,8 +221,9 @@ mod tests {
     fn satisfies_empty_x_constraint() {
         let c = catalog();
         // R(∅ -> b, 1): all b-values must coincide.
-        let a = AccessSchema::from_constraints([AccessConstraint::new(&c, "R", &[], &["b"], 1)
-            .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &[], &["b"], 1).unwrap()
+        ]);
         assert!(inst(&[(1, 2), (3, 2)], &[]).satisfies(&a, 10));
         assert!(!inst(&[(1, 2), (3, 4)], &[]).satisfies(&a, 10));
     }

@@ -79,14 +79,10 @@ mod tests {
             .eq("x2", 2i64)
             .build(c)
             .unwrap();
-        let a2 = AccessSchema::from_constraints([AccessConstraint::new(
-            c,
-            "R2",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let a2 =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(c, "R2", &["a"], &["b"], 1).unwrap()
+            ]);
         (q2, a2)
     }
 
@@ -121,9 +117,11 @@ mod tests {
             .eq("x", 2i64)
             .build(&c)
             .unwrap();
-        assert!(is_a_satisfiable(&q, &AccessSchema::new(), &ReasonConfig::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            is_a_satisfiable(&q, &AccessSchema::new(), &ReasonConfig::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -135,14 +133,10 @@ mod tests {
             .atom("R2", ["x", "z"])
             .build(&c)
             .unwrap();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R2",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let a =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R2", &["a"], &["b"], 1).unwrap()
+            ]);
         let witness = is_a_satisfiable(&q, &a, &ReasonConfig::default())
             .unwrap()
             .expect("satisfiable: y and z can be merged");
@@ -171,9 +165,6 @@ mod tests {
             .unwrap()
             .expect("second branch is satisfiable");
         assert_eq!(w.answer.len(), 1);
-        assert!(w
-            .instance
-            .rows("R2")
-            .any(|row| row[1] == Value::int(1)));
+        assert!(w.instance.rows("R2").any(|row| row[1] == Value::int(1)));
     }
 }

@@ -342,14 +342,9 @@ mod tests {
     fn unsatisfiable_queries_cannot_be_sensibly_specialized() {
         let mut c = Catalog::new();
         c.declare("R", ["a", "b"]).unwrap();
-        let a = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let a = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 1).unwrap()
+        ]);
         // Not A-satisfiable (two distinct b-values for the same a-value).
         let q = ConjunctiveQuery::builder("Q")
             .head(["x"])
@@ -447,10 +442,10 @@ mod tests {
         let template = generic_template(&q, &[date]).unwrap();
         assert!(template.constant_vars().contains(&date));
         // The placeholder is a labelled null, not a real constant.
-        assert!(template.equalities().iter().any(|e| matches!(
-            e,
-            crate::query::cq::Equality::Const(_, Value::Labelled(_))
-        )));
+        assert!(template
+            .equalities()
+            .iter()
+            .any(|e| matches!(e, crate::query::cq::Equality::Const(_, Value::Labelled(_)))));
     }
 
     #[test]

@@ -3,30 +3,83 @@
 //! Executes a [`QueryPlan`] against an [`IndexedDatabase`]. Every `fetch` goes through
 //! the hash index of its backing access constraint; nothing in this executor ever scans a
 //! relation, so the amount of data read is exactly what the plan's cost model bounds.
+//!
+//! Two execution strategies share this entry point, selected by
+//! [`ExecOptions::streaming`]:
+//!
+//! * **streaming** (the default) — the plan is lowered to a
+//!   [`bea_core::plan::PhysicalPlan`] and run by the batch pipeline in [`crate::ops`]:
+//!   intermediate results flow through operators in bounded batches, and only genuine
+//!   pipeline breakers hold rows. Peak memory residency tracks the access-schema bounds.
+//! * **materialized** — the historical step loop below: one [`Table`] per plan step,
+//!   all of them alive until the end. Kept as the ablation baseline (and, with
+//!   [`ExecOptions::defer_products`] off, as the literal plan semantics).
+//!
+//! Both strategies perform the same index lookups and fetch the same tuples; see
+//! [`AccessStats::same_data_access`].
 
+use crate::ops;
 use crate::stats::AccessStats;
 use crate::table::Table;
 use bea_core::error::{Error, Result};
-use bea_core::plan::{PlanOp, Predicate, QueryPlan};
+use bea_core::plan::{
+    keys_all_tied, lower_plan, residual_predicates, PlanOp, Predicate, QueryPlan,
+};
 use bea_core::value::Row;
 use bea_storage::IndexedDatabase;
 use std::collections::BTreeSet;
 
+pub use ops::execute_physical;
+
 /// Options controlling plan execution.
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`ExecOptions::new`] (or
+/// [`Default`]) and adjust knobs through the `with_*` methods, so adding future knobs is
+/// not a breaking change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ExecOptions {
-    /// Run the deferred-product peephole: `σ[key equalities](source × fetch)` patterns
-    /// execute as hash joins instead of materializing the cross product. On by default;
-    /// the switch exists so tests and ablations can compare against the literal plan
-    /// semantics.
+    /// Execute through the streaming batch pipeline (lowering the plan to a physical
+    /// plan first). On by default; off selects the materialized step loop.
+    pub streaming: bool,
+    /// In the materialized strategy, run the deferred-product peephole:
+    /// `σ[key equalities](source × fetch)` patterns execute as hash joins instead of
+    /// materializing the cross product. On by default; the switch exists so tests and
+    /// ablations can compare against the literal plan semantics. (The streaming
+    /// strategy subsumes this via keyed-lookup fusion during lowering.)
     pub defer_products: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         Self {
+            streaming: true,
             defer_products: true,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The default options: streaming execution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialized step-loop strategy (ablation baseline).
+    pub fn materialized() -> Self {
+        Self::new().with_streaming(false)
+    }
+
+    /// Set whether execution goes through the streaming pipeline.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Set whether the materialized strategy defers keyed products into hash joins.
+    pub fn with_defer_products(mut self, defer_products: bool) -> Self {
+        self.defer_products = defer_products;
+        self
     }
 }
 
@@ -41,8 +94,23 @@ pub fn execute_plan_with_options(
     database: &IndexedDatabase,
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
+    if options.streaming {
+        let physical = lower_plan(plan)?;
+        return ops::execute_physical(&physical, database);
+    }
+    execute_plan_materialized(plan, database, options)
+}
+
+/// The materialized step loop: every plan step produces a full [`Table`], all of which
+/// stay resident until the end (reflected in `peak_rows_resident`).
+fn execute_plan_materialized(
+    plan: &QueryPlan,
+    database: &IndexedDatabase,
+    options: &ExecOptions,
+) -> Result<(Table, AccessStats)> {
     plan.validate()?;
     let mut stats = AccessStats::default();
+    let mut resident: u64 = 0;
     let mut results: Vec<Table> = Vec::with_capacity(plan.len());
 
     // Peephole: plan synthesis joins a fetch back against its source with
@@ -63,16 +131,15 @@ pub fn execute_plan_with_options(
             continue;
         }
         let table = match &step.op {
-            PlanOp::Const { value } => Table::with_rows(
-                step.columns.clone(),
-                vec![vec![value.clone()]],
-            ),
+            PlanOp::Const { value } => {
+                Table::with_rows(step.columns.clone(), vec![vec![value.clone()]])
+            }
             PlanOp::Unit => Table::with_rows(step.columns.clone(), vec![Vec::new()]),
             PlanOp::Empty { .. } => Table::new(step.columns.clone()),
             PlanOp::Fetch {
                 source,
                 key_cols,
-                relation: _,
+                relation,
                 x_attrs,
                 y_attrs,
                 constraint_index,
@@ -85,12 +152,11 @@ pub fn execute_plan_with_options(
                     .map(|row| key_cols.iter().map(|&c| row[c].clone()).collect())
                     .collect();
                 let mut out = Table::new(step.columns.clone());
-                let positions: Vec<usize> =
-                    x_attrs.iter().chain(y_attrs.iter()).copied().collect();
+                let positions: Vec<usize> = x_attrs.iter().chain(y_attrs.iter()).copied().collect();
                 for key in keys {
                     stats.index_lookups += 1;
-                    let fetched = database.fetch(*constraint_index, &key)?;
-                    stats.tuples_fetched += fetched.len() as u64;
+                    let fetched = database.fetch_iter(*constraint_index, &key)?;
+                    stats.record_fetched(relation, fetched.len() as u64);
                     for tuple in fetched {
                         out.push(positions.iter().map(|&p| tuple[p].clone()).collect());
                     }
@@ -163,6 +229,10 @@ pub fn execute_plan_with_options(
                 Table::with_rows(step.columns.clone(), results[*source].rows().to_vec())
             }
         };
+        // Every step's table stays alive until the end of the loop, so residency only
+        // ever grows: the high-water mark is the sum of all intermediate sizes.
+        resident += table.len() as u64;
+        stats.peak_rows_resident = stats.peak_rows_resident.max(resident);
         results.push(table);
     }
 
@@ -225,11 +295,9 @@ fn find_deferred_products(plan: &QueryPlan) -> std::collections::BTreeSet<usize>
             continue;
         }
         let left_arity = steps[*left].columns.len();
-        let all_keys_tied = key_cols
-            .iter()
-            .enumerate()
-            .all(|(k, &kc)| predicates.contains(&Predicate::ColEqCol(kc, left_arity + k)));
-        if all_keys_tied {
+        // Same pattern test as physical lowering's keyed-lookup fusion, shared so the
+        // two strategies can never drift apart.
+        if keys_all_tied(predicates, key_cols, left_arity) {
             deferred.insert(*source);
         }
         let _ = i;
@@ -269,18 +337,7 @@ fn execute_keyed_join(
     }
 
     // Predicates other than the key equalities still need checking.
-    let residual: Vec<&Predicate> = predicates
-        .iter()
-        .filter(|p| match p {
-            Predicate::ColEqCol(a, b) => {
-                !key_cols
-                    .iter()
-                    .enumerate()
-                    .any(|(k, &kc)| *a == kc && *b == left_arity + k)
-            }
-            Predicate::ColEqConst(_, _) => true,
-        })
-        .collect();
+    let residual = residual_predicates(predicates, key_cols, left_arity);
 
     let mut out = Table::new(columns.to_vec());
     for lrow in left_table.rows() {
@@ -372,7 +429,10 @@ mod tests {
             .unwrap();
         let plan = bounded_plan(&q, &schema).unwrap();
         let (result, stats) = execute_plan(&plan, &idb).unwrap();
-        assert_eq!(result.row_set(), [vec![Value::int(3)]].into_iter().collect());
+        assert_eq!(
+            result.row_set(),
+            [vec![Value::int(3)]].into_iter().collect()
+        );
         assert!(stats.tuples_fetched >= 2);
 
         // Same query anchored at key 1: b-values 10 and 11, and 10 is shared with key 2.
@@ -387,7 +447,9 @@ mod tests {
         let (result, _) = execute_plan(&plan, &idb).unwrap();
         assert_eq!(
             result.row_set(),
-            [vec![Value::int(1)], vec![Value::int(2)]].into_iter().collect()
+            [vec![Value::int(1)], vec![Value::int(2)]]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -414,7 +476,10 @@ mod tests {
         let renamed = b.rename(diff, vec!["y".into()]);
         let plan = b.finish("Q", renamed).unwrap();
         let (result, _) = execute_plan(&plan, &idb).unwrap();
-        assert_eq!(result.row_set(), [vec![Value::int(1)]].into_iter().collect());
+        assert_eq!(
+            result.row_set(),
+            [vec![Value::int(1)]].into_iter().collect()
+        );
         assert_eq!(result.columns(), &["y".to_owned()]);
     }
 
@@ -423,7 +488,15 @@ mod tests {
         let (_, _, idb) = setup();
         let mut b = bea_core::plan::PlanBuilder::new();
         let k = b.constant(Value::int(1), "x");
-        let f = b.fetch(k, vec![0], "R", vec![0], vec![1], 99, vec!["a".into(), "b".into()]);
+        let f = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            99,
+            vec!["a".into(), "b".into()],
+        );
         let plan = b.finish("Q", f).unwrap();
         assert!(execute_plan(&plan, &idb).is_err());
     }
@@ -455,12 +528,8 @@ mod tests {
     fn deferred_product_peephole_is_transparent() {
         let (_, _, idb) = setup();
         let plan = keyed_join_plan();
-        let peephole_on = ExecOptions {
-            defer_products: true,
-        };
-        let peephole_off = ExecOptions {
-            defer_products: false,
-        };
+        let peephole_on = ExecOptions::materialized().with_defer_products(true);
+        let peephole_off = ExecOptions::materialized().with_defer_products(false);
 
         let (fast, fast_stats) = execute_plan_with_options(&plan, &idb, &peephole_on).unwrap();
         let (slow, slow_stats) = execute_plan_with_options(&plan, &idb, &peephole_off).unwrap();
@@ -504,17 +573,13 @@ mod tests {
         let (fast, fast_stats) = execute_plan_with_options(
             &plan,
             &idb,
-            &ExecOptions {
-                defer_products: true,
-            },
+            &ExecOptions::materialized().with_defer_products(true),
         )
         .unwrap();
         let (slow, slow_stats) = execute_plan_with_options(
             &plan,
             &idb,
-            &ExecOptions {
-                defer_products: false,
-            },
+            &ExecOptions::materialized().with_defer_products(false),
         )
         .unwrap();
 
@@ -532,6 +597,81 @@ mod tests {
         // Whatever remains materialized under the peephole is at most one row per
         // product node — never a data-dependent cross product.
         assert!(fast_stats.product_rows_materialized <= seed_products);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_and_uses_less_memory() {
+        let (c, schema, idb) = setup();
+        let q = ConjunctiveQuery::builder("Q")
+            .head(["z"])
+            .atom("R", ["x", "y"])
+            .atom("R", ["z", "y"])
+            .eq("x", 1i64)
+            .build(&c)
+            .unwrap();
+        let plan = bounded_plan(&q, &schema).unwrap();
+
+        let (streamed, streamed_stats) =
+            execute_plan_with_options(&plan, &idb, &ExecOptions::new()).unwrap();
+        let (materialized, materialized_stats) =
+            execute_plan_with_options(&plan, &idb, &ExecOptions::materialized()).unwrap();
+
+        assert_eq!(streamed.row_set(), materialized.row_set());
+        // Boundedness preserved: the pipeline reads exactly the same data…
+        assert!(streamed_stats.same_data_access(&materialized_stats));
+        assert!(!streamed_stats.rows_fetched_by_relation.is_empty());
+        // …while holding strictly fewer rows at its peak.
+        assert!(
+            streamed_stats.peak_rows_resident <= materialized_stats.peak_rows_resident,
+            "streaming peak {} exceeds materialized peak {}",
+            streamed_stats.peak_rows_resident,
+            materialized_stats.peak_rows_resident
+        );
+    }
+
+    #[test]
+    fn streaming_handles_every_operator() {
+        // Exercise union, difference, rename, product, filter and dedup through the
+        // pipeline on a hand-built plan.
+        let (_, _, idb) = setup();
+        let mut b = bea_core::plan::PlanBuilder::new();
+        let one = b.constant(Value::int(1), "x");
+        let two = b.constant(Value::int(2), "x");
+        let three = b.constant(Value::int(3), "x");
+        let union = b.union(one, two);
+        let union = b.union(union, three);
+        let diff = b.difference(union, two);
+        let pair = b.product(diff, one);
+        let sel = b.select(pair, vec![Predicate::ColEqConst(1, Value::int(1))]);
+        let proj = b.project(sel, vec![0]);
+        let renamed = b.rename(proj, vec!["y".into()]);
+        let plan = b.finish("Q", renamed).unwrap();
+
+        let (streamed, _) = execute_plan_with_options(&plan, &idb, &ExecOptions::new()).unwrap();
+        let (materialized, _) =
+            execute_plan_with_options(&plan, &idb, &ExecOptions::materialized()).unwrap();
+        assert_eq!(streamed.row_set(), materialized.row_set());
+        assert_eq!(
+            streamed.row_set(),
+            [vec![Value::int(1)], vec![Value::int(3)]]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(streamed.columns(), &["y".to_owned()]);
+    }
+
+    #[test]
+    fn exec_options_builder_round_trips() {
+        let default = ExecOptions::new();
+        assert!(default.streaming);
+        assert!(default.defer_products);
+        assert_eq!(default, ExecOptions::default());
+        let materialized = ExecOptions::materialized();
+        assert!(!materialized.streaming);
+        let literal = ExecOptions::materialized().with_defer_products(false);
+        assert!(!literal.streaming);
+        assert!(!literal.defer_products);
+        assert!(literal.with_streaming(true).streaming);
     }
 
     #[test]
@@ -565,10 +705,30 @@ mod tests {
         db.extend(
             "Casualty",
             [
-                vec![Value::int(10), Value::int(1), Value::int(0), Value::int(100)],
-                vec![Value::int(11), Value::int(1), Value::int(1), Value::int(101)],
-                vec![Value::int(12), Value::int(2), Value::int(0), Value::int(102)],
-                vec![Value::int(13), Value::int(3), Value::int(0), Value::int(103)],
+                vec![
+                    Value::int(10),
+                    Value::int(1),
+                    Value::int(0),
+                    Value::int(100),
+                ],
+                vec![
+                    Value::int(11),
+                    Value::int(1),
+                    Value::int(1),
+                    Value::int(101),
+                ],
+                vec![
+                    Value::int(12),
+                    Value::int(2),
+                    Value::int(0),
+                    Value::int(102),
+                ],
+                vec![
+                    Value::int(13),
+                    Value::int(3),
+                    Value::int(0),
+                    Value::int(103),
+                ],
             ],
         )
         .unwrap();
@@ -600,7 +760,9 @@ mod tests {
         // Only accident 1 matches (Queen's Park on 1/5/2005), with drivers aged 34, 52.
         assert_eq!(
             result.row_set(),
-            [vec![Value::int(34)], vec![Value::int(52)]].into_iter().collect()
+            [vec![Value::int(34)], vec![Value::int(52)]]
+                .into_iter()
+                .collect()
         );
         // Far fewer tuples fetched than the 11 tuples of the database? The plan fetches
         // only what the indices return for the relevant keys.

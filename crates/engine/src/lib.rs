@@ -12,14 +12,21 @@
 //!   the relations and hash-joining them, the stand-in for "just run it on the DBMS"
 //!   (MySQL in the paper's Example 1.1). Its cost grows with `|D|`.
 //!
+//! The bounded executor has two strategies behind one entry point: the **streaming batch
+//! pipeline** ([`ops`], the default — plans are lowered to physical plans and run with
+//! bounded memory residency) and the historical **materialized step loop** (the ablation
+//! baseline). [`stats::AccessStats::peak_rows_resident`] makes the difference
+//! observable; both strategies read exactly the same data.
+//!
 //! [`table::Table`] is the shared result representation (set semantics).
 
 pub mod exec;
 pub mod naive;
+pub mod ops;
 pub mod stats;
 pub mod table;
 
-pub use exec::{execute_plan, execute_plan_with_options, ExecOptions};
+pub use exec::{execute_physical, execute_plan, execute_plan_with_options, ExecOptions};
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
 pub use stats::AccessStats;
 pub use table::Table;

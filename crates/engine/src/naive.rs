@@ -219,26 +219,20 @@ pub fn eval_fo(query: &FirstOrderQuery, database: &Database) -> Result<(Table, A
     let domain: Vec<Value> = domain.into_iter().collect();
     let mut table = Table::new(head_names);
     let mut assignment: HashMap<String, Value> = HashMap::new();
-    enumerate_assignments(
-        &free_vars,
-        0,
-        &domain,
-        &mut assignment,
-        &mut |assignment| {
-            if eval_formula(query.body(), database, &domain, assignment)? {
-                let row: Row = query
-                    .head()
-                    .iter()
-                    .map(|a| match a {
-                        Arg::Var(n) => assignment[n].clone(),
-                        Arg::Const(c) => c.clone(),
-                    })
-                    .collect();
-                table.push(row);
-            }
-            Ok(())
-        },
-    )?;
+    enumerate_assignments(&free_vars, 0, &domain, &mut assignment, &mut |assignment| {
+        if eval_formula(query.body(), database, &domain, assignment)? {
+            let row: Row = query
+                .head()
+                .iter()
+                .map(|a| match a {
+                    Arg::Var(n) => assignment[n].clone(),
+                    Arg::Const(c) => c.clone(),
+                })
+                .collect();
+            table.push(row);
+        }
+        Ok(())
+    })?;
     table.dedup();
     Ok((table, stats))
 }
@@ -418,7 +412,10 @@ mod tests {
             .build(&c)
             .unwrap();
         let (result, _) = eval_cq(&q, &db).unwrap();
-        assert_eq!(result.row_set(), [vec![Value::int(7)]].into_iter().collect());
+        assert_eq!(
+            result.row_set(),
+            [vec![Value::int(7)]].into_iter().collect()
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Index-backed operators: the streaming fetch and the fused keyed-lookup join.
+
+use super::{passes, BoxOp, Operator, SharedState, BATCH_SIZE};
+use bea_core::error::Result;
+use bea_core::plan::Predicate;
+use bea_core::value::Row;
+use bea_storage::IndexedDatabase;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Streaming `fetch(X ∈ source, R, …)`: drain the source, deduplicate the key
+/// projections, then emit the `positions`-projection of every tuple each key matches,
+/// one key at a time, straight off the index postings
+/// ([`IndexedDatabase::fetch_iter`] — no intermediate `Vec<&Row>`).
+///
+/// Only the key set is durable state (released on exhaustion); fetched tuples flow
+/// through without ever being collected per fetch.
+pub(crate) struct FetchOp<'db> {
+    input: Option<BoxOp<'db>>,
+    key_cols: Vec<usize>,
+    relation: String,
+    positions: Vec<usize>,
+    constraint_index: usize,
+    database: &'db IndexedDatabase,
+    state: SharedState,
+    keys: std::collections::btree_set::IntoIter<Row>,
+    num_keys: u64,
+    done: bool,
+}
+
+impl<'db> FetchOp<'db> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        input: BoxOp<'db>,
+        key_cols: Vec<usize>,
+        relation: String,
+        positions: Vec<usize>,
+        constraint_index: usize,
+        database: &'db IndexedDatabase,
+        state: SharedState,
+    ) -> Self {
+        Self {
+            input: Some(input),
+            key_cols,
+            relation,
+            positions,
+            constraint_index,
+            database,
+            state,
+            keys: BTreeSet::new().into_iter(),
+            num_keys: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for FetchOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if let Some(mut input) = self.input.take() {
+            // Distinct keys only: fetching the same key twice reads the same data.
+            let mut keys: BTreeSet<Row> = BTreeSet::new();
+            while let Some(batch) = input.next_batch()? {
+                for row in batch {
+                    keys.insert(self.key_cols.iter().map(|&c| row[c].clone()).collect());
+                }
+            }
+            self.num_keys = keys.len() as u64;
+            self.state.borrow_mut().acquire(self.num_keys);
+            self.keys = keys.into_iter();
+        }
+        if self.done {
+            return Ok(None);
+        }
+        let mut out: Vec<Row> = Vec::new();
+        let mut seen: BTreeSet<Row> = BTreeSet::new();
+        while out.len() < BATCH_SIZE {
+            let Some(key) = self.keys.next() else {
+                self.done = true;
+                let mut state = self.state.borrow_mut();
+                state.stats.fetch_ops += 1;
+                state.release(self.num_keys);
+                break;
+            };
+            {
+                let mut state = self.state.borrow_mut();
+                state.stats.index_lookups += 1;
+                let postings = self.database.fetch_iter(self.constraint_index, &key)?;
+                state
+                    .stats
+                    .record_fetched(&self.relation, postings.len() as u64);
+                // Per-key dedup: distinct keys cannot collide as long as the key
+                // attributes survive in `positions` (lowering adds a global dedup when a
+                // pushed-down projection dropped them).
+                seen.clear();
+                for tuple in postings {
+                    let row: Row = self.positions.iter().map(|&p| tuple[p].clone()).collect();
+                    if seen.insert(row.clone()) {
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        if out.is_empty() && self.done {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+}
+
+/// The fused `σ[key equalities](source × fetch(X ∈ source, R, …))`: an index
+/// nested-loop join. Streams the source; for each row, probes the index with the row's
+/// key (once per distinct key — results are cached so the data access is identical to a
+/// standalone fetch over the deduplicated key set), emits the concatenation with every
+/// match, and applies the residual predicates.
+///
+/// Durable state is the per-key cache of projected postings, bounded by the fetch's
+/// access-schema bound times the number of distinct keys; it is released on exhaustion.
+/// Neither the cross product nor the fetched table is ever materialized.
+pub(crate) struct KeyedLookupOp<'db> {
+    input: BoxOp<'db>,
+    key_cols: Vec<usize>,
+    relation: String,
+    positions: Vec<usize>,
+    constraint_index: usize,
+    residual: Vec<Predicate>,
+    database: &'db IndexedDatabase,
+    state: SharedState,
+    cache: HashMap<Row, Rc<Vec<Row>>>,
+    cached_rows: u64,
+    done: bool,
+}
+
+impl<'db> KeyedLookupOp<'db> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        input: BoxOp<'db>,
+        key_cols: Vec<usize>,
+        relation: String,
+        positions: Vec<usize>,
+        constraint_index: usize,
+        residual: Vec<Predicate>,
+        database: &'db IndexedDatabase,
+        state: SharedState,
+    ) -> Self {
+        Self {
+            input,
+            key_cols,
+            relation,
+            positions,
+            constraint_index,
+            residual,
+            database,
+            state,
+            cache: HashMap::new(),
+            cached_rows: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for KeyedLookupOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(batch) = self.input.next_batch()? else {
+            self.done = true;
+            let mut state = self.state.borrow_mut();
+            state.stats.fetch_ops += 1;
+            state.release(self.cached_rows);
+            self.cache.clear();
+            return Ok(None);
+        };
+        let mut out: Vec<Row> = Vec::new();
+        for lrow in batch {
+            let key: Row = self.key_cols.iter().map(|&c| lrow[c].clone()).collect();
+            let fetched = match self.cache.get(&key) {
+                Some(rows) => rows.clone(),
+                None => {
+                    let mut state = self.state.borrow_mut();
+                    state.stats.index_lookups += 1;
+                    let postings = self.database.fetch_iter(self.constraint_index, &key)?;
+                    state
+                        .stats
+                        .record_fetched(&self.relation, postings.len() as u64);
+                    let mut seen: BTreeSet<Row> = BTreeSet::new();
+                    let mut rows: Vec<Row> = Vec::new();
+                    for tuple in postings {
+                        let row: Row = self.positions.iter().map(|&p| tuple[p].clone()).collect();
+                        if seen.insert(row.clone()) {
+                            rows.push(row);
+                        }
+                    }
+                    state.acquire(rows.len() as u64);
+                    self.cached_rows += rows.len() as u64;
+                    let rows = Rc::new(rows);
+                    self.cache.insert(key, rows.clone());
+                    rows
+                }
+            };
+            for rrow in fetched.iter() {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                if passes(&row, &self.residual) {
+                    out.push(row);
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+}

@@ -1,0 +1,84 @@
+//! The generic hash join, used when a keyed-join pattern's fetch stays a shared step.
+
+use super::{passes, BoxOp, Operator, SharedState};
+use bea_core::error::Result;
+use bea_core::plan::Predicate;
+use bea_core::value::Row;
+use std::collections::HashMap;
+
+/// Hash join on column equalities: buffers the build (right) side in hash buckets
+/// (durable state, released on exhaustion) and streams the probe (left) side.
+pub(crate) struct HashJoinOp<'db> {
+    left: BoxOp<'db>,
+    right: Option<BoxOp<'db>>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    residual: Vec<Predicate>,
+    state: SharedState,
+    buckets: HashMap<Row, Vec<Row>>,
+    built_rows: u64,
+    done: bool,
+}
+
+impl<'db> HashJoinOp<'db> {
+    pub(crate) fn new(
+        left: BoxOp<'db>,
+        right: BoxOp<'db>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Vec<Predicate>,
+        state: SharedState,
+    ) -> Self {
+        Self {
+            left,
+            right: Some(right),
+            left_keys,
+            right_keys,
+            residual,
+            state,
+            buckets: HashMap::new(),
+            built_rows: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(mut right) = self.right.take() {
+            while let Some(batch) = right.next_batch()? {
+                self.state.borrow_mut().acquire(batch.len() as u64);
+                self.built_rows += batch.len() as u64;
+                for row in batch {
+                    let key: Row = self.right_keys.iter().map(|&c| row[c].clone()).collect();
+                    self.buckets.entry(key).or_default().push(row);
+                }
+            }
+        }
+        let Some(batch) = self.left.next_batch()? else {
+            self.done = true;
+            let mut state = self.state.borrow_mut();
+            state.release(self.built_rows);
+            self.buckets.clear();
+            return Ok(None);
+        };
+        let mut out: Vec<Row> = Vec::new();
+        for lrow in batch {
+            let key: Row = self.left_keys.iter().map(|&c| lrow[c].clone()).collect();
+            let Some(matches) = self.buckets.get(&key) else {
+                continue;
+            };
+            for rrow in matches {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                if passes(&row, &self.residual) {
+                    out.push(row);
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+}

@@ -1,0 +1,240 @@
+//! The streaming batch pipeline executing physical plans.
+//!
+//! [`execute_physical`] runs a [`PhysicalPlan`] (lowered by
+//! `bea_core::plan::physical::lower_plan`) against an [`IndexedDatabase`] as a tree of
+//! pull-based operators, each implementing [`Operator::next_batch`]. Rows move through
+//! the pipeline in bounded batches; only genuine pipeline breakers hold rows for longer
+//! than a batch:
+//!
+//! * steps marked [`bea_core::plan::PhysStep::materialize`] (shared by several
+//!   consumers, or the plan output) are materialized once and *freed as soon as their
+//!   last consumer has drained them*;
+//! * join build sides, per-key fetch caches, dedup sets and the key set of a fetch are
+//!   operator-internal state, released when the operator is exhausted.
+//!
+//! Every durable row held by one of those structures is accounted in
+//! [`ExecState`], whose high-water mark becomes
+//! [`crate::stats::AccessStats::peak_rows_resident`] — the observable that the
+//! materialized-vs-streaming ablation compares. Data access (index lookups, tuples
+//! fetched, per-relation counters) is accounted identically to the materialized
+//! executor: lowering changes *how* intermediate results flow, never *what* is fetched,
+//! so a bounded plan stays bounded.
+//!
+//! Operator catalogue: [`source`] (constants, unit, empty, scans of materialized
+//! steps), [`fetch`] (streaming index fetch and the fused keyed-lookup join),
+//! [`relational`] (filter, project, dedup, union, difference, product) and [`join`]
+//! (the generic hash join used when a fetch result stays shared).
+
+pub(crate) mod fetch;
+pub(crate) mod join;
+pub(crate) mod relational;
+pub(crate) mod source;
+
+use crate::stats::AccessStats;
+use crate::table::Table;
+use bea_core::error::Result;
+use bea_core::plan::{PhysOp, PhysicalPlan, Predicate};
+use bea_core::value::{Row, Value};
+use bea_storage::IndexedDatabase;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Rows per pulled batch. Large enough to amortize dispatch, small enough that batch
+/// buffers stay negligible next to any real intermediate result.
+pub(crate) const BATCH_SIZE: usize = 1024;
+
+/// Mutable state shared by every operator of one execution: access statistics plus the
+/// residency ledger behind `peak_rows_resident`.
+#[derive(Debug, Default)]
+pub(crate) struct ExecState {
+    /// Access statistics accumulated across the pipeline.
+    pub stats: AccessStats,
+    resident: u64,
+}
+
+impl ExecState {
+    /// Record `rows` newly held by a durable structure (materialized step, build side,
+    /// cache, dedup set) and update the high-water mark.
+    pub fn acquire(&mut self, rows: u64) {
+        self.resident += rows;
+        if self.resident > self.stats.peak_rows_resident {
+            self.stats.peak_rows_resident = self.resident;
+        }
+    }
+
+    /// Record `rows` released by a durable structure.
+    pub fn release(&mut self, rows: u64) {
+        self.resident = self.resident.saturating_sub(rows);
+    }
+}
+
+/// Shared handle to the execution state.
+pub(crate) type SharedState = Rc<RefCell<ExecState>>;
+
+/// A pull-based streaming operator.
+///
+/// Contract: `next_batch` returns `Ok(Some(batch))` (possibly empty) while rows may
+/// remain and `Ok(None)` once exhausted, forever after. Operators release their durable
+/// state when they report exhaustion; consumers always drain their inputs fully.
+pub(crate) trait Operator {
+    /// Pull the next batch of rows.
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>>;
+}
+
+/// Boxed operator borrowing the database for `'db`.
+pub(crate) type BoxOp<'db> = Box<dyn Operator + 'db>;
+
+/// A materialized step: rows plus the number of consumers still to drain them. The rows
+/// are dropped — and their residency released — when the last consumer finishes.
+#[derive(Debug)]
+pub(crate) struct MatNode {
+    rows: Option<Vec<Row>>,
+    remaining: usize,
+}
+
+/// Shared handle to a materialized step.
+pub(crate) type SharedMat = Rc<RefCell<MatNode>>;
+
+/// Evaluate whether `row` satisfies every predicate.
+pub(crate) fn passes(row: &[Value], predicates: &[Predicate]) -> bool {
+    predicates.iter().all(|p| match p {
+        Predicate::ColEqCol(a, b) => row[*a] == row[*b],
+        Predicate::ColEqConst(a, c) => &row[*a] == c,
+    })
+}
+
+/// Execute a physical plan against an indexed database with the streaming pipeline,
+/// returning the output table and the access/residency statistics.
+pub fn execute_physical(
+    plan: &PhysicalPlan,
+    database: &IndexedDatabase,
+) -> Result<(Table, AccessStats)> {
+    let state: SharedState = Rc::new(RefCell::new(ExecState::default()));
+    let mut mats: Vec<Option<SharedMat>> = vec![None; plan.len()];
+
+    // Materialization points are evaluated in step order; everything between them is
+    // pulled lazily by the operator tree rooted at the consuming breaker.
+    for (i, step) in plan.steps().iter().enumerate() {
+        if !step.materialize {
+            continue;
+        }
+        let mut op = build_op(plan, i, database, &state, &mats)?;
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(batch) = op.next_batch()? {
+            state.borrow_mut().acquire(batch.len() as u64);
+            rows.extend(batch);
+        }
+        drop(op);
+        mats[i] = Some(Rc::new(RefCell::new(MatNode {
+            rows: Some(rows),
+            remaining: step.consumers,
+        })));
+    }
+
+    let output = plan.output();
+    let node = mats[output]
+        .take()
+        .expect("lowering marks the output step as a materialization point");
+    let rows = node
+        .borrow_mut()
+        .rows
+        .take()
+        .expect("the output's virtual consumer is the caller");
+    let table = Table::with_rows(plan.steps()[output].columns.clone(), rows);
+    let stats = state.borrow().stats.clone();
+    Ok((table, stats))
+}
+
+/// Build the operator for step `node`, recursing into non-materialized inputs and
+/// scanning materialized ones.
+fn build_op<'db>(
+    plan: &PhysicalPlan,
+    node: usize,
+    database: &'db IndexedDatabase,
+    state: &SharedState,
+    mats: &[Option<SharedMat>],
+) -> Result<BoxOp<'db>> {
+    let input = |j: usize| -> Result<BoxOp<'db>> {
+        match &mats[j] {
+            Some(mat) => Ok(Box::new(source::ScanOp::new(mat.clone(), state.clone()))),
+            None => build_op(plan, j, database, state, mats),
+        }
+    };
+    let op: BoxOp<'db> = match &plan.steps()[node].op {
+        PhysOp::Const { value } => Box::new(source::SingletonOp::new(vec![value.clone()])),
+        PhysOp::Unit => Box::new(source::SingletonOp::new(Vec::new())),
+        PhysOp::Empty { .. } => Box::new(source::EmptyOp),
+        PhysOp::Fetch {
+            source,
+            key_cols,
+            relation,
+            positions,
+            constraint_index,
+            ..
+        } => Box::new(fetch::FetchOp::new(
+            input(*source)?,
+            key_cols.clone(),
+            relation.clone(),
+            positions.clone(),
+            *constraint_index,
+            database,
+            state.clone(),
+        )),
+        PhysOp::KeyedLookup {
+            source,
+            key_cols,
+            relation,
+            positions,
+            constraint_index,
+            residual,
+            ..
+        } => Box::new(fetch::KeyedLookupOp::new(
+            input(*source)?,
+            key_cols.clone(),
+            relation.clone(),
+            positions.clone(),
+            *constraint_index,
+            residual.clone(),
+            database,
+            state.clone(),
+        )),
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => Box::new(join::HashJoinOp::new(
+            input(*left)?,
+            input(*right)?,
+            left_keys.clone(),
+            right_keys.clone(),
+            residual.clone(),
+            state.clone(),
+        )),
+        PhysOp::Filter { source, predicates } => Box::new(relational::FilterOp::new(
+            input(*source)?,
+            predicates.clone(),
+        )),
+        PhysOp::Project { source, cols } => {
+            Box::new(relational::ProjectOp::new(input(*source)?, cols.clone()))
+        }
+        PhysOp::Dedup { source } => {
+            Box::new(relational::DedupOp::new(input(*source)?, state.clone()))
+        }
+        PhysOp::Product { left, right } => Box::new(relational::ProductOp::new(
+            input(*left)?,
+            input(*right)?,
+            state.clone(),
+        )),
+        PhysOp::Union { left, right } => {
+            Box::new(relational::UnionOp::new(input(*left)?, input(*right)?))
+        }
+        PhysOp::Difference { left, right } => Box::new(relational::DifferenceOp::new(
+            input(*left)?,
+            input(*right)?,
+            state.clone(),
+        )),
+    };
+    Ok(op)
+}

@@ -1,0 +1,79 @@
+//! Leaf operators: singletons, the empty relation, and scans of materialized steps.
+
+use super::{Operator, SharedMat, SharedState, BATCH_SIZE};
+use bea_core::error::Result;
+use bea_core::value::Row;
+
+/// Emits a single row once (constants and the unit table).
+pub(crate) struct SingletonOp {
+    row: Option<Row>,
+}
+
+impl SingletonOp {
+    pub(crate) fn new(row: Row) -> Self {
+        Self { row: Some(row) }
+    }
+}
+
+impl Operator for SingletonOp {
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        Ok(self.row.take().map(|row| vec![row]))
+    }
+}
+
+/// Emits nothing.
+pub(crate) struct EmptyOp;
+
+impl Operator for EmptyOp {
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        Ok(None)
+    }
+}
+
+/// Streams a materialized step to one of its consumers. When the last consumer is done,
+/// the materialized rows are dropped and their residency released — this is what makes
+/// the pipeline's high-water mark smaller than the materialized executor's.
+pub(crate) struct ScanOp {
+    node: SharedMat,
+    state: SharedState,
+    pos: usize,
+    done: bool,
+}
+
+impl ScanOp {
+    pub(crate) fn new(node: SharedMat, state: SharedState) -> Self {
+        Self {
+            node,
+            state,
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for ScanOp {
+    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut node = self.node.borrow_mut();
+        let len = node
+            .rows
+            .as_ref()
+            .expect("materialized rows outlive their consumers")
+            .len();
+        if self.pos < len {
+            let end = (self.pos + BATCH_SIZE).min(len);
+            let batch = node.rows.as_ref().expect("checked above")[self.pos..end].to_vec();
+            self.pos = end;
+            return Ok(Some(batch));
+        }
+        self.done = true;
+        node.remaining -= 1;
+        if node.remaining == 0 {
+            node.rows = None;
+            self.state.borrow_mut().release(len as u64);
+        }
+        Ok(None)
+    }
+}

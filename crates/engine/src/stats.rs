@@ -1,15 +1,19 @@
-//! Data-access accounting.
+//! Data-access and memory-residency accounting.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::AddAssign;
 
-/// How much data a plan execution touched.
+/// How much data a plan execution touched — and how much of it was ever resident.
 ///
 /// For a boundedly evaluable plan, [`AccessStats::tuples_fetched`] is bounded by a
 /// function of the query and the access schema alone — the experiments plot it against
-/// the database size to reproduce the paper's "access small data" claim.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// the database size to reproduce the paper's "access small data" claim. The
+/// [`AccessStats::peak_rows_resident`] counter extends the claim to memory: under the
+/// streaming executor, residency tracks the access bounds rather than the size of
+/// whatever intermediate results the plan algebra would materialize.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessStats {
     /// Number of tuples returned by index fetches.
     pub tuples_fetched: u64,
@@ -20,17 +24,48 @@ pub struct AccessStats {
     /// Number of tuples scanned by full-relation scans (zero for bounded plans; the
     /// naive baseline reports its scans here).
     pub tuples_scanned: u64,
-    /// Number of rows materialized by cross-product nodes. Stays zero when the
-    /// deferred-product peephole turns `σ[key eq](source × fetch)` into a hash join;
-    /// executing the same plan with the peephole disabled reports `|source| · |fetch|`
-    /// here.
+    /// Number of rows produced by cross-product nodes. Stays zero when product/selection
+    /// pairs execute as (hash or index) joins; executing the same plan with the literal
+    /// plan semantics reports `|left| · |right|` per product here.
     pub product_rows_materialized: u64,
+    /// High-water mark of rows concurrently held by the executor: materialized
+    /// intermediate tables, join build sides, per-key fetch caches, dedup sets and the
+    /// accumulating output. The streaming executor frees intermediates as soon as their
+    /// last consumer is done, so this is the number the materialized-vs-streaming
+    /// ablation compares.
+    pub peak_rows_resident: u64,
+    /// Tuples fetched through index lookups, per relation. Lets experiments attribute
+    /// the access cost of a plan to the constraints that served it.
+    pub rows_fetched_by_relation: BTreeMap<String, u64>,
 }
 
 impl AccessStats {
     /// Total number of tuples read from the database, by any means.
     pub fn total_tuples_read(&self) -> u64 {
         self.tuples_fetched + self.tuples_scanned
+    }
+
+    /// Record `tuples` fetched from `relation` (updates both the global and the
+    /// per-relation counter).
+    pub fn record_fetched(&mut self, relation: &str, tuples: u64) {
+        self.tuples_fetched += tuples;
+        if let Some(count) = self.rows_fetched_by_relation.get_mut(relation) {
+            *count += tuples;
+        } else {
+            self.rows_fetched_by_relation
+                .insert(relation.to_owned(), tuples);
+        }
+    }
+
+    /// True when both executions read the same amount of data the same way — the
+    /// boundedness-preservation check of the streaming/materialized ablation. Residency
+    /// and product materialization are execution-strategy artifacts and excluded.
+    pub fn same_data_access(&self, other: &AccessStats) -> bool {
+        self.tuples_fetched == other.tuples_fetched
+            && self.index_lookups == other.index_lookups
+            && self.fetch_ops == other.fetch_ops
+            && self.tuples_scanned == other.tuples_scanned
+            && self.rows_fetched_by_relation == other.rows_fetched_by_relation
     }
 }
 
@@ -41,6 +76,11 @@ impl AddAssign for AccessStats {
         self.fetch_ops += rhs.fetch_ops;
         self.tuples_scanned += rhs.tuples_scanned;
         self.product_rows_materialized += rhs.product_rows_materialized;
+        // Sequential executions: the combined high-water mark is the larger one.
+        self.peak_rows_resident = self.peak_rows_resident.max(rhs.peak_rows_resident);
+        for (relation, tuples) in rhs.rows_fetched_by_relation {
+            *self.rows_fetched_by_relation.entry(relation).or_insert(0) += tuples;
+        }
     }
 }
 
@@ -48,8 +88,12 @@ impl fmt::Display for AccessStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples",
-            self.tuples_fetched, self.index_lookups, self.fetch_ops, self.tuples_scanned
+            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident",
+            self.tuples_fetched,
+            self.index_lookups,
+            self.fetch_ops,
+            self.tuples_scanned,
+            self.peak_rows_resident
         )
     }
 }
@@ -67,6 +111,8 @@ mod tests {
             fetch_ops: 1,
             tuples_scanned: 0,
             product_rows_materialized: 0,
+            peak_rows_resident: 7,
+            rows_fetched_by_relation: [("R".to_owned(), 10)].into_iter().collect(),
         };
         a += AccessStats {
             tuples_fetched: 5,
@@ -74,12 +120,45 @@ mod tests {
             fetch_ops: 1,
             tuples_scanned: 100,
             product_rows_materialized: 4,
+            peak_rows_resident: 3,
+            rows_fetched_by_relation: [("R".to_owned(), 2), ("S".to_owned(), 3)]
+                .into_iter()
+                .collect(),
         };
         assert_eq!(a.tuples_fetched, 15);
         assert_eq!(a.index_lookups, 3);
         assert_eq!(a.fetch_ops, 2);
         assert_eq!(a.product_rows_materialized, 4);
+        assert_eq!(a.peak_rows_resident, 7); // max, not sum
         assert_eq!(a.total_tuples_read(), 115);
+        assert_eq!(a.rows_fetched_by_relation["R"], 12);
+        assert_eq!(a.rows_fetched_by_relation["S"], 3);
         assert!(a.to_string().contains("fetched 15 tuples"));
+        assert!(a.to_string().contains("peak 7 rows resident"));
+    }
+
+    #[test]
+    fn record_fetched_tracks_relations() {
+        let mut s = AccessStats::default();
+        s.record_fetched("Accident", 4);
+        s.record_fetched("Accident", 2);
+        s.record_fetched("Vehicle", 1);
+        assert_eq!(s.tuples_fetched, 7);
+        assert_eq!(s.rows_fetched_by_relation["Accident"], 6);
+        assert_eq!(s.rows_fetched_by_relation["Vehicle"], 1);
+    }
+
+    #[test]
+    fn same_data_access_ignores_strategy_artifacts() {
+        let mut a = AccessStats::default();
+        a.record_fetched("R", 5);
+        a.index_lookups = 2;
+        a.fetch_ops = 1;
+        let mut b = a.clone();
+        b.peak_rows_resident = 99;
+        b.product_rows_materialized = 42;
+        assert!(a.same_data_access(&b));
+        b.record_fetched("R", 1);
+        assert!(!a.same_data_access(&b));
     }
 }

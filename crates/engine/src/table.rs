@@ -79,7 +79,10 @@ impl Table {
 
     /// Single-column helper: the values of the first column.
     pub fn first_column(&self) -> Vec<Value> {
-        self.rows.iter().filter_map(|r| r.first().cloned()).collect()
+        self.rows
+            .iter()
+            .filter_map(|r| r.first().cloned())
+            .collect()
     }
 }
 

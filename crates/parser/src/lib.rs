@@ -267,7 +267,11 @@ impl Parser {
     }
 
     /// Parse one rule `Name(args) :- body .` and return its head name and CQ.
-    fn parse_rule(&mut self, catalog: &Catalog, index: usize) -> Result<(String, ConjunctiveQuery)> {
+    fn parse_rule(
+        &mut self,
+        catalog: &Catalog,
+        index: usize,
+    ) -> Result<(String, ConjunctiveQuery)> {
         let name = self.expect_ident()?;
         let mut builder = CqBuilder::new(format!("{name}_{index}"));
         let mut params: Vec<String> = Vec::new();
@@ -440,11 +444,7 @@ mod tests {
         )
         .unwrap();
         let cq = q.as_cq().unwrap();
-        let params: Vec<&str> = cq
-            .params()
-            .iter()
-            .map(|&v| cq.var_name(v))
-            .collect();
+        let params: Vec<&str> = cq.params().iter().map(|&v| cq.var_name(v)).collect();
         assert!(params.contains(&"date"));
         assert!(params.contains(&"district"));
         assert_eq!(cq.equalities().len(), 1);

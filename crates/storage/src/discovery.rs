@@ -217,8 +217,6 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(fds
-            .iter()
-            .all(|c| c.cardinality().as_const() == Some(1)));
+        assert!(fds.iter().all(|c| c.cardinality().as_const() == Some(1)));
     }
 }

@@ -69,13 +69,28 @@ impl IndexedDatabase {
     /// Retrieve, through the index of constraint `constraint_index`, the tuples of its
     /// relation whose `X`-projection equals `key`. Returns full tuples; callers project
     /// onto `X ∪ Y` as needed (the executor in `bea-engine` does).
+    ///
+    /// Thin compatibility wrapper over [`IndexedDatabase::fetch_iter`]; hot paths should
+    /// prefer the iterator, which walks the index postings without allocating a
+    /// `Vec<&Row>` per key.
     pub fn fetch(&self, constraint_index: usize, key: &[Value]) -> Result<Vec<&Row>> {
-        let constraint = self
-            .schema
-            .constraint(constraint_index)
-            .ok_or_else(|| Error::MissingConstraint {
-                reason: format!("no access constraint with index {constraint_index}"),
-            })?;
+        Ok(self.fetch_iter(constraint_index, key)?.collect())
+    }
+
+    /// Borrowing counterpart of [`IndexedDatabase::fetch`]: iterate over the tuples whose
+    /// `X`-projection equals `key`, straight out of the index postings.
+    ///
+    /// This is the storage half of the streaming executor's fetch path: no intermediate
+    /// collection is allocated, and the rows stay borrowed from the relation until the
+    /// consumer decides what to project out of them. The iterator is exact-sized, so
+    /// callers can account for the number of tuples read before walking them.
+    pub fn fetch_iter(&self, constraint_index: usize, key: &[Value]) -> Result<FetchIter<'_>> {
+        let constraint =
+            self.schema
+                .constraint(constraint_index)
+                .ok_or_else(|| Error::MissingConstraint {
+                    reason: format!("no access constraint with index {constraint_index}"),
+                })?;
         if key.len() != constraint.x().len() {
             return Err(Error::invalid(format!(
                 "fetch key has {} values but constraint {constraint_index} expects {}",
@@ -84,12 +99,10 @@ impl IndexedDatabase {
             )));
         }
         let relation = self.database.relation(constraint.relation())?;
-        let index = &self.indexes[constraint_index];
-        Ok(index
-            .lookup(key)
-            .iter()
-            .map(|&offset| &relation.rows()[offset as usize])
-            .collect())
+        Ok(FetchIter {
+            rows: relation.rows(),
+            offsets: self.indexes[constraint_index].lookup(key).iter(),
+        })
     }
 
     /// Check the cardinality part of every constraint: does `D ⊨ A` hold?
@@ -141,6 +154,30 @@ impl IndexedDatabase {
     }
 }
 
+/// Borrowing iterator over the tuples an index lookup matched; see
+/// [`IndexedDatabase::fetch_iter`].
+#[derive(Debug, Clone)]
+pub struct FetchIter<'a> {
+    rows: &'a [Row],
+    offsets: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> Iterator for FetchIter<'a> {
+    type Item = &'a Row;
+
+    fn next(&mut self) -> Option<&'a Row> {
+        self.offsets
+            .next()
+            .map(|&offset| &self.rows[offset as usize])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.offsets.size_hint()
+    }
+}
+
+impl ExactSizeIterator for FetchIter<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,14 +207,10 @@ mod tests {
     #[test]
     fn build_fetch_and_validate() {
         let c = catalog();
-        let schema = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            2,
-        )
-        .unwrap()]);
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 2).unwrap()
+            ]);
         let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
         assert_eq!(idb.size(), 3);
         let rows = idb.fetch(0, &[Value::int(1)]).unwrap();
@@ -193,14 +226,10 @@ mod tests {
     #[test]
     fn validation_reports_violations() {
         let c = catalog();
-        let tight = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            1,
-        )
-        .unwrap()]);
+        let tight =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 1).unwrap()
+            ]);
         let idb = IndexedDatabase::build(sample_db(), tight).unwrap();
         let violations = idb.validate();
         assert_eq!(violations.len(), 1);
@@ -211,16 +240,34 @@ mod tests {
     }
 
     #[test]
+    fn fetch_iter_matches_fetch() {
+        let c = catalog();
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 2).unwrap()
+            ]);
+        let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
+        let iter = idb.fetch_iter(0, &[Value::int(1)]).unwrap();
+        assert_eq!(iter.len(), 2);
+        let via_iter: Vec<&Row> = iter.collect();
+        let via_fetch = idb.fetch(0, &[Value::int(1)]).unwrap();
+        assert_eq!(via_iter, via_fetch);
+        // Missing keys yield an empty, zero-length iterator — not an error.
+        let mut empty = idb.fetch_iter(0, &[Value::int(9)]).unwrap();
+        assert_eq!(empty.len(), 0);
+        assert!(empty.next().is_none());
+        // The same argument errors apply as for `fetch`.
+        assert!(idb.fetch_iter(7, &[Value::int(1)]).is_err());
+        assert!(idb.fetch_iter(0, &[]).is_err());
+    }
+
+    #[test]
     fn fetch_errors() {
         let c = catalog();
-        let schema = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &["a"],
-            &["b"],
-            2,
-        )
-        .unwrap()]);
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 2).unwrap()
+            ]);
         let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
         assert!(idb.fetch(7, &[Value::int(1)]).is_err());
         assert!(idb.fetch(0, &[]).is_err());
@@ -230,30 +277,21 @@ mod tests {
     fn build_rejects_bad_schema() {
         let mut other = Catalog::new();
         other.declare("S", ["x"]).unwrap();
-        let bad = AccessSchema::from_constraints([AccessConstraint::new(
-            &other,
-            "S",
-            &["x"],
-            &["x"],
-            1,
-        )
-        .unwrap_or_else(|_| {
-            AccessConstraint::from_positions("S", vec![0], vec![1], 1).unwrap()
-        })]);
+        let bad =
+            AccessSchema::from_constraints([AccessConstraint::new(&other, "S", &["x"], &["x"], 1)
+                .unwrap_or_else(|_| {
+                    AccessConstraint::from_positions("S", vec![0], vec![1], 1).unwrap()
+                })]);
         assert!(IndexedDatabase::build(sample_db(), bad).is_err());
     }
 
     #[test]
     fn empty_key_constraint_fetches_everything() {
         let c = catalog();
-        let schema = AccessSchema::from_constraints([AccessConstraint::new(
-            &c,
-            "R",
-            &[],
-            &["a"],
-            5,
-        )
-        .unwrap()]);
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &[], &["a"], 5).unwrap()
+            ]);
         let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
         let rows = idb.fetch(0, &[]).unwrap();
         assert_eq!(rows.len(), 3);

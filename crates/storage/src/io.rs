@@ -107,9 +107,7 @@ pub fn read_tsv(catalog: &Catalog, dir: impl AsRef<Path>) -> Result<Database> {
                 continue;
             }
             let row: Result<Row> = line.split('\t').map(parse).collect();
-            let row = row.map_err(|e| {
-                Error::invalid(format!("{path:?}:{}: {e}", lineno + 1))
-            })?;
+            let row = row.map_err(|e| Error::invalid(format!("{path:?}:{}: {e}", lineno + 1)))?;
             rows.push(row);
         }
         database.extend(schema.name(), rows)?;
@@ -143,7 +141,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("bea_io_test_{}", std::process::id()));
         write_tsv(&db, &dir).unwrap();
         let loaded = read_tsv(db.catalog(), &dir).unwrap();
-        assert_eq!(loaded.relation("R").unwrap().rows(), db.relation("R").unwrap().rows());
+        assert_eq!(
+            loaded.relation("R").unwrap().rows(),
+            db.relation("R").unwrap().rows()
+        );
         assert!(loaded.relation("Empty").unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -23,5 +23,5 @@ pub mod relation;
 
 pub use database::Database;
 pub use discovery::{discover_constraints, measure_cardinality, DiscoveryOptions};
-pub use indexed::{ConstraintViolation, IndexedDatabase};
+pub use indexed::{ConstraintViolation, FetchIter, IndexedDatabase};
 pub use relation::Relation;

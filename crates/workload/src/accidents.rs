@@ -36,8 +36,14 @@ pub fn catalog() -> Catalog {
 /// The access schema ψ1–ψ4 of Example 1.1.
 pub fn access_schema(catalog: &Catalog) -> AccessSchema {
     AccessSchema::from_constraints([
-        AccessConstraint::new(catalog, "Accident", &["date"], &["aid"], MAX_ACCIDENTS_PER_DAY)
-            .expect("static constraint"),
+        AccessConstraint::new(
+            catalog,
+            "Accident",
+            &["date"],
+            &["aid"],
+            MAX_ACCIDENTS_PER_DAY,
+        )
+        .expect("static constraint"),
         AccessConstraint::new(
             catalog,
             "Casualty",
@@ -130,7 +136,9 @@ pub fn generate(config: &AccidentsConfig) -> Result<Database> {
     for day in 0..config.num_days {
         // Accidents on this day: uniform in [avg/2, 3·avg/2], capped by ψ1.
         let avg = config.avg_accidents_per_day.max(1);
-        let count = rng.gen_range(avg.div_ceil(2)..=avg + avg / 2).min(per_day_cap);
+        let count = rng
+            .gen_range(avg.div_ceil(2)..=avg + avg / 2)
+            .min(per_day_cap);
         for _ in 0..count {
             aid += 1;
             let district = rng.gen_range(0..config.num_districts.max(1));

@@ -29,7 +29,8 @@ pub fn catalog() -> Catalog {
         .expect("static schema");
     c.declare("Orders", ["oid", "uid", "pid", "day"])
         .expect("static schema");
-    c.declare("Customer", ["uid", "city"]).expect("static schema");
+    c.declare("Customer", ["uid", "city"])
+        .expect("static schema");
     c
 }
 
@@ -125,7 +126,10 @@ pub fn generate(config: &EcommerceConfig) -> Result<Database> {
         let city = rng.gen_range(0..config.num_cities.max(1));
         db.insert(
             "Customer",
-            vec![Value::Int(i64::from(uid)), Value::str(format!("city-{city:03}"))],
+            vec![
+                Value::Int(i64::from(uid)),
+                Value::str(format!("city-{city:03}")),
+            ],
         )?;
         let orders = rng
             .gen_range(0..=(2 * config.avg_orders_per_customer).max(1))

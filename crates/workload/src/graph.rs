@@ -174,7 +174,11 @@ pub fn personalized_query(
 
 /// The same pattern with `me` as a *parameter* (the "$me" of Graph Search): not boundedly
 /// evaluable on its own, boundedly specializable by instantiating `me`.
-pub fn parameterized_pattern(catalog: &Catalog, city: &Value, tag: &Value) -> Result<ConjunctiveQuery> {
+pub fn parameterized_pattern(
+    catalog: &Catalog,
+    city: &Value,
+    tag: &Value,
+) -> Result<ConjunctiveQuery> {
     ConjunctiveQuery::builder("FriendsOf")
         .head(["f"])
         .atom("Friend", [Arg::var("me"), Arg::var("f")])
@@ -230,8 +234,7 @@ mod tests {
         let c = catalog();
         let config = small_config();
         let schema = access_schema(&c, &config);
-        let personalized =
-            personalized_query(&c, 3, &city_value(0), &tag_value(0)).unwrap();
+        let personalized = personalized_query(&c, 3, &city_value(0), &tag_value(0)).unwrap();
         assert!(cover::is_covered(&personalized, &schema));
 
         let global = global_pattern(&c, &tag_value(0)).unwrap();

@@ -133,10 +133,7 @@ fn random_cq_impl(
                 args.push(Arg::Const(constant_at(relation.name(), position, rng)));
                 continue;
             }
-            let attr = relation
-                .attr_name(position)
-                .unwrap_or("attr")
-                .to_owned();
+            let attr = relation.attr_name(position).unwrap_or("attr").to_owned();
             let join = rng.gen_bool(config.join_probability.clamp(0.0, 1.0));
             let same_attr_vars = vars_by_attr.get(&attr);
             let var = match same_attr_vars {
@@ -227,13 +224,11 @@ pub fn random_workload_from_db(
             config,
             &mut rng,
             &format!("W{i}"),
-            &|relation, position, rng: &mut StdRng| {
-                match pools.get(&(relation.to_owned(), position)) {
-                    Some(pool) if !pool.is_empty() => {
-                        pool[rng.gen_range(0..pool.len())].clone()
-                    }
-                    _ => random_constant(rng),
-                }
+            &|relation, position, rng: &mut StdRng| match pools
+                .get(&(relation.to_owned(), position))
+            {
+                Some(pool) if !pool.is_empty() => pool[rng.gen_range(0..pool.len())].clone(),
+                _ => random_constant(rng),
             },
         )?;
         out.push(query);
@@ -319,9 +314,8 @@ mod tests {
             ..QueryGenConfig::default()
         };
         let workload = random_workload(&catalog, Some(&schema), 150, &config).unwrap();
-        let covered_with = |s: &AccessSchema| {
-            workload.iter().filter(|q| cover::is_covered(q, s)).count()
-        };
+        let covered_with =
+            |s: &AccessSchema| workload.iter().filter(|q| cover::is_covered(q, s)).count();
         let empty = AccessSchema::new();
         let partial = AccessSchema::from_constraints(schema.constraints()[..2].to_vec());
         let full_count = covered_with(&schema);

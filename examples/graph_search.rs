@@ -31,13 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("social graph: {}", db.summary());
 
     // The parameterized pattern: friends of $me in NYC who like cycling.
-    let pattern = graph::parameterized_pattern(
-        &catalog,
-        &graph::city_value(0),
-        &graph::tag_value(0),
-    )?;
+    let pattern =
+        graph::parameterized_pattern(&catalog, &graph::city_value(0), &graph::tag_value(0))?;
     println!("\npattern: {pattern}");
-    println!("covered as written? {}", cover::is_covered(&pattern, &schema));
+    println!(
+        "covered as written? {}",
+        cover::is_covered(&pattern, &schema)
+    );
 
     let spec = specialize_cq(&pattern, &schema, 1, &SpecializeConfig::default())?
         .expect("instantiating `me` makes the pattern bounded");

@@ -57,16 +57,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.extend(
         "Accident",
         [
-            vec![Value::int(1), Value::str("Queen's Park"), Value::str("1/5/2005")],
+            vec![
+                Value::int(1),
+                Value::str("Queen's Park"),
+                Value::str("1/5/2005"),
+            ],
             vec![Value::int(2), Value::str("Leith"), Value::str("1/5/2005")],
         ],
     )?;
     db.extend(
         "Casualty",
         [
-            vec![Value::int(10), Value::int(1), Value::int(0), Value::int(100)],
-            vec![Value::int(11), Value::int(1), Value::int(1), Value::int(101)],
-            vec![Value::int(12), Value::int(2), Value::int(0), Value::int(102)],
+            vec![
+                Value::int(10),
+                Value::int(1),
+                Value::int(0),
+                Value::int(100),
+            ],
+            vec![
+                Value::int(11),
+                Value::int(1),
+                Value::int(1),
+                Value::int(101),
+            ],
+            vec![
+                Value::int(12),
+                Value::int(2),
+                Value::int(0),
+                Value::int(102),
+            ],
         ],
     )?;
     db.extend(

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (bounded_answer, bounded_stats) = execute_plan(&plan, &indexed)?;
         let bounded_ms = bounded_start.elapsed().as_secs_f64() * 1e3;
 
-        assert!(bounded_answer.same_rows(&naive_answer), "answers must agree");
+        assert!(
+            bounded_answer.same_rows(&naive_answer),
+            "answers must agree"
+        );
         println!(
             "{:>12} {:>10} {:>14} {:>12.2} {:>14} {:>12.2}",
             size,

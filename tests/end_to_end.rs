@@ -65,8 +65,14 @@ fn accidents_workload_bounded_equals_naive() {
             nonempty += 1;
         }
     }
-    assert!(covered_count >= 20, "too few covered queries: {covered_count}");
-    assert!(nonempty >= 5, "too few queries with non-empty answers: {nonempty}");
+    assert!(
+        covered_count >= 20,
+        "too few covered queries: {covered_count}"
+    );
+    assert!(
+        nonempty >= 5,
+        "too few queries with non-empty answers: {nonempty}"
+    );
 }
 
 /// The same pipeline on the social-graph workload, via the full analysis entry point
@@ -102,8 +108,7 @@ fn graph_workload_via_analysis() {
     let analysis_config = BoundedConfig::default();
     let mut planned = 0;
     for query in &workload {
-        let Some(plan) =
-            bounded_plan_via_analysis(query, &schema, &analysis_config).unwrap()
+        let Some(plan) = bounded_plan_via_analysis(query, &schema, &analysis_config).unwrap()
         else {
             continue;
         };

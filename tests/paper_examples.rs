@@ -59,14 +59,23 @@ fn example_1_1_end_to_end() {
     for (cid, aid, vid) in [(10, 1, 100), (11, 1, 101), (12, 2, 102), (13, 3, 103)] {
         db.insert(
             "Casualty",
-            vec![Value::int(cid), Value::int(aid), Value::int(0), Value::int(vid)],
+            vec![
+                Value::int(cid),
+                Value::int(aid),
+                Value::int(0),
+                Value::int(vid),
+            ],
         )
         .unwrap();
     }
     for (vid, age) in [(100, 30), (101, 40), (102, 50), (103, 60)] {
         db.insert(
             "Vehicle",
-            vec![Value::int(vid), Value::str(format!("d{vid}")), Value::int(age)],
+            vec![
+                Value::int(vid),
+                Value::str(format!("d{vid}")),
+                Value::int(age),
+            ],
         )
         .unwrap();
     }
@@ -81,7 +90,9 @@ fn example_1_1_end_to_end() {
     assert!(bounded.same_rows(&naive));
     assert_eq!(
         bounded.row_set(),
-        [vec![Value::int(30)], vec![Value::int(40)]].into_iter().collect()
+        [vec![Value::int(30)], vec![Value::int(40)]]
+            .into_iter()
+            .collect()
     );
     // The bounded plan fetched fewer tuples than the database holds; the baseline
     // scanned all of them.
@@ -110,11 +121,7 @@ fn example_3_1_verdicts() {
     assert!(!verdict.is_bounded());
 
     let a2 = parse_access_schema(&catalog, "R2(a -> b, 1);").unwrap();
-    let q2 = parse_query(
-        &catalog,
-        "Q2(x) :- R2(x, x1), R2(x, x2), x1 = 1, x2 = 2.",
-    )
-    .unwrap();
+    let q2 = parse_query(&catalog, "Q2(x) :- R2(x, x1), R2(x, x2), x1 = 1, x2 = 2.").unwrap();
     let verdict = analyze_cq(q2.as_cq().unwrap(), &a2, &config).unwrap();
     assert_eq!(verdict, BoundedVerdict::Unsatisfiable);
 

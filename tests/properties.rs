@@ -12,7 +12,7 @@ use bea::core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
 use bea::core::plan::{bounded_plan, bounded_plan_for_report};
 use bea::core::reason::{instance::eval_cq as eval_cq_small, instance::SmallInstance};
 use bea::core::specialize::{generic_template, instantiate, specialize_cq, SpecializeConfig};
-use bea::engine::{eval_cq, execute_plan};
+use bea::engine::{eval_cq, execute_plan, execute_plan_with_options, ExecOptions};
 use bea::storage::{discover_constraints, DiscoveryOptions, IndexedDatabase};
 use bea::workload::{accidents, ecommerce, graph, querygen};
 use bea_core::access::AccessSchema;
@@ -30,8 +30,7 @@ fn run_cases(property: &str, tag: u64, mut body: impl FnMut(&mut StdRng)) {
     for case in 0..CASES {
         let seed = tag ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(panic) = outcome {
             eprintln!("property `{property}` failed at case {case} (rng seed {seed:#x})");
             std::panic::resume_unwind(panic);
@@ -68,10 +67,13 @@ fn accidents_fixture(seed: u64, days: u32) -> (bea::storage::Database, AccessSch
     (db, schema)
 }
 
-/// The core bounded-vs-naive property shared by the three scenario families: for every
-/// covered query of a random workload over `db`, the bounded plan computes exactly the
-/// naive answer and never fetches more than the statically derived bound (Theorem 3.11,
-/// constructive direction).
+/// The core differential property shared by the three scenario families: for every
+/// covered query of a random workload over `db`, the **streaming** bounded executor, the
+/// **materialized** bounded executor and the **naive** baseline compute exactly the same
+/// answer; the two bounded strategies read exactly the same data (boundedness is a
+/// property of the plan, not the execution strategy); nothing fetches more than the
+/// statically derived bound (Theorem 3.11, constructive direction); and the streaming
+/// pipeline's peak row residency never exceeds the materialized executor's.
 fn assert_bounded_plans_agree_with_naive(
     schema: &AccessSchema,
     db: bea::storage::Database,
@@ -90,8 +92,25 @@ fn assert_bounded_plans_agree_with_naive(
         let plan = bounded_plan_for_report(query, schema, &report).unwrap();
         assert!(plan.is_bounded_under(schema));
         let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+        let (materialized, materialized_stats) =
+            execute_plan_with_options(&plan, &indexed, &ExecOptions::materialized()).unwrap();
         let (naive, _) = eval_cq(query, indexed.database()).unwrap();
         assert!(bounded.same_rows(&naive), "mismatch for {query}");
+        assert!(
+            materialized.same_rows(&naive),
+            "materialized mismatch for {query}"
+        );
+        assert!(
+            stats.same_data_access(&materialized_stats),
+            "streaming and materialized executions read different data for {query}: \
+             {stats} vs {materialized_stats}"
+        );
+        assert!(
+            stats.peak_rows_resident <= materialized_stats.peak_rows_resident,
+            "streaming held more rows ({}) than the materialized executor ({}) for {query}",
+            stats.peak_rows_resident,
+            materialized_stats.peak_rows_resident
+        );
         let cost = plan.cost(schema, indexed.size());
         assert!(
             stats.tuples_fetched <= cost.max_fetched_tuples,
@@ -261,7 +280,10 @@ fn analysis_rewrites_are_equivalent_on_data() {
                 }
                 BoundedVerdict::Unsatisfiable => {
                     let (a, _) = eval_cq(query, &db).unwrap();
-                    assert!(a.is_empty(), "A-unsatisfiable query answered on D ⊨ A: {query}");
+                    assert!(
+                        a.is_empty(),
+                        "A-unsatisfiable query answered on D ⊨ A: {query}"
+                    );
                 }
                 _ => {}
             }
@@ -417,50 +439,54 @@ fn personalized_graph_search_matches_naive() {
 /// baseline evaluator on small instances.
 #[test]
 fn small_instance_evaluator_agrees_with_engine() {
-    run_cases("small_instance_evaluator_agrees_with_engine", 0x5A11, |rng| {
-        let seed = rng.gen_range(0u64..1_000);
-        let qseed = rng.gen_range(0u64..1_000);
-        let catalog = accidents::catalog();
-        let schema = accidents::access_schema(&catalog);
-        let (db, _) = accidents_fixture(seed, 1);
-        let workload = querygen::random_workload_from_db(
-            &catalog,
-            Some(&schema),
-            &db,
-            5,
-            &querygen::QueryGenConfig {
-                seed: qseed,
-                max_atoms: 2,
-                ..querygen::QueryGenConfig::default()
-            },
-        )
-        .unwrap();
+    run_cases(
+        "small_instance_evaluator_agrees_with_engine",
+        0x5A11,
+        |rng| {
+            let seed = rng.gen_range(0u64..1_000);
+            let qseed = rng.gen_range(0u64..1_000);
+            let catalog = accidents::catalog();
+            let schema = accidents::access_schema(&catalog);
+            let (db, _) = accidents_fixture(seed, 1);
+            let workload = querygen::random_workload_from_db(
+                &catalog,
+                Some(&schema),
+                &db,
+                5,
+                &querygen::QueryGenConfig {
+                    seed: qseed,
+                    max_atoms: 2,
+                    ..querygen::QueryGenConfig::default()
+                },
+            )
+            .unwrap();
 
-        // Copy a small sample of the database into a SmallInstance.
-        let mut small = SmallInstance::new();
-        let mut copied = 0;
-        for relation in db.relations() {
-            for row in relation.rows().iter().take(40) {
-                small.insert(relation.name(), row.clone());
-                copied += 1;
+            // Copy a small sample of the database into a SmallInstance.
+            let mut small = SmallInstance::new();
+            let mut copied = 0;
+            for relation in db.relations() {
+                for row in relation.rows().iter().take(40) {
+                    small.insert(relation.name(), row.clone());
+                    copied += 1;
+                }
             }
-        }
-        assert!(copied > 0);
-        let mut small_db = bea::storage::Database::new(catalog.clone());
-        for relation in db.relations() {
-            small_db
-                .extend(relation.name(), relation.rows().iter().take(40).cloned())
-                .unwrap();
-        }
+            assert!(copied > 0);
+            let mut small_db = bea::storage::Database::new(catalog.clone());
+            for relation in db.relations() {
+                small_db
+                    .extend(relation.name(), relation.rows().iter().take(40).cloned())
+                    .unwrap();
+            }
 
-        for query in &workload {
-            let from_reasoner = eval_cq_small(query, &small);
-            let (from_engine, _) = eval_cq(query, &small_db).unwrap();
-            assert_eq!(
-                from_reasoner,
-                from_engine.row_set(),
-                "evaluators disagree on {query}"
-            );
-        }
-    });
+            for query in &workload {
+                let from_reasoner = eval_cq_small(query, &small);
+                let (from_engine, _) = eval_cq(query, &small_db).unwrap();
+                assert_eq!(
+                    from_reasoner,
+                    from_engine.row_set(),
+                    "evaluators disagree on {query}"
+                );
+            }
+        },
+    );
 }

@@ -114,7 +114,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Measure `routine` under `id`, passing it `input`.
-    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R) -> &mut Self
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
     where
         I: ?Sized,
         R: FnMut(&mut Bencher, &I),
@@ -151,7 +156,11 @@ impl Criterion {
     }
 
     /// Measure a standalone function outside any group.
-    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) -> &mut Self {
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: 10,
