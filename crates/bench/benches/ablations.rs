@@ -11,17 +11,25 @@
 //!   historical table-per-step executor and the streaming batch pipeline, on all three
 //!   scenario families. Before timing, the bench prints the memory-residency comparison
 //!   (`peak_rows_resident`): identical data access, lower high-water mark.
+//! * **single-threaded vs parallel pipelines** — one exchange-lowered multi-pipeline
+//!   plan (a batch of anchored Q0 branches) executed at 1, 2 and 4 worker threads.
+//!   Before timing, the bench checks the invariants (identical output and data access
+//!   at every thread count; the concurrent residency peak bounds the single-threaded
+//!   one from above) and prints the pipeline/residency table. On a multi-core machine
+//!   the 4-thread run is where the wall-clock win shows up; the access-side numbers
+//!   are identical by construction, which is the point — parallelism scales the
+//!   hardware, not the amount of data touched.
 
 #![allow(missing_docs)] // criterion_group! expands to undocumented items
 
-use bea_bench::scenarios::{AccidentsScenario, EcommerceScenario, GraphScenario};
+use bea_bench::scenarios::{AccidentsScenario, EcommerceScenario, GraphScenario, ParallelScenario};
 use bea_bench::{families, report::TextTable};
 use bea_core::bounded::{analyze_cq, BoundedConfig};
 use bea_core::cover;
 use bea_core::plan::QueryPlan;
 use bea_core::reason::containment::a_contained;
 use bea_core::reason::ReasonConfig;
-use bea_engine::{execute_plan_with_options, ExecOptions};
+use bea_engine::{execute_physical_with_options, execute_plan_with_options, ExecOptions};
 use bea_storage::IndexedDatabase;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -147,5 +155,81 @@ fn bench_execution_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ablations, bench_execution_strategies);
+/// Single-threaded vs parallel pipeline execution on the multi-pipeline batch-of-Q0
+/// scenario. Prints the pipeline decomposition and residency comparison once, then
+/// times the same physical plan at 1, 2 and 4 worker threads.
+fn bench_parallel_pipelines(c: &mut Criterion) {
+    let scenario = ParallelScenario::with_branches(6, 20_000, 42).expect("scenario builds");
+    let dag = scenario.physical.pipeline_dag();
+
+    let (single, single_stats) = execute_physical_with_options(
+        &scenario.physical,
+        &scenario.indexed,
+        &ExecOptions::new().with_threads(1),
+    )
+    .expect("plan executes");
+    let (parallel, parallel_stats) = execute_physical_with_options(
+        &scenario.physical,
+        &scenario.indexed,
+        &ExecOptions::new().with_threads(4),
+    )
+    .expect("plan executes");
+    assert_eq!(
+        single.rows(),
+        parallel.rows(),
+        "thread count changed output"
+    );
+    assert!(
+        single_stats.same_data_access(&parallel_stats),
+        "thread count changed data access"
+    );
+    assert!(
+        parallel_stats.peak_rows_resident >= single_stats.peak_rows_resident,
+        "concurrent peak {} understates the single-threaded peak {}",
+        parallel_stats.peak_rows_resident,
+        single_stats.peak_rows_resident
+    );
+
+    let mut table = TextTable::new([
+        "scenario",
+        "db tuples",
+        "pipelines",
+        "parallel width",
+        "tuples fetched",
+        "peak resident (1 thread)",
+        "peak resident (4 threads)",
+    ]);
+    table.row([
+        "q0_batch_6".to_owned(),
+        scenario.indexed.size().to_string(),
+        dag.len().to_string(),
+        dag.parallel_width().to_string(),
+        single_stats.tuples_fetched.to_string(),
+        single_stats.peak_rows_resident.to_string(),
+        parallel_stats.peak_rows_resident.to_string(),
+    ]);
+    println!("\nparallel pipelines, identical data access at every thread count:\n");
+    table.print();
+    println!();
+
+    let mut group = c.benchmark_group("parallel_pipelines");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let options = ExecOptions::new().with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("q0_batch_6", threads), &threads, |b, _| {
+            b.iter(|| {
+                execute_physical_with_options(&scenario.physical, &scenario.indexed, &options)
+                    .expect("plan executes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablations,
+    bench_execution_strategies,
+    bench_parallel_pipelines
+);
 criterion_main!(benches);

@@ -21,7 +21,8 @@ pub mod physical;
 pub mod synthesis;
 
 pub use physical::{
-    keys_all_tied, lower_plan, residual_predicates, PhysOp, PhysStep, PhysicalPlan,
+    keys_all_tied, lower_plan, lower_plan_with, residual_predicates, LowerOptions, PhysOp,
+    PhysStep, PhysicalPlan, Pipeline, PipelineDag,
 };
 pub use synthesis::{bounded_plan, bounded_plan_for_report, bounded_plan_ucq};
 

@@ -35,6 +35,18 @@
 //! * **Materialization points** — a step is marked [`PhysStep::materialize`] only when
 //!   it is a genuine pipeline breaker: its result is consumed by more than one operator
 //!   (or it is the plan output). Everything else streams.
+//! * **Exchange points** (opt-in, [`LowerOptions::exchange_parallelism`]) — the inputs
+//!   of a union and the buffered sides of products, differences and hash joins are
+//!   additionally marked as materialization points when their subtree performs index
+//!   access. This cuts the plan into more, *independent* pipelines that a parallel
+//!   scheduler can run on worker threads; it trades some residency (the exchanged
+//!   results are buffered instead of streamed) for parallelism, and never changes what
+//!   data is accessed.
+//!
+//! [`PhysicalPlan::pipeline_dag`] decomposes any lowered plan into its pipelines: each
+//! materialization point, together with the streaming region feeding it, becomes one
+//! [`Pipeline`]; the materialized steps it scans are its exchange edges. Pipelines with
+//! no path between them are independent and may execute concurrently.
 //!
 //! The companion executor lives in `bea-engine` (`ops` module); it assigns one streaming
 //! operator per physical step and reports peak rows resident alongside the usual access
@@ -331,6 +343,127 @@ impl PhysicalPlan {
     pub fn materialization_points(&self) -> usize {
         self.steps.iter().filter(|s| s.materialize).count()
     }
+
+    /// Decompose the plan into its pipeline DAG: one [`Pipeline`] per materialization
+    /// point, whose `sources` are the materialized steps its streaming region scans
+    /// (the exchange edges). Pipelines appear in step order, which is a topological
+    /// order of the DAG; pipelines with no path between them are independent and may
+    /// run concurrently.
+    pub fn pipeline_dag(&self) -> PipelineDag {
+        let mut sink_to_pipeline: BTreeMap<PhysId, usize> = BTreeMap::new();
+        let mut pipelines: Vec<Pipeline> = Vec::new();
+        for (sink, step) in self.steps.iter().enumerate() {
+            if !step.materialize {
+                continue;
+            }
+            // Walk the streaming region feeding this sink. Non-materialized steps have
+            // exactly one consumer (multi-consumer steps are always materialized), so
+            // the region is a tree and the walk is linear.
+            let mut sources: BTreeSet<PhysId> = BTreeSet::new();
+            let mut stack: Vec<PhysId> = self.steps[sink].op.inputs();
+            while let Some(j) = stack.pop() {
+                if self.steps[j].materialize {
+                    sources.insert(j);
+                } else {
+                    stack.extend(self.steps[j].op.inputs());
+                }
+            }
+            sink_to_pipeline.insert(sink, pipelines.len());
+            pipelines.push(Pipeline {
+                sink,
+                sources: sources.into_iter().collect(),
+            });
+        }
+        let deps: Vec<Vec<usize>> = pipelines
+            .iter()
+            .map(|p| {
+                p.sources
+                    .iter()
+                    .map(|s| sink_to_pipeline[s])
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); pipelines.len()];
+        for (i, dep) in deps.iter().enumerate() {
+            for &d in dep {
+                dependents[d].push(i);
+            }
+        }
+        PipelineDag {
+            pipelines,
+            deps,
+            dependents,
+        }
+    }
+}
+
+/// One pipeline of a physical plan: the materialization point `sink` plus the streaming
+/// region that feeds it. Executing a pipeline means pulling the operator tree rooted at
+/// `sink` to exhaustion and materializing the result; the `sources` are the
+/// materialization points that region scans, so a pipeline is runnable exactly when all
+/// of its sources have been produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// The materialized step this pipeline produces.
+    pub sink: PhysId,
+    /// The materialized steps its streaming region reads (exchange edges), in step
+    /// order.
+    pub sources: Vec<PhysId>,
+}
+
+/// The pipeline decomposition of a [`PhysicalPlan`]: pipelines in topological (step)
+/// order plus the dependency edges between them. See [`PhysicalPlan::pipeline_dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineDag {
+    pipelines: Vec<Pipeline>,
+    deps: Vec<Vec<usize>>,
+    dependents: Vec<Vec<usize>>,
+}
+
+impl PipelineDag {
+    /// The pipelines in topological order (the last one produces the plan output).
+    pub fn pipelines(&self) -> &[Pipeline] {
+        &self.pipelines
+    }
+
+    /// Number of pipelines.
+    pub fn len(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// True when the DAG has no pipelines (never the case for lowered plans).
+    pub fn is_empty(&self) -> bool {
+        self.pipelines.is_empty()
+    }
+
+    /// Pipelines that must complete before pipeline `i` can start.
+    pub fn dependencies(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
+    /// Pipelines unblocked (in part) by the completion of pipeline `i`.
+    pub fn dependents(&self, i: usize) -> &[usize] {
+        &self.dependents[i]
+    }
+
+    /// The maximum number of pipelines that can run concurrently under level-by-level
+    /// scheduling (all pipelines at equal longest-path depth are mutually independent).
+    /// A plan with a single pipeline has width 1; wider DAGs are where a parallel
+    /// scheduler can win.
+    pub fn parallel_width(&self) -> usize {
+        let mut level: Vec<usize> = vec![0; self.pipelines.len()];
+        let mut width: BTreeMap<usize, usize> = BTreeMap::new();
+        for i in 0..self.pipelines.len() {
+            let l = self.deps[i]
+                .iter()
+                .map(|&d| level[d] + 1)
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            *width.entry(l).or_insert(0) += 1;
+        }
+        width.values().copied().max().unwrap_or(0)
+    }
 }
 
 impl fmt::Display for PhysicalPlan {
@@ -419,8 +552,42 @@ enum Fusion {
     Hash { left: NodeId, fetch: NodeId },
 }
 
-/// Lower a logical plan to a physical streaming plan. See the module docs for the rules.
+/// Options controlling [`lower_plan_with`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`LowerOptions::new`] (or
+/// [`Default`]) and adjust knobs through the `with_*` methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct LowerOptions {
+    /// Additionally mark the inputs of unions and the buffered sides of products,
+    /// differences and hash joins as materialization points when their subtrees perform
+    /// index access, so the pipeline DAG gains parallel width (see the module docs).
+    /// Off by default: the single-threaded executor prefers the minimal set of
+    /// breakers, which minimizes residency.
+    pub exchange_parallelism: bool,
+}
+
+impl LowerOptions {
+    /// The default options: minimal materialization, no exchange points.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set whether lowering inserts exchange points for parallel execution.
+    pub fn with_exchange_parallelism(mut self, exchange_parallelism: bool) -> Self {
+        self.exchange_parallelism = exchange_parallelism;
+        self
+    }
+}
+
+/// Lower a logical plan to a physical streaming plan with the default options. See the
+/// module docs for the rules.
 pub fn lower_plan(plan: &QueryPlan) -> Result<PhysicalPlan> {
+    lower_plan_with(plan, &LowerOptions::default())
+}
+
+/// Lower a logical plan to a physical streaming plan under explicit [`LowerOptions`].
+pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<PhysicalPlan> {
     plan.validate()?;
     let steps = plan.steps();
     let n = steps.len();
@@ -815,6 +982,41 @@ pub fn lower_plan(plan: &QueryPlan) -> Result<PhysicalPlan> {
     }
     phys[output].materialize = true;
 
+    // Exchange points: cut the plan at the inputs of unions and at the buffered sides
+    // of products, differences and hash joins, provided the cut-off subtree actually
+    // performs index access (there is nothing to win by running a constant on its own
+    // thread). Materializing a step never changes what is fetched — the same operator
+    // tree runs, its result is just buffered at the cut — so data-access accounting is
+    // identical with and without exchange points.
+    if options.exchange_parallelism {
+        let mut has_access: Vec<bool> = vec![false; phys.len()];
+        for i in 0..phys.len() {
+            has_access[i] = matches!(
+                phys[i].op,
+                PhysOp::Fetch { .. } | PhysOp::KeyedLookup { .. }
+            ) || phys[i].op.inputs().iter().any(|&j| has_access[j]);
+        }
+        let mut exchange: Vec<PhysId> = Vec::new();
+        for step in &phys {
+            match &step.op {
+                PhysOp::Union { left, right } => {
+                    exchange.extend([*left, *right]);
+                }
+                PhysOp::Product { right, .. }
+                | PhysOp::Difference { right, .. }
+                | PhysOp::HashJoin { right, .. } => {
+                    exchange.push(*right);
+                }
+                _ => {}
+            }
+        }
+        for j in exchange {
+            if has_access[j] {
+                phys[j].materialize = true;
+            }
+        }
+    }
+
     let plan = PhysicalPlan {
         query_name: plan.query_name().to_owned(),
         steps: phys,
@@ -1119,6 +1321,138 @@ mod tests {
         // operator (the fused lookup), so everything streams.
         assert_eq!(phys.materialization_points(), 1);
         assert!(phys.steps()[phys.output()].materialize);
+    }
+
+    #[test]
+    fn single_pipeline_dag_for_fully_streaming_plan() {
+        let phys = lower_plan(&keyed_join_plan()).unwrap();
+        let dag = phys.pipeline_dag();
+        assert_eq!(dag.len(), 1);
+        assert!(!dag.is_empty());
+        assert_eq!(dag.pipelines()[0].sink, phys.output());
+        assert!(dag.pipelines()[0].sources.is_empty());
+        assert!(dag.dependencies(0).is_empty());
+        assert!(dag.dependents(0).is_empty());
+        assert_eq!(dag.parallel_width(), 1);
+    }
+
+    #[test]
+    fn shared_fetch_plan_decomposes_into_dependent_pipelines() {
+        // The shared-fetch plan has two materialization points: the fetch and the
+        // output. The DAG must chain them with an exchange edge.
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let fetched = b.fetch(
+            k1,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(k1, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        let other = b.project(fetched, vec![1]);
+        let out = b.product(sel, other);
+        let plan = b.finish("Q", out).unwrap();
+        let phys = lower_plan(&plan).unwrap();
+        let dag = phys.pipeline_dag();
+        // Three breakers: the shared constant, the shared fetch, and the output.
+        assert_eq!(dag.len(), 3);
+        let const_pipe = &dag.pipelines()[0];
+        let fetch_pipe = &dag.pipelines()[1];
+        let out_pipe = &dag.pipelines()[2];
+        assert!(matches!(
+            phys.steps()[const_pipe.sink].op,
+            PhysOp::Const { .. }
+        ));
+        assert!(matches!(
+            phys.steps()[fetch_pipe.sink].op,
+            PhysOp::Fetch { .. }
+        ));
+        assert_eq!(out_pipe.sink, phys.output());
+        // Exchange edges: the fetch scans the constant; the output scans both.
+        assert_eq!(fetch_pipe.sources, vec![const_pipe.sink]);
+        assert_eq!(out_pipe.sources, vec![const_pipe.sink, fetch_pipe.sink]);
+        assert_eq!(dag.dependencies(1), &[0]);
+        assert_eq!(dag.dependencies(2), &[0, 1]);
+        assert_eq!(dag.dependents(0), &[1, 2]);
+        // A chain has no parallel width.
+        assert_eq!(dag.parallel_width(), 1);
+    }
+
+    /// A union of two independent keyed-lookup branches — the shape that parallel
+    /// execution targets.
+    fn union_of_lookups_plan() -> QueryPlan {
+        let mut b = PlanBuilder::new();
+        let branch = |b: &mut PlanBuilder, key: i64| {
+            let k = b.constant(Value::int(key), "k");
+            let fetched = b.fetch(
+                k,
+                vec![0],
+                "R",
+                vec![0],
+                vec![1],
+                0,
+                vec!["a".into(), "b".into()],
+            );
+            let prod = b.product(k, fetched);
+            b.select(prod, vec![Predicate::ColEqCol(0, 1)])
+        };
+        let left = branch(&mut b, 1);
+        let right = branch(&mut b, 2);
+        let u = b.union(left, right);
+        b.finish("Q", u).unwrap()
+    }
+
+    #[test]
+    fn exchange_lowering_widens_the_pipeline_dag() {
+        let plan = union_of_lookups_plan();
+
+        // Default lowering: the union streams, one pipeline.
+        let streaming = lower_plan(&plan).unwrap();
+        assert_eq!(streaming.pipeline_dag().len(), 1);
+
+        // Exchange lowering: each branch becomes an independent pipeline feeding the
+        // output pipeline.
+        let exchanged =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        assert!(exchanged.validate().is_ok());
+        let dag = exchanged.pipeline_dag();
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.parallel_width(), 2);
+        let out_pipe = dag.pipelines().last().unwrap();
+        assert_eq!(out_pipe.sink, exchanged.output());
+        assert_eq!(out_pipe.sources.len(), 2);
+        assert_eq!(dag.dependencies(2), &[0, 1]);
+        // The two branch pipelines are independent: neither depends on the other.
+        assert!(dag.dependencies(0).is_empty());
+        assert!(dag.dependencies(1).is_empty());
+        // Exchange changes only materialization, never the operators themselves.
+        let ops = |p: &PhysicalPlan| p.steps().iter().map(|s| s.op.clone()).collect::<Vec<_>>();
+        assert_eq!(ops(&streaming), ops(&exchanged));
+    }
+
+    #[test]
+    fn exchange_lowering_skips_access_free_subtrees() {
+        // A union of constants performs no index access: nothing to parallelize, so
+        // exchange lowering must not add breakers.
+        let mut b = PlanBuilder::new();
+        let one = b.constant(Value::int(1), "x");
+        let two = b.constant(Value::int(2), "x");
+        let u = b.union(one, two);
+        let plan = b.finish("Q", u).unwrap();
+        let streaming = lower_plan(&plan).unwrap();
+        let exchanged =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        assert_eq!(
+            streaming.materialization_points(),
+            exchanged.materialization_points()
+        );
+        let options = LowerOptions::new().with_exchange_parallelism(true);
+        assert!(options.exchange_parallelism);
+        assert!(!LowerOptions::default().exchange_parallelism);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   [`bea_core::plan::PhysicalPlan`] and run by the batch pipeline in [`crate::ops`]:
 //!   intermediate results flow through operators in bounded batches, and only genuine
 //!   pipeline breakers hold rows. Peak memory residency tracks the access-schema bounds.
+//!   With [`ExecOptions::threads`] > 1 the plan is lowered with exchange points and its
+//!   independent pipelines run on scoped worker threads (see the [`crate::ops`] docs
+//!   for the threading model); data access is identical at every thread count.
 //! * **materialized** — the historical step loop below: one [`Table`] per plan step,
 //!   all of them alive until the end. Kept as the ablation baseline (and, with
 //!   [`ExecOptions::defer_products`] off, as the literal plan semantics).
@@ -23,13 +26,17 @@ use crate::stats::AccessStats;
 use crate::table::Table;
 use bea_core::error::{Error, Result};
 use bea_core::plan::{
-    keys_all_tied, lower_plan, residual_predicates, PlanOp, Predicate, QueryPlan,
+    keys_all_tied, lower_plan_with, residual_predicates, LowerOptions, PhysicalPlan, PlanOp,
+    Predicate, QueryPlan,
 };
 use bea_core::value::Row;
 use bea_storage::IndexedDatabase;
 use std::collections::BTreeSet;
 
-pub use ops::execute_physical;
+/// Environment variable overriding the automatic worker-thread count (used by the CI
+/// matrix to run the whole test suite at a fixed parallelism). An explicit
+/// [`ExecOptions::with_threads`] beats the environment.
+pub const THREADS_ENV: &str = "BEA_THREADS";
 
 /// Options controlling plan execution.
 ///
@@ -48,6 +55,14 @@ pub struct ExecOptions {
     /// ablations can compare against the literal plan semantics. (The streaming
     /// strategy subsumes this via keyed-lookup fusion during lowering.)
     pub defer_products: bool,
+    /// Worker threads for the streaming pipeline. `0` (the default) resolves
+    /// automatically: the [`THREADS_ENV`] environment variable if set, otherwise the
+    /// machine's available parallelism. `1` runs every pipeline on the calling thread
+    /// and reproduces the historical single-threaded streaming behavior exactly;
+    /// `> 1` lowers with exchange points and schedules independent pipelines on scoped
+    /// worker threads (see `bea_core::plan::physical` and the `ops` module docs).
+    /// Ignored by the materialized strategy.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -55,12 +70,13 @@ impl Default for ExecOptions {
         Self {
             streaming: true,
             defer_products: true,
+            threads: 0,
         }
     }
 }
 
 impl ExecOptions {
-    /// The default options: streaming execution.
+    /// The default options: streaming execution, automatic thread count.
     pub fn new() -> Self {
         Self::default()
     }
@@ -81,6 +97,49 @@ impl ExecOptions {
         self.defer_products = defer_products;
         self
     }
+
+    /// Set the worker-thread count for the streaming pipeline (0 = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker-thread count: the explicit [`ExecOptions::threads`] if
+    /// nonzero, else the [`THREADS_ENV`] environment variable, else the machine's
+    /// available parallelism (1 if unknown).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(threads) = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|value| value.parse::<usize>().ok())
+            .filter(|&threads| threads > 0)
+        {
+            return threads;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Execute a physical plan with the default options (streaming, automatic threads).
+pub fn execute_physical(
+    plan: &PhysicalPlan,
+    database: &IndexedDatabase,
+) -> Result<(Table, AccessStats)> {
+    execute_physical_with_options(plan, database, &ExecOptions::default())
+}
+
+/// Execute an already-lowered physical plan under explicit [`ExecOptions`] (only the
+/// thread count applies — the lowering knobs were decided when `plan` was built).
+pub fn execute_physical_with_options(
+    plan: &PhysicalPlan,
+    database: &IndexedDatabase,
+    options: &ExecOptions,
+) -> Result<(Table, AccessStats)> {
+    ops::execute(plan, database, options.resolved_threads())
 }
 
 /// Execute a plan, returning the output table and the access statistics.
@@ -95,8 +154,13 @@ pub fn execute_plan_with_options(
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
     if options.streaming {
-        let physical = lower_plan(plan)?;
-        return ops::execute_physical(&physical, database);
+        let threads = options.resolved_threads();
+        // Multi-threaded runs lower with exchange points so the pipeline DAG gains
+        // parallel width; single-threaded runs keep the minimal (lowest-residency)
+        // breaker set. Exchange points never change what is fetched.
+        let lower_options = LowerOptions::new().with_exchange_parallelism(threads > 1);
+        let physical = lower_plan_with(plan, &lower_options)?;
+        return ops::execute(&physical, database, threads);
     }
     execute_plan_materialized(plan, database, options)
 }
@@ -109,6 +173,7 @@ fn execute_plan_materialized(
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
     plan.validate()?;
+    validate_fetches_for(plan, database)?;
     let mut stats = AccessStats::default();
     let mut resident: u64 = 0;
     let mut results: Vec<Table> = Vec::with_capacity(plan.len());
@@ -244,6 +309,36 @@ fn execute_plan_materialized(
         })?;
     output.dedup();
     Ok((output, stats))
+}
+
+/// Validate every fetch of a logical plan against the database it is about to run on,
+/// through the same [`ops::validate_fetch_shape`] check the physical executor applies
+/// at its entry. [`QueryPlan::validate`] covers step wiring and predicate column
+/// bounds; together they make malformed plans fail *before* execution instead of
+/// panicking mid-loop on an out-of-range index.
+fn validate_fetches_for(plan: &QueryPlan, database: &IndexedDatabase) -> Result<()> {
+    for (i, step) in plan.steps().iter().enumerate() {
+        let PlanOp::Fetch {
+            relation,
+            key_cols,
+            x_attrs,
+            y_attrs,
+            constraint_index,
+            ..
+        } = &step.op
+        else {
+            continue;
+        };
+        ops::validate_fetch_shape(
+            database,
+            &format!("plan step {i}"),
+            relation,
+            key_cols,
+            x_attrs.iter().chain(y_attrs.iter()),
+            *constraint_index,
+        )?;
+    }
+    Ok(())
 }
 
 /// Product nodes of the shape `source × fetch(X ∈ source, …)` whose only consumer is a
@@ -665,6 +760,7 @@ mod tests {
         let default = ExecOptions::new();
         assert!(default.streaming);
         assert!(default.defer_products);
+        assert_eq!(default.threads, 0, "0 = resolve automatically");
         assert_eq!(default, ExecOptions::default());
         let materialized = ExecOptions::materialized();
         assert!(!materialized.streaming);
@@ -672,6 +768,14 @@ mod tests {
         assert!(!literal.streaming);
         assert!(!literal.defer_products);
         assert!(literal.with_streaming(true).streaming);
+        let pinned = ExecOptions::new().with_threads(4);
+        assert_eq!(pinned.threads, 4);
+        assert_eq!(
+            pinned.resolved_threads(),
+            4,
+            "an explicit thread count beats the environment"
+        );
+        assert!(ExecOptions::new().resolved_threads() >= 1);
     }
 
     #[test]

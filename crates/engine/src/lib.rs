@@ -18,6 +18,21 @@
 //! baseline). [`stats::AccessStats::peak_rows_resident`] makes the difference
 //! observable; both strategies read exactly the same data.
 //!
+//! # Threading model
+//!
+//! The streaming pipeline can use worker threads ([`ExecOptions::with_threads`]; the
+//! default resolves to the `BEA_THREADS` environment variable or the machine's
+//! available parallelism). The plan's pipeline DAG — pipelines bounded by
+//! materialization points, materialized results as exchange edges — is scheduled over
+//! scoped workers: a pipeline runs as soon as its sources are complete, operator trees
+//! stay on one thread, and only the materialized steps and the **shared residency
+//! ledger** cross threads. The ledger makes `peak_rows_resident` the *true* number of
+//! simultaneously resident rows across all workers. Per-worker counters are combined
+//! with [`AccessStats::merge_concurrent`] (peaks add — overlapping windows), in
+//! contrast to [`AccessStats::merge_sequential`] / `+=` (peaks max — disjoint
+//! windows). `threads = 1` reproduces the single-threaded streaming behavior exactly;
+//! every data-access counter is identical at any thread count.
+//!
 //! [`table::Table`] is the shared result representation (set semantics).
 
 pub mod exec;
@@ -26,7 +41,10 @@ pub mod ops;
 pub mod stats;
 pub mod table;
 
-pub use exec::{execute_physical, execute_plan, execute_plan_with_options, ExecOptions};
+pub use exec::{
+    execute_physical, execute_physical_with_options, execute_plan, execute_plan_with_options,
+    ExecOptions, THREADS_ENV,
+};
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
 pub use stats::AccessStats;
 pub use table::Table;

@@ -13,8 +13,8 @@ use std::rc::Rc;
 /// one key at a time, straight off the index postings
 /// ([`IndexedDatabase::fetch_iter`] — no intermediate `Vec<&Row>`).
 ///
-/// Only the key set is durable state (released on exhaustion); fetched tuples flow
-/// through without ever being collected per fetch.
+/// Only the key set is durable state (released on exhaustion, or on drop if a consumer
+/// short-circuits); fetched tuples flow through without ever being collected per fetch.
 pub(crate) struct FetchOp<'db> {
     input: Option<BoxOp<'db>>,
     key_cols: Vec<usize>,
@@ -79,6 +79,7 @@ impl Operator for FetchOp<'_> {
                 let mut state = self.state.borrow_mut();
                 state.stats.fetch_ops += 1;
                 state.release(self.num_keys);
+                self.num_keys = 0;
                 break;
             };
             {
@@ -108,6 +109,17 @@ impl Operator for FetchOp<'_> {
     }
 }
 
+impl Drop for FetchOp<'_> {
+    fn drop(&mut self) {
+        // Dropped mid-stream (short-circuiting consumer or error): the key set is
+        // still durable — release it so residency returns to zero.
+        if self.num_keys > 0 {
+            self.state.borrow_mut().release(self.num_keys);
+            self.num_keys = 0;
+        }
+    }
+}
+
 /// The fused `σ[key equalities](source × fetch(X ∈ source, R, …))`: an index
 /// nested-loop join. Streams the source; for each row, probes the index with the row's
 /// key (once per distinct key — results are cached so the data access is identical to a
@@ -115,8 +127,9 @@ impl Operator for FetchOp<'_> {
 /// match, and applies the residual predicates.
 ///
 /// Durable state is the per-key cache of projected postings, bounded by the fetch's
-/// access-schema bound times the number of distinct keys; it is released on exhaustion.
-/// Neither the cross product nor the fetched table is ever materialized.
+/// access-schema bound times the number of distinct keys; it is released on exhaustion
+/// (or on drop if a consumer short-circuits). Neither the cross product nor the fetched
+/// table is ever materialized.
 pub(crate) struct KeyedLookupOp<'db> {
     input: BoxOp<'db>,
     key_cols: Vec<usize>,
@@ -169,6 +182,7 @@ impl Operator for KeyedLookupOp<'_> {
             let mut state = self.state.borrow_mut();
             state.stats.fetch_ops += 1;
             state.release(self.cached_rows);
+            self.cached_rows = 0;
             self.cache.clear();
             return Ok(None);
         };
@@ -208,5 +222,14 @@ impl Operator for KeyedLookupOp<'_> {
             }
         }
         Ok(Some(out))
+    }
+}
+
+impl Drop for KeyedLookupOp<'_> {
+    fn drop(&mut self) {
+        if self.cached_rows > 0 {
+            self.state.borrow_mut().release(self.cached_rows);
+            self.cached_rows = 0;
+        }
     }
 }

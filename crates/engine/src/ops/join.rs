@@ -7,7 +7,10 @@ use bea_core::value::Row;
 use std::collections::HashMap;
 
 /// Hash join on column equalities: buffers the build (right) side in hash buckets
-/// (durable state, released on exhaustion) and streams the probe (left) side.
+/// (durable state, released on exhaustion or on drop) and streams the probe (left)
+/// side. An empty build side skips the per-row probing while still draining the probe
+/// input — short-circuiting the drain would change which index lookups run, and data
+/// access must stay identical across execution strategies.
 pub(crate) struct HashJoinOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
@@ -62,9 +65,15 @@ impl Operator for HashJoinOp<'_> {
             self.done = true;
             let mut state = self.state.borrow_mut();
             state.release(self.built_rows);
+            self.built_rows = 0;
             self.buckets.clear();
             return Ok(None);
         };
+        if self.buckets.is_empty() {
+            // Empty build side: nothing can join. Keep draining the probe input (its
+            // fetches must still run), but skip the per-row work.
+            return Ok(Some(Vec::new()));
+        }
         let mut out: Vec<Row> = Vec::new();
         for lrow in batch {
             let key: Row = self.left_keys.iter().map(|&c| lrow[c].clone()).collect();
@@ -80,5 +89,14 @@ impl Operator for HashJoinOp<'_> {
             }
         }
         Ok(Some(out))
+    }
+}
+
+impl Drop for HashJoinOp<'_> {
+    fn drop(&mut self) {
+        if self.built_rows > 0 {
+            self.state.borrow_mut().release(self.built_rows);
+            self.built_rows = 0;
+        }
     }
 }

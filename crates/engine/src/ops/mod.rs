@@ -1,24 +1,43 @@
-//! The streaming batch pipeline executing physical plans.
+//! The streaming batch pipeline executing physical plans — sequentially or on worker
+//! threads.
 //!
-//! [`execute_physical`] runs a [`PhysicalPlan`] (lowered by
+//! [`crate::exec::execute_physical`] runs a [`PhysicalPlan`] (lowered by
 //! `bea_core::plan::physical::lower_plan`) against an [`IndexedDatabase`] as a tree of
 //! pull-based operators, each implementing [`Operator::next_batch`]. Rows move through
 //! the pipeline in bounded batches; only genuine pipeline breakers hold rows for longer
 //! than a batch:
 //!
 //! * steps marked [`bea_core::plan::PhysStep::materialize`] (shared by several
-//!   consumers, or the plan output) are materialized once and *freed as soon as their
-//!   last consumer has drained them*;
+//!   consumers, the plan output, or exchange points inserted for parallelism) are
+//!   materialized once and *freed as soon as their last consumer has drained them*;
 //! * join build sides, per-key fetch caches, dedup sets and the key set of a fetch are
-//!   operator-internal state, released when the operator is exhausted.
+//!   operator-internal state, released when the operator is exhausted — or when it is
+//!   dropped undrained (every operator holding durable state implements `Drop`), so a
+//!   short-circuiting or failing consumer can never leak residency.
 //!
-//! Every durable row held by one of those structures is accounted in
-//! [`ExecState`], whose high-water mark becomes
-//! [`crate::stats::AccessStats::peak_rows_resident`] — the observable that the
-//! materialized-vs-streaming ablation compares. Data access (index lookups, tuples
-//! fetched, per-relation counters) is accounted identically to the materialized
-//! executor: lowering changes *how* intermediate results flow, never *what* is fetched,
-//! so a bounded plan stays bounded.
+//! # Threading model
+//!
+//! The plan's [`bea_core::plan::PipelineDag`] cuts it into pipelines at the
+//! materialization points; the materialized results are the exchange edges. Execution
+//! walks the DAG:
+//!
+//! * **sequentially** (`threads == 1`, or a single-pipeline DAG) — pipelines run in
+//!   step order on the calling thread, exactly the historical streaming behavior;
+//! * **in parallel** (`threads > 1`) — a scoped worker pool runs every pipeline whose
+//!   dependencies are complete; [`Operator::next_batch`] over a completed
+//!   materialization ([`source::ScanOp`]) is the exchange protocol. Each worker
+//!   executes a pipeline with its *own* [`ExecState`] (operators stay single-threaded
+//!   and `Rc`-based), and the per-pipeline counters are combined with
+//!   [`AccessStats::merge_concurrent`].
+//!
+//! Residency is accounted in a [`ResidencyLedger`] *shared by all workers*: every
+//! durable row acquisition and release goes through one pair of atomics, so
+//! [`crate::stats::AccessStats::peak_rows_resident`] reflects true simultaneous
+//! residency across threads — never the per-worker maxima that a sequential merge
+//! would report. Data access (index lookups, tuples fetched, per-relation counters)
+//! is accounted identically at every thread count: scheduling changes *when* operators
+//! run, never *what* they fetch, so a bounded plan stays bounded and
+//! [`AccessStats::same_data_access`] holds across `threads` settings.
 //!
 //! Operator catalogue: [`source`] (constants, unit, empty, scans of materialized
 //! steps), [`fetch`] (streaming index fetch and the fused keyed-lookup join),
@@ -28,54 +47,107 @@
 pub(crate) mod fetch;
 pub(crate) mod join;
 pub(crate) mod relational;
+pub(crate) mod sched;
 pub(crate) mod source;
 
 use crate::stats::AccessStats;
 use crate::table::Table;
-use bea_core::error::Result;
+use bea_core::error::{Error, Result};
 use bea_core::plan::{PhysOp, PhysicalPlan, Predicate};
 use bea_core::value::{Row, Value};
 use bea_storage::IndexedDatabase;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Rows per pulled batch. Large enough to amortize dispatch, small enough that batch
 /// buffers stay negligible next to any real intermediate result.
 pub(crate) const BATCH_SIZE: usize = 1024;
 
-/// Mutable state shared by every operator of one execution: access statistics plus the
-/// residency ledger behind `peak_rows_resident`.
+/// The residency ledger shared by every worker of one execution: a resident-row counter
+/// plus its high-water mark, both atomic so that concurrent pipelines account their
+/// durable rows against *one* total. The peak therefore measures true simultaneous
+/// residency — merging per-worker peaks after the fact (with either `max` or `+`) could
+/// only under- or over-state it.
 #[derive(Debug, Default)]
+pub(crate) struct ResidencyLedger {
+    resident: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ResidencyLedger {
+    /// Record `rows` newly held by a durable structure and update the high-water mark.
+    ///
+    /// Relaxed ordering suffices: read-modify-write operations on a single atomic are
+    /// totally ordered by coherence, so the arithmetic is exact; no other memory is
+    /// synchronized through the ledger.
+    pub(crate) fn acquire(&self, rows: u64) {
+        let now = self.resident.fetch_add(rows, Ordering::Relaxed) + rows;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `rows` released by a durable structure.
+    pub(crate) fn release(&self, rows: u64) {
+        self.resident.fetch_sub(rows, Ordering::Relaxed);
+    }
+
+    /// The high-water mark of concurrently resident rows.
+    pub(crate) fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Rows currently resident (zero after a fully drained execution).
+    pub(crate) fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+}
+
+/// Mutable state owned by one worker: its share of the access statistics plus a handle
+/// to the execution-wide [`ResidencyLedger`]. Sequential execution uses a single
+/// `ExecState`; parallel execution gives each pipeline its own and combines the counter
+/// parts with [`AccessStats::merge_concurrent`], while residency peaks always come from
+/// the shared ledger.
+#[derive(Debug)]
 pub(crate) struct ExecState {
-    /// Access statistics accumulated across the pipeline.
+    /// Access statistics accumulated by this worker's operators.
     pub stats: AccessStats,
-    resident: u64,
+    ledger: Arc<ResidencyLedger>,
 }
 
 impl ExecState {
-    /// Record `rows` newly held by a durable structure (materialized step, build side,
-    /// cache, dedup set) and update the high-water mark.
-    pub fn acquire(&mut self, rows: u64) {
-        self.resident += rows;
-        if self.resident > self.stats.peak_rows_resident {
-            self.stats.peak_rows_resident = self.resident;
+    pub(crate) fn new(ledger: Arc<ResidencyLedger>) -> Self {
+        Self {
+            stats: AccessStats::default(),
+            ledger,
         }
+    }
+
+    /// Record `rows` newly held by a durable structure (materialized step, build side,
+    /// cache, dedup set) against the shared ledger.
+    pub fn acquire(&mut self, rows: u64) {
+        self.ledger.acquire(rows);
     }
 
     /// Record `rows` released by a durable structure.
     pub fn release(&mut self, rows: u64) {
-        self.resident = self.resident.saturating_sub(rows);
+        self.ledger.release(rows);
     }
 }
 
-/// Shared handle to the execution state.
+/// Per-worker handle to the execution state. `Rc` on purpose: an operator tree is
+/// built, run and dropped on a single worker thread; only the [`ResidencyLedger`] and
+/// the materialized steps cross threads.
 pub(crate) type SharedState = Rc<RefCell<ExecState>>;
 
 /// A pull-based streaming operator.
 ///
 /// Contract: `next_batch` returns `Ok(Some(batch))` (possibly empty) while rows may
 /// remain and `Ok(None)` once exhausted, forever after. Operators release their durable
-/// state when they report exhaustion; consumers always drain their inputs fully.
+/// state when they report exhaustion. Consumers are *not* required to drain their
+/// inputs: an operator may be dropped mid-stream (short-circuits, errors), so every
+/// operator holding durable state also releases it on `Drop` — residency accounting
+/// must return to zero however an execution ends.
 pub(crate) trait Operator {
     /// Pull the next batch of rows.
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>>;
@@ -85,17 +157,26 @@ pub(crate) trait Operator {
 pub(crate) type BoxOp<'db> = Box<dyn Operator + 'db>;
 
 /// A materialized step: rows plus the number of consumers still to drain them. The rows
-/// are dropped — and their residency released — when the last consumer finishes.
+/// are dropped — and their residency released — when the last consumer finishes (or is
+/// dropped; see [`source::ScanOp`]).
 #[derive(Debug)]
 pub(crate) struct MatNode {
-    rows: Option<Vec<Row>>,
-    remaining: usize,
+    pub(crate) rows: Option<Vec<Row>>,
+    pub(crate) remaining: usize,
 }
 
-/// Shared handle to a materialized step.
-pub(crate) type SharedMat = Rc<RefCell<MatNode>>;
+/// Shared handle to a materialized step. `Arc<Mutex<…>>` because materialized results
+/// are the exchange edges between pipelines, which may drain them from different worker
+/// threads.
+pub(crate) type SharedMat = Arc<Mutex<MatNode>>;
 
-/// Evaluate whether `row` satisfies every predicate.
+/// One-shot slot for each step's materialization, written by the pipeline that produces
+/// it and read by the pipelines that scan it.
+pub(crate) type MatSlots = [OnceLock<SharedMat>];
+
+/// Evaluate whether `row` satisfies every predicate. Column indexes are validated
+/// against the plan before execution starts ([`validate_for`]), so the direct indexing
+/// cannot be reached with an out-of-range predicate.
 pub(crate) fn passes(row: &[Value], predicates: &[Predicate]) -> bool {
     predicates.iter().all(|p| match p {
         Predicate::ColEqCol(a, b) => row[*a] == row[*b],
@@ -103,46 +184,184 @@ pub(crate) fn passes(row: &[Value], predicates: &[Predicate]) -> bool {
     })
 }
 
-/// Execute a physical plan against an indexed database with the streaming pipeline,
-/// returning the output table and the access/residency statistics.
-pub fn execute_physical(
+/// Validate one fetch-shaped step (`step` names it in error messages, e.g. "physical
+/// step 3") against the database it is about to probe: the backing constraint must
+/// exist in the access schema, agree with the key arity, and `attrs` may only name
+/// attribute positions the relation has. Shared by the streaming executor (physical
+/// fetch/keyed-lookup steps) and the materialized executor (logical fetch steps) so the
+/// two strategies can never drift on what counts as a malformed plan.
+pub(crate) fn validate_fetch_shape<'a>(
+    database: &IndexedDatabase,
+    step: &str,
+    relation: &str,
+    key_cols: &[usize],
+    attrs: impl Iterator<Item = &'a usize>,
+    constraint_index: usize,
+) -> Result<()> {
+    let constraint = database
+        .schema()
+        .constraint(constraint_index)
+        .ok_or_else(|| Error::MissingConstraint {
+            reason: format!(
+                "{step} fetches via constraint {constraint_index}, which the access schema \
+                     does not contain"
+            ),
+        })?;
+    if key_cols.len() != constraint.x().len() {
+        return Err(Error::InvalidPlan {
+            reason: format!(
+                "{step} probes constraint {constraint_index} with {} key columns; the \
+                 constraint's key has {}",
+                key_cols.len(),
+                constraint.x().len()
+            ),
+        });
+    }
+    let arity = database.database().catalog().relation(relation)?.arity();
+    for &position in attrs {
+        if position >= arity {
+            return Err(Error::InvalidPlan {
+                reason: format!(
+                    "{step} projects attribute positions out of range for {relation} \
+                     (arity {arity})"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a physical plan against the database it is about to run on, so malformed
+/// plans fail *before* execution starts instead of panicking mid-pipeline:
+/// [`PhysicalPlan::validate`] checks step wiring, arities and predicate column bounds;
+/// [`validate_fetch_shape`] checks every fetch against the schema and catalog.
+fn validate_for(plan: &PhysicalPlan, database: &IndexedDatabase) -> Result<()> {
+    plan.validate()?;
+    for (i, step) in plan.steps().iter().enumerate() {
+        let (relation, key_cols, x_attrs, positions, constraint_index) = match &step.op {
+            PhysOp::Fetch {
+                relation,
+                key_cols,
+                x_attrs,
+                positions,
+                constraint_index,
+                ..
+            }
+            | PhysOp::KeyedLookup {
+                relation,
+                key_cols,
+                x_attrs,
+                positions,
+                constraint_index,
+                ..
+            } => (relation, key_cols, x_attrs, positions, constraint_index),
+            _ => continue,
+        };
+        validate_fetch_shape(
+            database,
+            &format!("physical step {i}"),
+            relation,
+            key_cols,
+            x_attrs.iter().chain(positions.iter()),
+            *constraint_index,
+        )?;
+    }
+    Ok(())
+}
+
+/// Execute a physical plan with `threads` worker threads (1 = sequential), returning
+/// the output table and the access/residency statistics.
+pub(crate) fn execute(
     plan: &PhysicalPlan,
     database: &IndexedDatabase,
+    threads: usize,
 ) -> Result<(Table, AccessStats)> {
-    let state: SharedState = Rc::new(RefCell::new(ExecState::default()));
-    let mut mats: Vec<Option<SharedMat>> = vec![None; plan.len()];
+    let (table, stats, _ledger) = execute_inner(plan, database, threads)?;
+    Ok((table, stats))
+}
 
-    // Materialization points are evaluated in step order; everything between them is
-    // pulled lazily by the operator tree rooted at the consuming breaker.
-    for (i, step) in plan.steps().iter().enumerate() {
-        if !step.materialize {
-            continue;
-        }
-        let mut op = build_op(plan, i, database, &state, &mats)?;
-        let mut rows: Vec<Row> = Vec::new();
-        while let Some(batch) = op.next_batch()? {
-            state.borrow_mut().acquire(batch.len() as u64);
-            rows.extend(batch);
-        }
-        drop(op);
-        mats[i] = Some(Rc::new(RefCell::new(MatNode {
-            rows: Some(rows),
-            remaining: step.consumers,
-        })));
-    }
+/// [`execute`], additionally returning the residency ledger so tests can assert that
+/// accounting drained back to zero.
+pub(crate) fn execute_inner(
+    plan: &PhysicalPlan,
+    database: &IndexedDatabase,
+    threads: usize,
+) -> Result<(Table, AccessStats, Arc<ResidencyLedger>)> {
+    validate_for(plan, database)?;
+    let dag = plan.pipeline_dag();
+    let ledger = Arc::new(ResidencyLedger::default());
+    let mats: Vec<OnceLock<SharedMat>> = (0..plan.len()).map(|_| OnceLock::new()).collect();
+
+    let mut stats = if threads <= 1 || dag.len() <= 1 {
+        run_sequential(plan, &dag, database, &ledger, &mats)?
+    } else {
+        sched::run_parallel(plan, &dag, database, &ledger, &mats, threads)?
+    };
 
     let output = plan.output();
-    let node = mats[output]
-        .take()
-        .expect("lowering marks the output step as a materialization point");
-    let rows = node
-        .borrow_mut()
+    let rows = mats[output]
+        .get()
+        .expect("lowering marks the output step as a materialization point")
+        .lock()
+        .expect("materialization lock")
         .rows
         .take()
         .expect("the output's virtual consumer is the caller");
+    // The caller owns the output now; the executor's residency accounting is over.
+    ledger.release(rows.len() as u64);
+    stats.peak_rows_resident = ledger.peak();
+    debug_assert_eq!(
+        ledger.resident(),
+        0,
+        "the residency ledger must drain back to zero after execution"
+    );
     let table = Table::with_rows(plan.steps()[output].columns.clone(), rows);
-    let stats = state.borrow().stats.clone();
-    Ok((table, stats))
+    Ok((table, stats, ledger))
+}
+
+/// Run every pipeline in step order on the calling thread. This is exactly the
+/// historical single-threaded streaming execution: `threads == 1` must reproduce it.
+fn run_sequential(
+    plan: &PhysicalPlan,
+    dag: &bea_core::plan::PipelineDag,
+    database: &IndexedDatabase,
+    ledger: &Arc<ResidencyLedger>,
+    mats: &MatSlots,
+) -> Result<AccessStats> {
+    let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+    for pipeline in dag.pipelines() {
+        run_pipeline(plan, pipeline.sink, database, &state, mats)?;
+    }
+    Ok(Rc::try_unwrap(state)
+        .expect("pipeline operators are dropped before their stats are read")
+        .into_inner()
+        .stats)
+}
+
+/// Execute one pipeline: pull the operator tree rooted at `sink` to exhaustion and
+/// publish the materialized result for the pipelines that scan it.
+pub(crate) fn run_pipeline(
+    plan: &PhysicalPlan,
+    sink: usize,
+    database: &IndexedDatabase,
+    state: &SharedState,
+    mats: &MatSlots,
+) -> Result<()> {
+    let mut op = build_op(plan, sink, database, state, mats)?;
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some(batch) = op.next_batch()? {
+        state.borrow_mut().acquire(batch.len() as u64);
+        rows.extend(batch);
+    }
+    drop(op);
+    let node = Arc::new(Mutex::new(MatNode {
+        rows: Some(rows),
+        remaining: plan.steps()[sink].consumers,
+    }));
+    if mats[sink].set(node).is_err() {
+        unreachable!("each pipeline is executed exactly once");
+    }
+    Ok(())
 }
 
 /// Build the operator for step `node`, recursing into non-materialized inputs and
@@ -152,12 +371,16 @@ fn build_op<'db>(
     node: usize,
     database: &'db IndexedDatabase,
     state: &SharedState,
-    mats: &[Option<SharedMat>],
+    mats: &MatSlots,
 ) -> Result<BoxOp<'db>> {
     let input = |j: usize| -> Result<BoxOp<'db>> {
-        match &mats[j] {
-            Some(mat) => Ok(Box::new(source::ScanOp::new(mat.clone(), state.clone()))),
-            None => build_op(plan, j, database, state, mats),
+        if plan.steps()[j].materialize {
+            let mat = mats[j]
+                .get()
+                .expect("the scheduler completes a pipeline's sources before starting it");
+            Ok(Box::new(source::ScanOp::new(mat.clone(), state.clone())))
+        } else {
+            build_op(plan, j, database, state, mats)
         }
     };
     let op: BoxOp<'db> = match &plan.steps()[node].op {
@@ -237,4 +460,263 @@ fn build_op<'db>(
         )),
     };
     Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_plan_with_options, ExecOptions};
+    use bea_core::access::{AccessConstraint, AccessSchema};
+    use bea_core::plan::{lower_plan_with, LowerOptions, PlanBuilder};
+    use bea_storage::Database;
+
+    fn setup() -> IndexedDatabase {
+        let mut c = bea_core::schema::Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 10).unwrap()
+            ]);
+        let mut db = Database::new(c);
+        db.extend(
+            "R",
+            [
+                vec![Value::int(1), Value::int(10)],
+                vec![Value::int(1), Value::int(11)],
+                vec![Value::int(2), Value::int(20)],
+                vec![Value::int(3), Value::int(30)],
+            ],
+        )
+        .unwrap();
+        IndexedDatabase::build(db, schema).unwrap()
+    }
+
+    /// A union of two independent keyed-lookup branches anchored at `keys` — lowered
+    /// with exchange points this decomposes into one pipeline per branch plus the
+    /// output pipeline.
+    fn union_of_lookups(keys: &[i64]) -> bea_core::plan::QueryPlan {
+        let mut b = PlanBuilder::new();
+        let branch = |b: &mut PlanBuilder, key: i64| {
+            let k = b.constant(Value::int(key), "k");
+            let fetched = b.fetch(
+                k,
+                vec![0],
+                "R",
+                vec![0],
+                vec![1],
+                0,
+                vec!["a".into(), "b".into()],
+            );
+            let prod = b.product(k, fetched);
+            b.select(prod, vec![Predicate::ColEqCol(0, 1)])
+        };
+        let mut acc = branch(&mut b, keys[0]);
+        for &key in &keys[1..] {
+            let next = branch(&mut b, key);
+            acc = b.union(acc, next);
+        }
+        b.finish("Q", acc).unwrap()
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_and_drains_the_ledger() {
+        let idb = setup();
+        let plan = union_of_lookups(&[1, 2, 3]);
+        let phys =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        let dag = phys.pipeline_dag();
+        assert!(dag.len() >= 4, "expected one pipeline per branch + output");
+        assert!(dag.parallel_width() >= 3);
+
+        let (seq_table, seq_stats, seq_ledger) = execute_inner(&phys, &idb, 1).unwrap();
+        let (par_table, par_stats, par_ledger) = execute_inner(&phys, &idb, 4).unwrap();
+
+        // Identical output — rows *and* their order are schedule-independent.
+        assert_eq!(seq_table.columns(), par_table.columns());
+        assert_eq!(seq_table.rows(), par_table.rows());
+        assert!(!par_table.is_empty());
+        // Identical data access at any thread count.
+        assert!(seq_stats.same_data_access(&par_stats));
+        // Concurrent residency is an upper bound on the sequential peak — deterministic
+        // for this plan shape (not for arbitrary plans): the sequential peak occurs
+        // while the output pipeline drains the branch materializations, and that
+        // pipeline runs last, alone, with the identical resident trajectory under
+        // every schedule.
+        assert!(
+            par_stats.peak_rows_resident >= seq_stats.peak_rows_resident,
+            "parallel peak {} below sequential peak {}",
+            par_stats.peak_rows_resident,
+            seq_stats.peak_rows_resident
+        );
+        // However an execution is scheduled, every durable row is released by the end.
+        assert_eq!(seq_ledger.resident(), 0);
+        assert_eq!(par_ledger.resident(), 0);
+    }
+
+    #[test]
+    fn parallel_execution_handles_dependent_pipelines() {
+        // A shared fetch forces a chain: const pipeline → fetch pipeline → output.
+        let idb = setup();
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "k");
+        let fetched = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(k, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        let other = b.project(fetched, vec![1]);
+        let out = b.product(sel, other);
+        let plan = b.finish("Q", out).unwrap();
+        let phys = bea_core::plan::lower_plan(&plan).unwrap();
+        assert!(phys.pipeline_dag().len() >= 3);
+
+        let (seq_table, seq_stats, _) = execute_inner(&phys, &idb, 1).unwrap();
+        let (par_table, par_stats, par_ledger) = execute_inner(&phys, &idb, 4).unwrap();
+        assert_eq!(seq_table.rows(), par_table.rows());
+        assert!(seq_stats.same_data_access(&par_stats));
+        assert_eq!(par_ledger.resident(), 0);
+    }
+
+    #[test]
+    fn empty_build_side_still_releases_all_residency() {
+        // Anchor the shared fetch at a key with no matching rows: the hash join's
+        // build side is empty at runtime. Residency must still drain to zero.
+        let idb = setup();
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(99), "k");
+        let fetched = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(k, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        let other = b.project(fetched, vec![1]);
+        let out = b.product(sel, other);
+        let plan = b.finish("Q", out).unwrap();
+        let phys = bea_core::plan::lower_plan(&plan).unwrap();
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
+
+        for threads in [1, 4] {
+            let (table, _, ledger) = execute_inner(&phys, &idb, threads).unwrap();
+            assert!(table.is_empty());
+            assert_eq!(
+                ledger.resident(),
+                0,
+                "short-circuit shape leaked residency at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_a_scan_mid_stream_releases_the_materialization() {
+        // Regression for the "consumers always drain their inputs fully" assumption: a
+        // consumer dropped mid-stream must still count as done, so the materialized
+        // rows and their residency are released.
+        let ledger = Arc::new(ResidencyLedger::default());
+        let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+        let rows: Vec<Row> = (0..3).map(|i| vec![Value::int(i)]).collect();
+        state.borrow_mut().acquire(rows.len() as u64);
+        let node: SharedMat = Arc::new(Mutex::new(MatNode {
+            rows: Some(rows),
+            remaining: 2,
+        }));
+
+        let mut first = source::ScanOp::new(node.clone(), state.clone());
+        assert_eq!(first.next_batch().unwrap().unwrap().len(), 3);
+        drop(first); // dropped before observing exhaustion
+        assert_eq!(node.lock().unwrap().remaining, 1);
+        assert_eq!(ledger.resident(), 3, "rows live while a consumer remains");
+
+        let second = source::ScanOp::new(node.clone(), state.clone());
+        drop(second); // never pulled at all
+        assert_eq!(node.lock().unwrap().remaining, 0);
+        assert!(node.lock().unwrap().rows.is_none());
+        assert_eq!(ledger.resident(), 0, "last drop must free the rows");
+    }
+
+    #[test]
+    fn malformed_fetch_positions_fail_at_plan_time_not_mid_execution() {
+        // y-attribute 5 does not exist in R(a, b): both strategies must return a plan
+        // error before touching any data instead of panicking on `tuple[5]`.
+        let idb = setup();
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "k");
+        let f = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![5],
+            0,
+            vec!["a".into(), "oob".into()],
+        );
+        let plan = b.finish("Q", f).unwrap();
+        assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::new()).is_err());
+        assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::materialized()).is_err());
+    }
+
+    #[test]
+    fn unknown_constraint_and_key_arity_fail_at_plan_time() {
+        let idb = setup();
+        // Constraint index 7 does not exist.
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "k");
+        let f = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            7,
+            vec!["a".into(), "b".into()],
+        );
+        let plan = b.finish("Q", f).unwrap();
+        assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::new()).is_err());
+        assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::materialized()).is_err());
+
+        // Two key columns probe a one-column constraint key.
+        let mut b = PlanBuilder::new();
+        let x = b.constant(Value::int(1), "x");
+        let y = b.constant(Value::int(2), "y");
+        let p = b.product(x, y);
+        let f = b.fetch(
+            p,
+            vec![0, 1],
+            "R",
+            vec![0, 1],
+            vec![],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let plan = b.finish("Q", f).unwrap();
+        assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::new()).is_err());
+        assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::materialized()).is_err());
+    }
+
+    #[test]
+    fn residency_ledger_tracks_concurrent_peaks() {
+        let ledger = ResidencyLedger::default();
+        ledger.acquire(5);
+        ledger.acquire(7); // overlapping with the first window
+        ledger.release(5);
+        ledger.acquire(2);
+        ledger.release(7);
+        ledger.release(2);
+        assert_eq!(ledger.peak(), 12, "peak is simultaneous residency, not max");
+        assert_eq!(ledger.resident(), 0);
+    }
 }

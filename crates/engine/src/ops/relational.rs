@@ -55,7 +55,7 @@ impl Operator for ProjectOp<'_> {
 }
 
 /// Streaming duplicate elimination. The set of rows seen so far is durable state,
-/// released when the input is exhausted.
+/// released when the input is exhausted (or on drop).
 pub(crate) struct DedupOp<'db> {
     input: BoxOp<'db>,
     state: SharedState,
@@ -99,6 +99,15 @@ impl Operator for DedupOp<'_> {
     }
 }
 
+impl Drop for DedupOp<'_> {
+    fn drop(&mut self) {
+        if !self.seen.is_empty() {
+            self.state.borrow_mut().release(self.seen.len() as u64);
+            self.seen.clear();
+        }
+    }
+}
+
 /// Streaming concatenation: drains the left input, then the right.
 pub(crate) struct UnionOp<'db> {
     left: Option<BoxOp<'db>>,
@@ -133,7 +142,7 @@ impl Operator for UnionOp<'_> {
 }
 
 /// Anti-semijoin on whole rows: the right side is buffered as a set (durable state,
-/// released on exhaustion), the left side streams through it.
+/// released on exhaustion or on drop), the left side streams through it.
 pub(crate) struct DifferenceOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
@@ -179,6 +188,15 @@ impl Operator for DifferenceOp<'_> {
         };
         batch.retain(|row| !self.remove.contains(row));
         Ok(Some(batch))
+    }
+}
+
+impl Drop for DifferenceOp<'_> {
+    fn drop(&mut self) {
+        if !self.remove.is_empty() {
+            self.state.borrow_mut().release(self.remove.len() as u64);
+            self.remove.clear();
+        }
     }
 }
 
@@ -261,5 +279,14 @@ impl Operator for ProductOp<'_> {
         }
         self.state.borrow_mut().stats.product_rows_materialized += out.len() as u64;
         Ok(Some(out))
+    }
+}
+
+impl Drop for ProductOp<'_> {
+    fn drop(&mut self) {
+        if !self.buffered.is_empty() {
+            self.state.borrow_mut().release(self.buffered.len() as u64);
+            self.buffered.clear();
+        }
     }
 }

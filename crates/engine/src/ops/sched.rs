@@ -1,0 +1,118 @@
+//! The parallel pipeline scheduler: runs independent pipelines of a physical plan on
+//! scoped worker threads.
+//!
+//! The unit of work is one [`bea_core::plan::Pipeline`] — a materialization point plus
+//! the streaming region feeding it. A pipeline is *ready* when every pipeline it scans
+//! (its exchange edges) has completed; ready pipelines are handed to a pool of
+//! `threads` scoped workers. Each worker executes its pipeline with a private
+//! [`ExecState`] (operator trees never cross threads) against the shared
+//! [`ResidencyLedger`], then merges its counters into the run's totals with
+//! [`AccessStats::merge_concurrent`] — the merge whose peak rule is safe under
+//! overlapping residency windows; the *exact* concurrent peak is read off the ledger by
+//! the caller.
+//!
+//! Scheduling affects only timing: every pipeline computes a function of its completed
+//! sources, so the output table, and every data-access counter, are identical at any
+//! thread count and under any interleaving.
+
+use super::{run_pipeline, ExecState, MatSlots, ResidencyLedger, SharedState};
+use crate::stats::AccessStats;
+use bea_core::error::{Error, Result};
+use bea_core::plan::{PhysicalPlan, PipelineDag};
+use bea_storage::IndexedDatabase;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared scheduler state, guarded by one mutex.
+struct Sched {
+    /// Pipelines whose dependencies are all complete, awaiting a worker.
+    ready: VecDeque<usize>,
+    /// Remaining incomplete dependencies per pipeline.
+    deps_left: Vec<usize>,
+    /// Number of completed pipelines.
+    completed: usize,
+    /// First error raised by a worker; set once, ends the run.
+    error: Option<Error>,
+    /// Concurrent merge of the per-pipeline access counters.
+    stats: AccessStats,
+}
+
+/// Execute every pipeline of `dag` on up to `threads` scoped worker threads, in
+/// dependency order. Returns the merged access statistics (whose
+/// `peak_rows_resident` the caller overwrites with the ledger's exact peak).
+pub(crate) fn run_parallel(
+    plan: &PhysicalPlan,
+    dag: &PipelineDag,
+    database: &IndexedDatabase,
+    ledger: &Arc<ResidencyLedger>,
+    mats: &MatSlots,
+    threads: usize,
+) -> Result<AccessStats> {
+    let n = dag.len();
+    let deps_left: Vec<usize> = (0..n).map(|i| dag.dependencies(i).len()).collect();
+    let ready: VecDeque<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+    let sched = Mutex::new(Sched {
+        ready,
+        deps_left,
+        completed: 0,
+        error: None,
+        stats: AccessStats::default(),
+    });
+    let work_available = Condvar::new();
+    let workers = threads.min(n).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = {
+                    let mut guard = sched.lock().expect("scheduler lock");
+                    loop {
+                        if guard.error.is_some() || guard.completed == n {
+                            return;
+                        }
+                        if let Some(job) = guard.ready.pop_front() {
+                            break job;
+                        }
+                        guard = work_available.wait(guard).expect("scheduler lock");
+                    }
+                };
+                // A fresh per-pipeline state: counters stay private to this worker,
+                // residency goes through the shared ledger.
+                let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+                let result = run_pipeline(plan, dag.pipelines()[job].sink, database, &state, mats);
+                let stats = Rc::try_unwrap(state)
+                    .expect("pipeline operators are dropped before their stats are read")
+                    .into_inner()
+                    .stats;
+                let mut guard = sched.lock().expect("scheduler lock");
+                match result {
+                    Ok(()) => {
+                        guard.stats.merge_concurrent(stats);
+                        guard.completed += 1;
+                        for &dependent in dag.dependents(job) {
+                            guard.deps_left[dependent] -= 1;
+                            if guard.deps_left[dependent] == 0 {
+                                guard.ready.push_back(dependent);
+                            }
+                        }
+                    }
+                    Err(error) => {
+                        // First failure wins; in-flight pipelines finish, waiting
+                        // workers exit.
+                        guard.error.get_or_insert(error);
+                    }
+                }
+                drop(guard);
+                work_available.notify_all();
+            });
+        }
+    });
+
+    let sched = sched.into_inner().expect("scheduler lock");
+    match sched.error {
+        Some(error) => Err(error),
+        None => Ok(sched.stats),
+    }
+}

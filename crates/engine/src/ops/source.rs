@@ -30,14 +30,15 @@ impl Operator for EmptyOp {
     }
 }
 
-/// Streams a materialized step to one of its consumers. When the last consumer is done,
-/// the materialized rows are dropped and their residency released — this is what makes
-/// the pipeline's high-water mark smaller than the materialized executor's.
+/// Streams a materialized step to one of its consumers — the exchange protocol between
+/// pipelines. When the last consumer is done, the materialized rows are dropped and
+/// their residency released; a consumer counts as done when it drains the scan *or*
+/// drops it mid-stream (short-circuits must not leak the materialization).
 pub(crate) struct ScanOp {
     node: SharedMat,
     state: SharedState,
     pos: usize,
-    done: bool,
+    finished: bool,
 }
 
 impl ScanOp {
@@ -46,34 +47,59 @@ impl ScanOp {
             node,
             state,
             pos: 0,
-            done: false,
+            finished: false,
+        }
+    }
+
+    /// Mark this consumer done exactly once: decrement the node's consumer count and,
+    /// if this was the last consumer, free the rows and release their residency.
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let mut node = self.node.lock().expect("materialization lock");
+        node.remaining -= 1;
+        if node.remaining == 0 {
+            if let Some(rows) = node.rows.take() {
+                self.state.borrow_mut().release(rows.len() as u64);
+            }
         }
     }
 }
 
 impl Operator for ScanOp {
     fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
-        if self.done {
+        if self.finished {
             return Ok(None);
         }
-        let mut node = self.node.borrow_mut();
-        let len = node
-            .rows
-            .as_ref()
-            .expect("materialized rows outlive their consumers")
-            .len();
-        if self.pos < len {
-            let end = (self.pos + BATCH_SIZE).min(len);
-            let batch = node.rows.as_ref().expect("checked above")[self.pos..end].to_vec();
-            self.pos = end;
-            return Ok(Some(batch));
+        let batch = {
+            let node = self.node.lock().expect("materialization lock");
+            let rows = node
+                .rows
+                .as_ref()
+                .expect("materialized rows outlive their consumers");
+            if self.pos < rows.len() {
+                let end = (self.pos + BATCH_SIZE).min(rows.len());
+                let batch = rows[self.pos..end].to_vec();
+                self.pos = end;
+                Some(batch)
+            } else {
+                None
+            }
+        };
+        match batch {
+            Some(batch) => Ok(Some(batch)),
+            None => {
+                self.finish();
+                Ok(None)
+            }
         }
-        self.done = true;
-        node.remaining -= 1;
-        if node.remaining == 0 {
-            node.rows = None;
-            self.state.borrow_mut().release(len as u64);
-        }
-        Ok(None)
+    }
+}
+
+impl Drop for ScanOp {
+    fn drop(&mut self) {
+        self.finish();
     }
 }

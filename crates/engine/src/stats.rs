@@ -67,20 +67,50 @@ impl AccessStats {
             && self.tuples_scanned == other.tuples_scanned
             && self.rows_fetched_by_relation == other.rows_fetched_by_relation
     }
-}
 
-impl AddAssign for AccessStats {
-    fn add_assign(&mut self, rhs: Self) {
+    /// Sum every additive counter of `rhs` into `self` (everything except
+    /// `peak_rows_resident`, whose combination rule depends on how the two executions
+    /// were composed in time — see [`AccessStats::merge_sequential`] and
+    /// [`AccessStats::merge_concurrent`]).
+    fn merge_counters(&mut self, rhs: AccessStats) {
         self.tuples_fetched += rhs.tuples_fetched;
         self.index_lookups += rhs.index_lookups;
         self.fetch_ops += rhs.fetch_ops;
         self.tuples_scanned += rhs.tuples_scanned;
         self.product_rows_materialized += rhs.product_rows_materialized;
-        // Sequential executions: the combined high-water mark is the larger one.
-        self.peak_rows_resident = self.peak_rows_resident.max(rhs.peak_rows_resident);
         for (relation, tuples) in rhs.rows_fetched_by_relation {
             *self.rows_fetched_by_relation.entry(relation).or_insert(0) += tuples;
         }
+    }
+
+    /// Merge the stats of an execution that ran *after* `self`'s (one at a time on the
+    /// same executor). The residency windows of sequential executions never overlap, so
+    /// the combined high-water mark is the larger of the two peaks.
+    ///
+    /// `+=` ([`AddAssign`]) is an alias for this merge.
+    pub fn merge_sequential(&mut self, rhs: AccessStats) {
+        self.peak_rows_resident = self.peak_rows_resident.max(rhs.peak_rows_resident);
+        self.merge_counters(rhs);
+    }
+
+    /// Merge the stats of an execution that (possibly) ran *concurrently* with `self`'s,
+    /// e.g. on another worker thread. The residency windows may overlap, so the true
+    /// combined high-water mark can reach the *sum* of the two peaks — taking the `max`
+    /// here (the sequential rule) would silently understate concurrent residency. The
+    /// sum is a safe upper bound; an exact concurrent peak needs a ledger shared by the
+    /// executions *while they run* (the parallel executor's shared residency ledger),
+    /// which this after-the-fact merge cannot reconstruct.
+    pub fn merge_concurrent(&mut self, rhs: AccessStats) {
+        self.peak_rows_resident += rhs.peak_rows_resident;
+        self.merge_counters(rhs);
+    }
+}
+
+impl AddAssign for AccessStats {
+    /// Alias for [`AccessStats::merge_sequential`]: `a += b` treats `b` as the stats of
+    /// an execution that ran after `a`'s.
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge_sequential(rhs);
     }
 }
 
@@ -135,6 +165,36 @@ mod tests {
         assert_eq!(a.rows_fetched_by_relation["S"], 3);
         assert!(a.to_string().contains("fetched 15 tuples"));
         assert!(a.to_string().contains("peak 7 rows resident"));
+    }
+
+    #[test]
+    fn concurrent_merge_does_not_understate_residency() {
+        // Two executions, each holding up to 6 rows. Run back to back they never hold
+        // more than 6 rows at once; overlapped on two workers they can hold 12.
+        let run = |peak: u64| AccessStats {
+            tuples_fetched: 6,
+            index_lookups: 1,
+            fetch_ops: 1,
+            tuples_scanned: 0,
+            product_rows_materialized: 0,
+            peak_rows_resident: peak,
+            rows_fetched_by_relation: [("R".to_owned(), 6)].into_iter().collect(),
+        };
+
+        let mut sequential = run(6);
+        sequential.merge_sequential(run(6));
+        assert_eq!(sequential.peak_rows_resident, 6);
+
+        let mut concurrent = run(6);
+        concurrent.merge_concurrent(run(6));
+        // The old `max` rule reported 6 here — understating a worst case where both
+        // windows overlap and 12 rows are simultaneously resident.
+        assert_eq!(concurrent.peak_rows_resident, 12);
+
+        // Every additive counter merges identically either way.
+        assert!(sequential.same_data_access(&concurrent));
+        assert_eq!(sequential.tuples_fetched, 12);
+        assert_eq!(concurrent.rows_fetched_by_relation["R"], 12);
     }
 
     #[test]

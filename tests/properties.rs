@@ -9,14 +9,21 @@
 use bea::core::bounded::{analyze_cq, BoundedConfig, BoundedVerdict};
 use bea::core::cover;
 use bea::core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
-use bea::core::plan::{bounded_plan, bounded_plan_for_report};
+use bea::core::plan::{
+    bounded_plan, bounded_plan_for_report, bounded_plan_ucq, lower_plan_with, LowerOptions,
+};
 use bea::core::reason::{instance::eval_cq as eval_cq_small, instance::SmallInstance};
 use bea::core::specialize::{generic_template, instantiate, specialize_cq, SpecializeConfig};
-use bea::engine::{eval_cq, execute_plan, execute_plan_with_options, ExecOptions};
+use bea::engine::{
+    eval_cq, eval_ucq, execute_physical_with_options, execute_plan, execute_plan_with_options,
+    ExecOptions,
+};
 use bea::storage::{discover_constraints, DiscoveryOptions, IndexedDatabase};
 use bea::workload::{accidents, ecommerce, graph, querygen};
 use bea_core::access::AccessSchema;
 use bea_core::query::cq::ConjunctiveQuery;
+use bea_core::query::ucq::UnionQuery;
+use bea_core::reason::ReasonConfig;
 use bea_core::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,12 +75,14 @@ fn accidents_fixture(seed: u64, days: u32) -> (bea::storage::Database, AccessSch
 }
 
 /// The core differential property shared by the three scenario families: for every
-/// covered query of a random workload over `db`, the **streaming** bounded executor, the
-/// **materialized** bounded executor and the **naive** baseline compute exactly the same
-/// answer; the two bounded strategies read exactly the same data (boundedness is a
-/// property of the plan, not the execution strategy); nothing fetches more than the
-/// statically derived bound (Theorem 3.11, constructive direction); and the streaming
-/// pipeline's peak row residency never exceeds the materialized executor's.
+/// covered query of a random workload over `db`, the **streaming** bounded executor
+/// (forced single-threaded), the **parallel** streaming executor (4 worker threads),
+/// the **materialized** bounded executor and the **naive** baseline compute exactly the
+/// same answer; the three bounded strategies read exactly the same data (boundedness is
+/// a property of the plan — not of the execution strategy, and not of the thread
+/// count); nothing fetches more than the statically derived bound (Theorem 3.11,
+/// constructive direction); and the streaming pipeline's peak row residency never
+/// exceeds the materialized executor's.
 fn assert_bounded_plans_agree_with_naive(
     schema: &AccessSchema,
     db: bea::storage::Database,
@@ -91,11 +100,17 @@ fn assert_bounded_plans_agree_with_naive(
         exercised += 1;
         let plan = bounded_plan_for_report(query, schema, &report).unwrap();
         assert!(plan.is_bounded_under(schema));
-        let (bounded, stats) = execute_plan(&plan, &indexed).unwrap();
+        let (bounded, stats) =
+            execute_plan_with_options(&plan, &indexed, &ExecOptions::new().with_threads(1))
+                .unwrap();
+        let (parallel, parallel_stats) =
+            execute_plan_with_options(&plan, &indexed, &ExecOptions::new().with_threads(4))
+                .unwrap();
         let (materialized, materialized_stats) =
             execute_plan_with_options(&plan, &indexed, &ExecOptions::materialized()).unwrap();
         let (naive, _) = eval_cq(query, indexed.database()).unwrap();
         assert!(bounded.same_rows(&naive), "mismatch for {query}");
+        assert!(parallel.same_rows(&naive), "parallel mismatch for {query}");
         assert!(
             materialized.same_rows(&naive),
             "materialized mismatch for {query}"
@@ -104,6 +119,10 @@ fn assert_bounded_plans_agree_with_naive(
             stats.same_data_access(&materialized_stats),
             "streaming and materialized executions read different data for {query}: \
              {stats} vs {materialized_stats}"
+        );
+        assert!(
+            stats.same_data_access(&parallel_stats),
+            "thread count changed the data access for {query}: {stats} vs {parallel_stats}"
         );
         assert!(
             stats.peak_rows_resident <= materialized_stats.peak_rows_resident,
@@ -212,6 +231,72 @@ fn covered_plans_agree_with_naive_evaluation_on_graph() {
             )
             .unwrap();
             assert_bounded_plans_agree_with_naive(&schema, db, &workload)
+        },
+    );
+}
+
+/// Parallel pipeline execution is deterministic: on a genuinely multi-pipeline plan (a
+/// union of anchored Q0 branches, lowered with exchange points), the same seed at
+/// threads ∈ {1, 2, 4} produces identical output tables — rows *and* row order — and
+/// identical data-access statistics, and agrees with the naive UCQ baseline. Residency
+/// may legitimately differ with the schedule (overlap), which is why it is excluded
+/// from `same_data_access`.
+#[test]
+fn parallel_execution_is_deterministic_across_thread_counts() {
+    run_cases(
+        "parallel_execution_is_deterministic_across_thread_counts",
+        0x9A7A,
+        |rng| {
+            let seed = rng.gen_range(0u64..1_000);
+            let (db, schema) = accidents_fixture(seed, 4);
+            let catalog = accidents::catalog();
+            let branches: Vec<ConjunctiveQuery> = (0..3)
+                .map(|day| {
+                    accidents::q0(
+                        &catalog,
+                        &accidents::district_value(day % 5),
+                        &accidents::date_value(day),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let union = UnionQuery::from_branches("Q0union", branches).unwrap();
+            let plan = bounded_plan_ucq(&union, &schema, &ReasonConfig::default()).unwrap();
+            let physical =
+                lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true))
+                    .unwrap();
+            assert!(
+                physical.pipeline_dag().len() >= 3,
+                "exchange lowering should cut the union into independent pipelines"
+            );
+            let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+
+            let runs: Vec<_> = [1usize, 2, 4]
+                .into_iter()
+                .map(|threads| {
+                    execute_physical_with_options(
+                        &physical,
+                        &indexed,
+                        &ExecOptions::new().with_threads(threads),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let (base_table, base_stats) = &runs[0];
+            for (table, stats) in &runs[1..] {
+                assert_eq!(base_table.columns(), table.columns());
+                assert_eq!(
+                    base_table.rows(),
+                    table.rows(),
+                    "thread count changed the output (or its order)"
+                );
+                assert!(
+                    base_stats.same_data_access(stats),
+                    "thread count changed the data access: {base_stats} vs {stats}"
+                );
+            }
+            let (naive, _) = eval_ucq(&union, indexed.database()).unwrap();
+            assert!(base_table.same_rows(&naive), "mismatch against naive UCQ");
         },
     );
 }
