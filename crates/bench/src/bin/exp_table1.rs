@@ -10,9 +10,20 @@
 //!
 //! Run with `cargo run --release -p bea-bench --bin exp_table1`.
 
+//! Besides the printed report, the binary maintains the machine-readable perf record:
+//!
+//! * `exp_table1` — full run; also writes `BENCH_pipeline.json` (scenario →
+//!   rows_fetched / peak_rows_resident / values_cloned / ns_per_op) to the working
+//!   directory, the committed baseline of the streaming pipeline's copy traffic.
+//! * `exp_table1 --check <baseline.json>` — perf-smoke mode (used by CI): rebuild the
+//!   deterministic fields and fail (exit 1) if `values_cloned` regressed more than 10%
+//!   above the committed baseline on any scenario.
+
 use bea_bench::families;
-use bea_bench::report::{fmt_ms, time_ms, TextTable};
-use bea_bench::scenarios::{AccidentsScenario, EcommerceScenario, GraphScenario, ParallelScenario};
+use bea_bench::report::{fmt_ms, time_ms, PipelineBenchReport, TextTable};
+use bea_bench::scenarios::{
+    pipeline_bench_report, AccidentsScenario, EcommerceScenario, GraphScenario, ParallelScenario,
+};
 use bea_core::bounded::{analyze_cq, BoundedConfig};
 use bea_core::cover;
 use bea_core::envelope::{lower_envelope_cq, upper_envelope_cq, EnvelopeConfig};
@@ -21,7 +32,62 @@ use bea_core::reason::ReasonConfig;
 use bea_core::specialize::{specialize_cq, SpecializeConfig};
 use bea_engine::{execute_physical_with_options, execute_plan_with_options, ExecOptions};
 
+/// Tolerated `values_cloned` growth over the committed baseline, in percent.
+const CLONE_REGRESSION_TOLERANCE_PERCENT: u64 = 10;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let Some(baseline_path) = args.get(pos + 1) else {
+            return Err("--check needs a baseline path (e.g. BENCH_pipeline.json)".into());
+        };
+        return check_against_baseline(baseline_path);
+    }
+    run_experiments()?;
+
+    // The machine-readable perf record, committed as the regression baseline.
+    println!("\n## BENCH_pipeline.json — pipeline perf record\n");
+    let report = pipeline_bench_report(10)?;
+    let json = report.to_json();
+    std::fs::write("BENCH_pipeline.json", &json)?;
+    print!("{json}");
+    println!("(written to BENCH_pipeline.json)");
+    Ok(())
+}
+
+/// Perf-smoke mode: recompute the deterministic pipeline numbers and compare
+/// `values_cloned` against the committed baseline.
+fn check_against_baseline(baseline_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+    let baseline = PipelineBenchReport::parse_json(&text)?;
+    let fresh = pipeline_bench_report(0)?;
+    let violations = fresh.regressions_against(&baseline, CLONE_REGRESSION_TOLERANCE_PERCENT);
+    for (name, entry) in &fresh.scenarios {
+        let base = baseline
+            .scenarios
+            .get(name)
+            .map_or_else(|| "-".to_owned(), |b| b.values_cloned.to_string());
+        println!(
+            "{name}: values_cloned {} (baseline {base}), rows_fetched {}, peak resident {}",
+            entry.values_cloned, entry.rows_fetched, entry.peak_rows_resident
+        );
+    }
+    if violations.is_empty() {
+        println!(
+            "perf-smoke OK: values_cloned within {CLONE_REGRESSION_TOLERANCE_PERCENT}% of \
+             the baseline on every scenario"
+        );
+        Ok(())
+    } else {
+        for violation in &violations {
+            eprintln!("perf-smoke FAILED: {violation}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
     println!("# E1 — Table 1: decision problems across query classes\n");
     println!(
         "paper: BEP EXPSPACE-c | CQP PTIME (CQ) / Πᵖ₂-c (UCQ, ∃FO⁺) | UEP NP-c / Πᵖ₂-c | \
@@ -163,6 +229,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "peak resident (materialized)",
         "peak resident (streaming)",
         "residency ratio",
+        "values cloned (materialized)",
+        "values cloned (streaming)",
+        "clone ratio",
     ]);
     let cases = [
         ("accidents Q0", &accidents.plan, &accidents.indexed),
@@ -183,6 +252,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "∞".to_owned()
         };
+        let clone_ratio = if streaming.values_cloned > 0 {
+            format!(
+                "{:.1}×",
+                materialized.values_cloned as f64 / streaming.values_cloned as f64
+            )
+        } else {
+            "∞".to_owned()
+        };
         let pipelines = lower_plan(plan)?.pipeline_dag().len();
         residency.row([
             name.to_owned(),
@@ -193,6 +270,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             materialized.peak_rows_resident.to_string(),
             streaming.peak_rows_resident.to_string(),
             ratio,
+            materialized.values_cloned.to_string(),
+            streaming.values_cloned.to_string(),
+            clone_ratio,
         ]);
         let per_relation: Vec<String> = streaming
             .rows_fetched_by_relation

@@ -1,5 +1,7 @@
-//! Small helpers for printing experiment results as aligned text / markdown tables.
+//! Small helpers for printing experiment results as aligned text / markdown tables,
+//! plus the machine-readable `BENCH_pipeline.json` perf record.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::time::Instant;
 
@@ -74,6 +76,132 @@ impl TextTable {
     }
 }
 
+/// One scenario's entry in the pipeline perf record: how much data the plan touched,
+/// its residency high-water mark, the executor's copy traffic, and a wall-clock figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Tuples fetched through index lookups (`AccessStats::tuples_fetched`).
+    pub rows_fetched: u64,
+    /// Peak rows concurrently resident (`AccessStats::peak_rows_resident`).
+    pub peak_rows_resident: u64,
+    /// Value clones performed moving rows between executor buffers
+    /// (`AccessStats::values_cloned`) — deterministic for a given plan and database,
+    /// which is what makes it CI-checkable.
+    pub values_cloned: u64,
+    /// Nanoseconds per execution, measured on the emitting machine (machine-dependent;
+    /// recorded for trend reading, never compared by CI).
+    pub ns_per_op: u64,
+}
+
+/// The `BENCH_pipeline.json` perf record: scenario name → [`BenchEntry`]. Written by
+/// `exp_table1` and the `ablations` bench so the perf trajectory of the streaming
+/// pipeline is recorded (and `values_cloned` regressions are caught) from PR 4 on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineBenchReport {
+    /// Scenario entries in deterministic (sorted) order.
+    pub scenarios: BTreeMap<String, BenchEntry>,
+}
+
+impl PipelineBenchReport {
+    /// Add a scenario entry.
+    pub fn insert(&mut self, scenario: impl Into<String>, entry: BenchEntry) {
+        self.scenarios.insert(scenario.into(), entry);
+    }
+
+    /// Render as JSON (one scenario per line, keys sorted — diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"scenarios\": {\n");
+        let lines: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|(name, e)| {
+                format!(
+                    "    \"{name}\": {{\"rows_fetched\": {}, \"peak_rows_resident\": {}, \
+                     \"values_cloned\": {}, \"ns_per_op\": {}}}",
+                    e.rows_fetched, e.peak_rows_resident, e.values_cloned, e.ns_per_op
+                )
+            })
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parse the JSON produced by [`PipelineBenchReport::to_json`]. Tolerant of
+    /// whitespace but not of structural changes — this reads our own format back, it
+    /// is not a general JSON parser.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        let mut report = PipelineBenchReport::default();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some((name_part, fields)) = line.split_once(": {") else {
+                continue;
+            };
+            let name = name_part.trim().trim_matches('"');
+            if name == "scenarios" || name.is_empty() {
+                continue;
+            }
+            let field = |key: &str| -> Result<u64, String> {
+                let pattern = format!("\"{key}\":");
+                let start = fields
+                    .find(&pattern)
+                    .ok_or_else(|| format!("scenario `{name}` is missing `{key}`"))?
+                    + pattern.len();
+                let rest = &fields[start..];
+                let digits: String = rest
+                    .trim_start()
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect();
+                digits
+                    .parse::<u64>()
+                    .map_err(|_| format!("scenario `{name}`: `{key}` is not a number"))
+            };
+            report.insert(
+                name,
+                BenchEntry {
+                    rows_fetched: field("rows_fetched")?,
+                    peak_rows_resident: field("peak_rows_resident")?,
+                    values_cloned: field("values_cloned")?,
+                    ns_per_op: field("ns_per_op")?,
+                },
+            );
+        }
+        if report.scenarios.is_empty() {
+            return Err("no scenario entries found".into());
+        }
+        Ok(report)
+    }
+
+    /// Compare this (fresh) report against a committed baseline: every baseline
+    /// scenario must still exist, and its `values_cloned` must not exceed the baseline
+    /// by more than `tolerance_percent`. Returns the list of violations (empty = pass).
+    /// Only `values_cloned` is compared — it is deterministic; timing is not.
+    pub fn regressions_against(
+        &self,
+        baseline: &PipelineBenchReport,
+        tolerance_percent: u64,
+    ) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (name, base) in &baseline.scenarios {
+            match self.scenarios.get(name) {
+                None => violations.push(format!("scenario `{name}` disappeared from the report")),
+                Some(fresh) => {
+                    let allowed = base.values_cloned + base.values_cloned * tolerance_percent / 100;
+                    if fresh.values_cloned > allowed {
+                        violations.push(format!(
+                            "scenario `{name}`: values_cloned {} exceeds baseline {} by more \
+                             than {tolerance_percent}% (allowed {allowed})",
+                            fresh.values_cloned, base.values_cloned
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
 /// Measure the wall-clock time of a closure, in milliseconds, returning its result.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -107,6 +235,60 @@ mod tests {
         assert!(md.starts_with("| a "));
         assert!(md.contains("| 30 | 4 |"));
         assert!(md.lines().count() == 4);
+    }
+
+    #[test]
+    fn bench_report_round_trips_and_checks_regressions() {
+        let mut report = PipelineBenchReport::default();
+        report.insert(
+            "accidents_q0",
+            BenchEntry {
+                rows_fetched: 100,
+                peak_rows_resident: 40,
+                values_cloned: 2_000,
+                ns_per_op: 123_456,
+            },
+        );
+        report.insert(
+            "parallel_q0_batch_6",
+            BenchEntry {
+                rows_fetched: 600,
+                peak_rows_resident: 90,
+                values_cloned: 16_000,
+                ns_per_op: 999,
+            },
+        );
+        let json = report.to_json();
+        let parsed = PipelineBenchReport::parse_json(&json).unwrap();
+        assert_eq!(parsed, report);
+
+        // Within tolerance: +10% exactly passes.
+        let mut fresh = report.clone();
+        fresh
+            .scenarios
+            .get_mut("accidents_q0")
+            .unwrap()
+            .values_cloned = 2_200;
+        assert!(fresh.regressions_against(&report, 10).is_empty());
+        // Above tolerance: fails with a named violation.
+        fresh
+            .scenarios
+            .get_mut("accidents_q0")
+            .unwrap()
+            .values_cloned = 2_201;
+        let violations = fresh.regressions_against(&report, 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("accidents_q0"));
+        // A disappeared scenario is a violation too; timing changes never are.
+        let mut shrunk = report.clone();
+        shrunk.scenarios.remove("parallel_q0_batch_6");
+        shrunk.scenarios.get_mut("accidents_q0").unwrap().ns_per_op = 1;
+        assert_eq!(shrunk.regressions_against(&report, 10).len(), 1);
+
+        assert!(PipelineBenchReport::parse_json("{}").is_err());
+        assert!(
+            PipelineBenchReport::parse_json("{\"scenarios\": {\"x\": {\"nope\": 1}}}").is_err()
+        );
     }
 
     #[test]

@@ -9,14 +9,22 @@
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A single data value.
+///
+/// Cloning a `Value` is **O(1)**: the scalar variants are plain copies and the string
+/// payload is a shared [`Arc<str>`], so a clone is a refcount bump, never a deep copy of
+/// the character data. The executor relies on this — join keys, per-key fetch caches,
+/// dedup sets and columnar batch gathers all clone values freely; the bytes themselves
+/// are written once when the value is created (typically at data-load or parse time)
+/// and shared from then on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// A 64-bit signed integer.
     Int(i64),
-    /// A UTF-8 string.
-    Str(String),
+    /// A UTF-8 string. The payload is shared: clones alias the same allocation.
+    Str(Arc<str>),
     /// A boolean.
     Bool(bool),
     /// A labelled null: a fresh constant distinct from every other value except itself.
@@ -28,8 +36,8 @@ pub enum Value {
 }
 
 impl Value {
-    /// Build a string value.
-    pub fn str(s: impl Into<String>) -> Self {
+    /// Build a string value (the payload is allocated once and shared by every clone).
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
         Value::Str(s.into())
     }
 
@@ -73,13 +81,13 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 

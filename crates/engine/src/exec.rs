@@ -216,32 +216,43 @@ fn execute_plan_materialized(
                     .iter()
                     .map(|row| key_cols.iter().map(|&c| row[c].clone()).collect())
                     .collect();
+                // Every candidate key projection is cloned before the set dedups.
+                stats.values_cloned += (src.len() * key_cols.len()) as u64;
                 let mut out = Table::new(step.columns.clone());
                 let positions: Vec<usize> = x_attrs.iter().chain(y_attrs.iter()).copied().collect();
                 for key in keys {
                     stats.index_lookups += 1;
                     let fetched = database.fetch_iter(*constraint_index, &key)?;
                     stats.record_fetched(relation, fetched.len() as u64);
+                    stats.values_cloned += (fetched.len() * positions.len()) as u64;
                     for tuple in fetched {
                         out.push(positions.iter().map(|&p| tuple[p].clone()).collect());
                     }
                 }
                 stats.fetch_ops += 1;
-                out.dedup();
+                dedup_counted(&mut out, &mut stats);
                 out
             }
             PlanOp::Project { source, cols } => {
                 let src = &results[*source];
                 let mut out = Table::new(step.columns.clone());
+                stats.values_cloned += (src.len() * cols.len()) as u64;
                 for row in src.rows() {
                     out.push(cols.iter().map(|&c| row[c].clone()).collect());
                 }
-                out.dedup();
+                dedup_counted(&mut out, &mut stats);
                 out
             }
             PlanOp::Select { source, predicates } => {
                 if deferred_products.contains(source) {
-                    execute_keyed_join(plan, &results, *source, predicates, &step.columns)?
+                    execute_keyed_join(
+                        plan,
+                        &results,
+                        *source,
+                        predicates,
+                        &step.columns,
+                        &mut stats,
+                    )?
                 } else {
                     let src = &results[*source];
                     let mut out = Table::new(step.columns.clone());
@@ -254,6 +265,7 @@ fn execute_plan_materialized(
                             out.push(row.clone());
                         }
                     }
+                    stats.values_cloned += (out.len() * out.arity()) as u64;
                     out
                 }
             }
@@ -268,6 +280,7 @@ fn execute_plan_materialized(
                     }
                 }
                 stats.product_rows_materialized += (l.len() * r.len()) as u64;
+                stats.values_cloned += (l.len() * r.len() * (l.arity() + r.arity())) as u64;
                 out
             }
             PlanOp::Union { left, right } => {
@@ -276,22 +289,27 @@ fn execute_plan_materialized(
                 for row in l.rows().iter().chain(r.rows().iter()) {
                     out.push(row.clone());
                 }
-                out.dedup();
+                stats.values_cloned += (out.len() * out.arity()) as u64;
+                dedup_counted(&mut out, &mut stats);
                 out
             }
             PlanOp::Difference { left, right } => {
                 let (l, r) = (&results[*left], &results[*right]);
                 let remove = r.row_set();
+                stats.values_cloned += (r.len() * r.arity()) as u64;
                 let mut out = Table::new(step.columns.clone());
                 for row in l.rows() {
                     if !remove.contains(row) {
                         out.push(row.clone());
                     }
                 }
+                stats.values_cloned += (out.len() * out.arity()) as u64;
                 out
             }
             PlanOp::Rename { source } => {
-                Table::with_rows(step.columns.clone(), results[*source].rows().to_vec())
+                let src = &results[*source];
+                stats.values_cloned += (src.len() * src.arity()) as u64;
+                Table::with_rows(step.columns.clone(), src.rows().to_vec())
             }
         };
         // Every step's table stays alive until the end of the loop, so residency only
@@ -307,8 +325,15 @@ fn execute_plan_materialized(
         .ok_or_else(|| Error::InvalidPlan {
             reason: "plan output node is missing".into(),
         })?;
-    output.dedup();
+    dedup_counted(&mut output, &mut stats);
     Ok((output, stats))
+}
+
+/// Deduplicate a step table, accounting the row clones the membership set performs
+/// (one clone of every candidate row) in `values_cloned`.
+fn dedup_counted(table: &mut Table, stats: &mut AccessStats) {
+    stats.values_cloned += (table.len() * table.arity()) as u64;
+    table.dedup();
 }
 
 /// Validate every fetch of a logical plan against the database it is about to run on,
@@ -408,6 +433,7 @@ fn execute_keyed_join(
     product_node: usize,
     predicates: &[Predicate],
     columns: &[String],
+    stats: &mut AccessStats,
 ) -> Result<Table> {
     let PlanOp::Product { left, right } = &plan.steps()[product_node].op else {
         return Err(Error::InvalidPlan {
@@ -423,9 +449,11 @@ fn execute_keyed_join(
     let right_table = &results[*right];
     let left_arity = left_table.arity();
 
-    // Hash the fetched rows on their key columns (the first |X| output columns).
+    // Hash the fetched rows on their key columns (the first |X| output columns),
+    // pre-sizing the table from the build side's row count.
     let mut buckets: std::collections::HashMap<Vec<_>, Vec<&bea_core::value::Row>> =
-        std::collections::HashMap::new();
+        std::collections::HashMap::with_capacity(right_table.len());
+    stats.values_cloned += (right_table.len() * key_cols.len()) as u64;
     for row in right_table.rows() {
         let key: Vec<_> = (0..key_cols.len()).map(|k| row[k].clone()).collect();
         buckets.entry(key).or_default().push(row);
@@ -435,6 +463,8 @@ fn execute_keyed_join(
     let residual = residual_predicates(predicates, key_cols, left_arity);
 
     let mut out = Table::new(columns.to_vec());
+    // One probe-key gather per probe row.
+    stats.values_cloned += (left_table.len() * key_cols.len()) as u64;
     for lrow in left_table.rows() {
         let key: Vec<_> = key_cols.iter().map(|&c| lrow[c].clone()).collect();
         let Some(matches) = buckets.get(&key) else {
@@ -452,6 +482,7 @@ fn execute_keyed_join(
             }
         }
     }
+    stats.values_cloned += (out.len() * out.arity()) as u64;
     Ok(out)
 }
 

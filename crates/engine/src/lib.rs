@@ -18,6 +18,26 @@
 //! baseline). [`stats::AccessStats::peak_rows_resident`] makes the difference
 //! observable; both strategies read exactly the same data.
 //!
+//! # Batch layout and interning rules
+//!
+//! The streaming pipeline moves rows in **columnar batches**: a batch is a list of
+//! `Arc`-shared columns plus an optional selection vector naming the logically present
+//! rows. The layout dictates what each operator costs:
+//!
+//! * *filter* writes a selection vector, *project* permutes column handles, and
+//!   crossing a materialization point (the exchange between pipelines) clones column
+//!   handles — none of these copies a value;
+//! * *gathers* — joins, products and fetch output, the operators that genuinely
+//!   combine rows — write values into fresh columns; everything else is metadata.
+//!
+//! Value writes are O(1) because [`bea_core::value::Value`] **interns by sharing**:
+//! string payloads live behind `Arc<str>`, written once when the value is created
+//! (data load or parse time) and aliased by every clone afterwards. Join keys, fetch
+//! caches and dedup sets therefore hold references to the same bytes the relations
+//! do. [`stats::AccessStats::values_cloned`] counts every value moved between executor
+//! buffers — deterministic for a plan at any thread count, which is what lets the
+//! perf-smoke CI step assert the pipeline's copy traffic instead of eyeballing it.
+//!
 //! # Threading model
 //!
 //! The streaming pipeline can use worker threads ([`ExecOptions::with_threads`]; the

@@ -1,17 +1,69 @@
 //! Index-backed operators: the streaming fetch and the fused keyed-lookup join.
+//!
+//! Both operators fill their output columns through
+//! [`bea_storage::IndexedDatabase::fetch_into_columns`]: matched tuples are projected
+//! straight from the relation into the batch under construction, without an
+//! intermediate row allocation per tuple. Per-key duplicate elimination runs
+//! *hash-then-compare* over the freshly appended column range (see
+//! [`super::batch::hash_row_at`]) and masks duplicates with a selection vector — no
+//! value is cloned to decide freshness.
 
-use super::{passes, BoxOp, Operator, SharedState, BATCH_SIZE};
+use super::batch::{hash_row_at, passes_pair, rows_equal_at, Batch};
+use super::{BoxOp, Operator, SharedState, BATCH_SIZE};
 use bea_core::error::Result;
 use bea_core::plan::Predicate;
-use bea_core::value::Row;
+use bea_core::value::{Row, Value};
 use bea_storage::IndexedDatabase;
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
+/// Append every tuple matching `key` into `cols` (projected at `positions`) and extend
+/// `selection` with the physical indices of the *fresh* projections within this key's
+/// range — the shared fetch kernel of [`FetchOp`] and [`KeyedLookupOp`]. Returns the
+/// number of tuples read (for access accounting). Distinct keys cannot produce equal
+/// projections as long as the key attributes survive in `positions` (lowering adds a
+/// global dedup when a pushed-down projection dropped them), so per-key dedup suffices.
+#[allow(clippy::too_many_arguments)]
+fn fetch_key_into(
+    database: &IndexedDatabase,
+    constraint_index: usize,
+    key: &[Value],
+    positions: &[usize],
+    cols: &mut [Vec<Value>],
+    selection: &mut Vec<u32>,
+    dedup: &mut HashMap<u64, Vec<u32>>,
+) -> Result<u64> {
+    let appended = database.fetch_into_columns(constraint_index, key, positions, cols)?;
+    if cols.is_empty() {
+        // Zero-column projection: every matched tuple projects to the empty row, so a
+        // nonempty posting list contributes exactly one fresh row. With no columns the
+        // batch's physical length is the selection length itself.
+        if appended > 0 {
+            selection.push(selection.len() as u32);
+        }
+        return Ok(appended);
+    }
+    let base = cols[0].len() - appended as usize;
+    dedup.clear();
+    for idx in base..base + appended as usize {
+        let hash = hash_row_at(cols, idx);
+        let candidates = dedup.entry(hash).or_default();
+        if candidates
+            .iter()
+            .any(|&c| rows_equal_at(cols, c as usize, idx))
+        {
+            continue;
+        }
+        candidates.push(idx as u32);
+        selection.push(idx as u32);
+    }
+    Ok(appended)
+}
+
 /// Streaming `fetch(X ∈ source, R, …)`: drain the source, deduplicate the key
 /// projections, then emit the `positions`-projection of every tuple each key matches,
-/// one key at a time, straight off the index postings
-/// ([`IndexedDatabase::fetch_iter`] — no intermediate `Vec<&Row>`).
+/// one key at a time, straight off the index postings into output columns.
 ///
 /// Only the key set is durable state (released on exhaustion, or on drop if a consumer
 /// short-circuits); fetched tuples flow through without ever being collected per fetch.
@@ -55,25 +107,32 @@ impl<'db> FetchOp<'db> {
 }
 
 impl Operator for FetchOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if let Some(mut input) = self.input.take() {
             // Distinct keys only: fetching the same key twice reads the same data.
             let mut keys: BTreeSet<Row> = BTreeSet::new();
+            let mut key_values = 0u64;
             while let Some(batch) = input.next_batch()? {
-                for row in batch {
-                    keys.insert(self.key_cols.iter().map(|&c| row[c].clone()).collect());
+                // Every candidate key projection is physically gathered (the set
+                // discards duplicates after the fact), so every one counts.
+                key_values += (batch.len() * self.key_cols.len()) as u64;
+                for i in 0..batch.len() {
+                    keys.insert(batch.gather(i, &self.key_cols));
                 }
             }
             self.num_keys = keys.len() as u64;
-            self.state.borrow_mut().acquire(self.num_keys);
+            let mut state = self.state.borrow_mut();
+            state.stats.values_cloned += key_values;
+            state.acquire(self.num_keys);
             self.keys = keys.into_iter();
         }
         if self.done {
             return Ok(None);
         }
-        let mut out: Vec<Row> = Vec::new();
-        let mut seen: BTreeSet<Row> = BTreeSet::new();
-        while out.len() < BATCH_SIZE {
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); self.positions.len()];
+        let mut selection: Vec<u32> = Vec::new();
+        let mut dedup: HashMap<u64, Vec<u32>> = HashMap::new();
+        while selection.len() < BATCH_SIZE {
             let Some(key) = self.keys.next() else {
                 self.done = true;
                 let mut state = self.state.borrow_mut();
@@ -82,29 +141,29 @@ impl Operator for FetchOp<'_> {
                 self.num_keys = 0;
                 break;
             };
-            {
-                let mut state = self.state.borrow_mut();
-                state.stats.index_lookups += 1;
-                let postings = self.database.fetch_iter(self.constraint_index, &key)?;
-                state
-                    .stats
-                    .record_fetched(&self.relation, postings.len() as u64);
-                // Per-key dedup: distinct keys cannot collide as long as the key
-                // attributes survive in `positions` (lowering adds a global dedup when a
-                // pushed-down projection dropped them).
-                seen.clear();
-                for tuple in postings {
-                    let row: Row = self.positions.iter().map(|&p| tuple[p].clone()).collect();
-                    if seen.insert(row.clone()) {
-                        out.push(row);
-                    }
-                }
-            }
+            let mut state = self.state.borrow_mut();
+            state.stats.index_lookups += 1;
+            drop(state);
+            let fetched = fetch_key_into(
+                self.database,
+                self.constraint_index,
+                &key,
+                &self.positions,
+                &mut cols,
+                &mut selection,
+                &mut dedup,
+            )?;
+            let mut state = self.state.borrow_mut();
+            state.stats.record_fetched(&self.relation, fetched);
+            state.stats.values_cloned += fetched * self.positions.len() as u64;
         }
-        if out.is_empty() && self.done {
+        if selection.is_empty() && self.done {
             Ok(None)
         } else {
-            Ok(Some(out))
+            let stored = cols.first().map_or(selection.len(), Vec::len);
+            Ok(Some(
+                Batch::from_dense(cols, stored).keep_physical(selection),
+            ))
         }
     }
 }
@@ -123,13 +182,15 @@ impl Drop for FetchOp<'_> {
 /// The fused `σ[key equalities](source × fetch(X ∈ source, R, …))`: an index
 /// nested-loop join. Streams the source; for each row, probes the index with the row's
 /// key (once per distinct key — results are cached so the data access is identical to a
-/// standalone fetch over the deduplicated key set), emits the concatenation with every
-/// match, and applies the residual predicates.
+/// standalone fetch over the deduplicated key set), gathers the concatenation with
+/// every match into output columns, and applies the residual predicates.
 ///
-/// Durable state is the per-key cache of projected postings, bounded by the fetch's
-/// access-schema bound times the number of distinct keys; it is released on exhaustion
-/// (or on drop if a consumer short-circuits). Neither the cross product nor the fetched
-/// table is ever materialized.
+/// Durable state is the per-key cache of projected postings — `Rc<Batch>` values
+/// looked up through the `entry` API, so a cache hit costs a refcount bump and a
+/// single hash, and nothing is re-cloned or re-hashed on insert. The cache is bounded
+/// by the fetch's access-schema bound times the number of distinct keys; it is
+/// released on exhaustion (or on drop if a consumer short-circuits). Neither the cross
+/// product nor the fetched table is ever materialized.
 pub(crate) struct KeyedLookupOp<'db> {
     input: BoxOp<'db>,
     key_cols: Vec<usize>,
@@ -137,9 +198,14 @@ pub(crate) struct KeyedLookupOp<'db> {
     positions: Vec<usize>,
     constraint_index: usize,
     residual: Vec<Predicate>,
+    /// Which columns of the *combined* row (source columns, then fetched positions) to
+    /// emit. `None` emits all of them; `Some` is a projection the operator-tree builder
+    /// fused in from a directly consuming `Project` step, so values a downstream
+    /// projection would discard are never gathered in the first place.
+    out_cols: Option<Vec<usize>>,
     database: &'db IndexedDatabase,
     state: SharedState,
-    cache: HashMap<Row, Rc<Vec<Row>>>,
+    cache: HashMap<Row, Rc<Batch>>,
     cached_rows: u64,
     done: bool,
 }
@@ -153,6 +219,7 @@ impl<'db> KeyedLookupOp<'db> {
         positions: Vec<usize>,
         constraint_index: usize,
         residual: Vec<Predicate>,
+        out_cols: Option<Vec<usize>>,
         database: &'db IndexedDatabase,
         state: SharedState,
     ) -> Self {
@@ -163,6 +230,7 @@ impl<'db> KeyedLookupOp<'db> {
             positions,
             constraint_index,
             residual,
+            out_cols,
             database,
             state,
             cache: HashMap::new(),
@@ -172,8 +240,44 @@ impl<'db> KeyedLookupOp<'db> {
     }
 }
 
+impl KeyedLookupOp<'_> {
+    /// The (projected, per-key deduplicated) fetch result for `key`, from the cache
+    /// when present. One hash of the key serves both the hit and the miss path
+    /// (`entry` API); on a hit the stored batch is shared by refcount — nothing is
+    /// copied or re-hashed.
+    fn lookup(&mut self, key: Row) -> Result<Rc<Batch>> {
+        match self.cache.entry(key) {
+            Entry::Occupied(entry) => Ok(entry.get().clone()),
+            Entry::Vacant(entry) => {
+                let mut cols: Vec<Vec<Value>> = vec![Vec::new(); self.positions.len()];
+                let mut selection: Vec<u32> = Vec::new();
+                let mut dedup: HashMap<u64, Vec<u32>> = HashMap::new();
+                self.state.borrow_mut().stats.index_lookups += 1;
+                let fetched = fetch_key_into(
+                    self.database,
+                    self.constraint_index,
+                    entry.key(),
+                    &self.positions,
+                    &mut cols,
+                    &mut selection,
+                    &mut dedup,
+                )?;
+                let stored = cols.first().map_or(selection.len(), Vec::len);
+                let cached = Batch::from_dense(cols, stored).keep_physical(selection);
+                let mut state = self.state.borrow_mut();
+                state.stats.record_fetched(&self.relation, fetched);
+                state.stats.values_cloned += fetched * self.positions.len() as u64;
+                state.acquire(cached.len() as u64);
+                drop(state);
+                self.cached_rows += cached.len() as u64;
+                Ok(entry.insert(Rc::new(cached)).clone())
+            }
+        }
+    }
+}
+
 impl Operator for KeyedLookupOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);
         }
@@ -186,42 +290,60 @@ impl Operator for KeyedLookupOp<'_> {
             self.cache.clear();
             return Ok(None);
         };
-        let mut out: Vec<Row> = Vec::new();
-        for lrow in batch {
-            let key: Row = self.key_cols.iter().map(|&c| lrow[c].clone()).collect();
-            let fetched = match self.cache.get(&key) {
-                Some(rows) => rows.clone(),
-                None => {
-                    let mut state = self.state.borrow_mut();
-                    state.stats.index_lookups += 1;
-                    let postings = self.database.fetch_iter(self.constraint_index, &key)?;
-                    state
-                        .stats
-                        .record_fetched(&self.relation, postings.len() as u64);
-                    let mut seen: BTreeSet<Row> = BTreeSet::new();
-                    let mut rows: Vec<Row> = Vec::new();
-                    for tuple in postings {
-                        let row: Row = self.positions.iter().map(|&p| tuple[p].clone()).collect();
-                        if seen.insert(row.clone()) {
-                            rows.push(row);
-                        }
-                    }
-                    state.acquire(rows.len() as u64);
-                    self.cached_rows += rows.len() as u64;
-                    let rows = Rc::new(rows);
-                    self.cache.insert(key, rows.clone());
-                    rows
-                }
-            };
-            for rrow in fetched.iter() {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                if passes(&row, &self.residual) {
-                    out.push(row);
+        let left_arity = batch.arity();
+        // Anchor fast path: a single source row, no residual, and a fused projection
+        // that keeps only fetched columns — the output *is* the cached batch under a
+        // column permutation, emitted by handle sharing with zero value clones. This
+        // is the first lookup of every anchored plan, where the fan-out (and hence the
+        // row-pipeline's copy bill) is largest.
+        if batch.len() == 1 && self.residual.is_empty() {
+            if let Some(cols) = &self.out_cols {
+                if cols.iter().all(|&c| c >= left_arity) {
+                    let mapped: Vec<usize> = cols.iter().map(|&c| c - left_arity).collect();
+                    let key: Row = batch.gather(0, &self.key_cols);
+                    self.state.borrow_mut().stats.values_cloned += self.key_cols.len() as u64;
+                    let fetched = self.lookup(key)?;
+                    return Ok(Some(fetched.project(&mapped)));
                 }
             }
         }
-        Ok(Some(out))
+        let out_arity = self
+            .out_cols
+            .as_ref()
+            .map_or(left_arity + self.positions.len(), Vec::len);
+        let mut out: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
+        let mut out_rows = 0usize;
+        // One probe-key gather per source row, hit or miss.
+        self.state.borrow_mut().stats.values_cloned += (batch.len() * self.key_cols.len()) as u64;
+        for i in 0..batch.len() {
+            let key: Row = batch.gather(i, &self.key_cols);
+            let fetched = self.lookup(key)?;
+            for j in 0..fetched.len() {
+                if !passes_pair(&batch, i, &fetched, j, &self.residual) {
+                    continue;
+                }
+                match &self.out_cols {
+                    None => {
+                        let (left_cols, right_cols) = out.split_at_mut(left_arity);
+                        batch.append_row_to(i, left_cols);
+                        fetched.append_row_to(j, right_cols);
+                    }
+                    Some(cols) => {
+                        for (sink, &c) in out.iter_mut().zip(cols) {
+                            let value = if c < left_arity {
+                                batch.value(i, c)
+                            } else {
+                                fetched.value(j, c - left_arity)
+                            };
+                            sink.push(value.clone());
+                        }
+                    }
+                }
+                out_rows += 1;
+            }
+        }
+        self.state.borrow_mut().stats.values_cloned += (out_rows * out_arity) as u64;
+        Ok(Some(Batch::from_dense(out, out_rows)))
     }
 }
 

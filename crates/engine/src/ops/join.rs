@@ -1,16 +1,19 @@
 //! The generic hash join, used when a keyed-join pattern's fetch stays a shared step.
 
-use super::{passes, BoxOp, Operator, SharedState};
+use super::batch::Batch;
+use super::{BoxOp, Operator, SharedState};
 use bea_core::error::Result;
 use bea_core::plan::Predicate;
-use bea_core::value::Row;
+use bea_core::value::{Row, Value};
 use std::collections::HashMap;
 
-/// Hash join on column equalities: buffers the build (right) side in hash buckets
-/// (durable state, released on exhaustion or on drop) and streams the probe (left)
-/// side. An empty build side skips the per-row probing while still draining the probe
-/// input — short-circuiting the drain would change which index lookups run, and data
-/// access must stay identical across execution strategies.
+/// Hash join on column equalities: buffers the build (right) side in dense columns
+/// plus hash buckets of row indices (durable state, released on exhaustion or on
+/// drop) and streams the probe (left) side, gathering each match straight into the
+/// output columns — one pass, no per-match row concatenation. An empty build side
+/// skips the per-row probing while still draining the probe input — short-circuiting
+/// the drain would change which index lookups run, and data access must stay identical
+/// across execution strategies.
 pub(crate) struct HashJoinOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
@@ -18,18 +21,27 @@ pub(crate) struct HashJoinOp<'db> {
     right_keys: Vec<usize>,
     residual: Vec<Predicate>,
     state: SharedState,
-    buckets: HashMap<Row, Vec<Row>>,
+    /// The build side as dense columns; `buckets` holds row indices into them.
+    build: Vec<Vec<Value>>,
+    buckets: HashMap<Row, Vec<u32>>,
     built_rows: u64,
+    right_arity: usize,
     done: bool,
 }
 
 impl<'db> HashJoinOp<'db> {
+    /// `right_arity` is the build side's arity *from the plan*, so emitted batches
+    /// (including the empty ones of a runtime-empty build side) always carry the
+    /// correct column count — a downstream projection must never see a narrower batch
+    /// just because no build rows showed up.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         left: BoxOp<'db>,
         right: BoxOp<'db>,
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
         residual: Vec<Predicate>,
+        right_arity: usize,
         state: SharedState,
     ) -> Self {
         Self {
@@ -39,26 +51,38 @@ impl<'db> HashJoinOp<'db> {
             right_keys,
             residual,
             state,
+            build: vec![Vec::new(); right_arity],
             buckets: HashMap::new(),
             built_rows: 0,
+            right_arity,
             done: false,
         }
     }
 }
 
 impl Operator for HashJoinOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);
         }
         if let Some(mut right) = self.right.take() {
             while let Some(batch) = right.next_batch()? {
-                self.state.borrow_mut().acquire(batch.len() as u64);
-                self.built_rows += batch.len() as u64;
-                for row in batch {
-                    let key: Row = self.right_keys.iter().map(|&c| row[c].clone()).collect();
-                    self.buckets.entry(key).or_default().push(row);
+                debug_assert_eq!(batch.arity(), self.right_arity);
+                // Pre-size from the batch's row count instead of growing per row.
+                self.buckets.reserve(batch.len());
+                let mut state = self.state.borrow_mut();
+                state.acquire(batch.len() as u64);
+                state.stats.values_cloned +=
+                    (batch.len() * (batch.arity() + self.right_keys.len())) as u64;
+                for i in 0..batch.len() {
+                    let key: Row = batch.gather(i, &self.right_keys);
+                    self.buckets
+                        .entry(key)
+                        .or_default()
+                        .push(self.built_rows as u32 + i as u32);
+                    batch.append_row_to(i, &mut self.build);
                 }
+                self.built_rows += batch.len() as u64;
             }
         }
         let Some(batch) = self.left.next_batch()? else {
@@ -66,30 +90,69 @@ impl Operator for HashJoinOp<'_> {
             let mut state = self.state.borrow_mut();
             state.release(self.built_rows);
             self.built_rows = 0;
+            self.build = Vec::new();
             self.buckets.clear();
             return Ok(None);
         };
         if self.buckets.is_empty() {
             // Empty build side: nothing can join. Keep draining the probe input (its
             // fetches must still run), but skip the per-row work.
-            return Ok(Some(Vec::new()));
+            return Ok(Some(Batch::from_rows(
+                batch.arity() + self.right_arity,
+                Vec::new(),
+            )));
         }
-        let mut out: Vec<Row> = Vec::new();
-        for lrow in batch {
-            let key: Row = self.left_keys.iter().map(|&c| lrow[c].clone()).collect();
-            let Some(matches) = self.buckets.get(&key) else {
+        let left_arity = batch.arity();
+        let mut out: Vec<Vec<Value>> = vec![Vec::new(); left_arity + self.right_arity];
+        let mut out_rows = 0usize;
+        // One probe-key gather per probe row.
+        self.state.borrow_mut().stats.values_cloned += (batch.len() * self.left_keys.len()) as u64;
+        let mut probe: Row = Vec::with_capacity(self.left_keys.len());
+        for i in 0..batch.len() {
+            probe.clear();
+            probe.extend(self.left_keys.iter().map(|&c| batch.value(i, c).clone()));
+            let Some(matches) = self.buckets.get(&probe) else {
                 continue;
             };
-            for rrow in matches {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                if passes(&row, &self.residual) {
-                    out.push(row);
+            for &m in matches {
+                if !passes_combined(&batch, i, &self.build, m as usize, &self.residual) {
+                    continue;
                 }
+                let (left_cols, right_cols) = out.split_at_mut(left_arity);
+                batch.append_row_to(i, left_cols);
+                for (column, sink) in self.build.iter().zip(right_cols) {
+                    sink.push(column[m as usize].clone());
+                }
+                out_rows += 1;
             }
         }
-        Ok(Some(out))
+        self.state.borrow_mut().stats.values_cloned +=
+            out_rows as u64 * (left_arity + self.right_arity) as u64;
+        Ok(Some(Batch::from_dense(out, out_rows)))
     }
+}
+
+/// Evaluate the residual predicates over the concatenation of the probe batch's row
+/// `i` and build row `m`, without materializing the combined row.
+fn passes_combined(
+    left: &Batch,
+    i: usize,
+    build: &[Vec<Value>],
+    m: usize,
+    predicates: &[Predicate],
+) -> bool {
+    let split = left.arity();
+    let value = |col: usize| {
+        if col < split {
+            left.value(i, col)
+        } else {
+            &build[col - split][m]
+        }
+    };
+    predicates.iter().all(|p| match p {
+        Predicate::ColEqCol(a, b) => value(*a) == value(*b),
+        Predicate::ColEqConst(a, c) => value(*a) == c,
+    })
 }
 
 impl Drop for HashJoinOp<'_> {

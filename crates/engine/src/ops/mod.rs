@@ -4,8 +4,11 @@
 //! [`crate::exec::execute_physical`] runs a [`PhysicalPlan`] (lowered by
 //! `bea_core::plan::physical::lower_plan`) against an [`IndexedDatabase`] as a tree of
 //! pull-based operators, each implementing [`Operator::next_batch`]. Rows move through
-//! the pipeline in bounded batches; only genuine pipeline breakers hold rows for longer
-//! than a batch:
+//! the pipeline in bounded **columnar** [`batch::Batch`]es — filter and project are
+//! selection-vector and column-permutation metadata, only gathers (joins, products,
+//! fetch output) write values, and every value write is an O(1) clone (interned string
+//! payloads; see the [`batch`] docs). Only genuine pipeline breakers hold rows for
+//! longer than a batch:
 //!
 //! * steps marked [`bea_core::plan::PhysStep::materialize`] (shared by several
 //!   consumers, the plan output, or exchange points inserted for parallelism) are
@@ -44,6 +47,7 @@
 //! [`relational`] (filter, project, dedup, union, difference, product) and [`join`]
 //! (the generic hash join used when a fetch result stays shared).
 
+pub(crate) mod batch;
 pub(crate) mod fetch;
 pub(crate) mod join;
 pub(crate) mod relational;
@@ -52,9 +56,10 @@ pub(crate) mod source;
 
 use crate::stats::AccessStats;
 use crate::table::Table;
+use batch::Batch;
 use bea_core::error::{Error, Result};
-use bea_core::plan::{PhysOp, PhysicalPlan, Predicate};
-use bea_core::value::{Row, Value};
+use bea_core::plan::{PhysOp, PhysicalPlan};
+use bea_core::value::Row;
 use bea_storage::IndexedDatabase;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -140,7 +145,7 @@ impl ExecState {
 /// the materialized steps cross threads.
 pub(crate) type SharedState = Rc<RefCell<ExecState>>;
 
-/// A pull-based streaming operator.
+/// A pull-based streaming operator over columnar [`Batch`]es.
 ///
 /// Contract: `next_batch` returns `Ok(Some(batch))` (possibly empty) while rows may
 /// remain and `Ok(None)` once exhausted, forever after. Operators release their durable
@@ -150,18 +155,23 @@ pub(crate) type SharedState = Rc<RefCell<ExecState>>;
 /// must return to zero however an execution ends.
 pub(crate) trait Operator {
     /// Pull the next batch of rows.
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>>;
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
 }
 
 /// Boxed operator borrowing the database for `'db`.
 pub(crate) type BoxOp<'db> = Box<dyn Operator + 'db>;
 
-/// A materialized step: rows plus the number of consumers still to drain them. The rows
-/// are dropped — and their residency released — when the last consumer finishes (or is
-/// dropped; see [`source::ScanOp`]).
+/// A materialized step: its batches plus the number of consumers still to drain them.
+/// The batches are dropped — and their residency released — when the last consumer
+/// finishes (or is dropped; see [`source::ScanOp`]). Consumers receive the *same*
+/// batches by cheap clone (an `Arc` bump per column), so crossing a materialization
+/// point between pipelines copies no values.
 #[derive(Debug)]
 pub(crate) struct MatNode {
-    pub(crate) rows: Option<Vec<Row>>,
+    pub(crate) batches: Option<Vec<Batch>>,
+    /// Total logical rows across `batches`, acquired against the residency ledger by
+    /// the producing pipeline and released here when the last consumer is done.
+    pub(crate) rows: u64,
     pub(crate) remaining: usize,
 }
 
@@ -173,16 +183,6 @@ pub(crate) type SharedMat = Arc<Mutex<MatNode>>;
 /// One-shot slot for each step's materialization, written by the pipeline that produces
 /// it and read by the pipelines that scan it.
 pub(crate) type MatSlots = [OnceLock<SharedMat>];
-
-/// Evaluate whether `row` satisfies every predicate. Column indexes are validated
-/// against the plan before execution starts ([`validate_for`]), so the direct indexing
-/// cannot be reached with an out-of-range predicate.
-pub(crate) fn passes(row: &[Value], predicates: &[Predicate]) -> bool {
-    predicates.iter().all(|p| match p {
-        Predicate::ColEqCol(a, b) => row[*a] == row[*b],
-        Predicate::ColEqConst(a, c) => &row[*a] == c,
-    })
-}
 
 /// Validate one fetch-shaped step (`step` names it in error messages, e.g. "physical
 /// step 3") against the database it is about to probe: the backing constraint must
@@ -299,22 +299,34 @@ pub(crate) fn execute_inner(
     };
 
     let output = plan.output();
-    let rows = mats[output]
-        .get()
-        .expect("lowering marks the output step as a materialization point")
-        .lock()
-        .expect("materialization lock")
-        .rows
-        .take()
-        .expect("the output's virtual consumer is the caller");
+    let (batches, output_rows) = {
+        let mut node = mats[output]
+            .get()
+            .expect("lowering marks the output step as a materialization point")
+            .lock()
+            .expect("materialization lock");
+        let batches = node
+            .batches
+            .take()
+            .expect("the output's virtual consumer is the caller");
+        (batches, node.rows)
+    };
     // The caller owns the output now; the executor's residency accounting is over.
-    ledger.release(rows.len() as u64);
+    ledger.release(output_rows);
     stats.peak_rows_resident = ledger.peak();
     debug_assert_eq!(
         ledger.resident(),
         0,
         "the residency ledger must drain back to zero after execution"
     );
+    // Hand the result over as rows. Output batches are usually uniquely owned dense
+    // columns, so the transpose moves the values; any clones it does perform count.
+    let mut rows: Vec<Row> = Vec::with_capacity(output_rows as usize);
+    for batch in batches {
+        let (mut batch_rows, clones) = batch.into_rows();
+        stats.values_cloned += clones;
+        rows.append(&mut batch_rows);
+    }
     let table = Table::with_rows(plan.steps()[output].columns.clone(), rows);
     Ok((table, stats, ledger))
 }
@@ -348,14 +360,19 @@ pub(crate) fn run_pipeline(
     mats: &MatSlots,
 ) -> Result<()> {
     let mut op = build_op(plan, sink, database, state, mats)?;
-    let mut rows: Vec<Row> = Vec::new();
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut rows: u64 = 0;
     while let Some(batch) = op.next_batch()? {
         state.borrow_mut().acquire(batch.len() as u64);
-        rows.extend(batch);
+        rows += batch.len() as u64;
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
     }
     drop(op);
     let node = Arc::new(Mutex::new(MatNode {
-        rows: Some(rows),
+        batches: Some(batches),
+        rows,
         remaining: plan.steps()[sink].consumers,
     }));
     if mats[sink].set(node).is_err() {
@@ -418,6 +435,7 @@ fn build_op<'db>(
             positions.clone(),
             *constraint_index,
             residual.clone(),
+            None,
             database,
             state.clone(),
         )),
@@ -433,6 +451,7 @@ fn build_op<'db>(
             left_keys.clone(),
             right_keys.clone(),
             residual.clone(),
+            plan.steps()[*right].columns.len(),
             state.clone(),
         )),
         PhysOp::Filter { source, predicates } => Box::new(relational::FilterOp::new(
@@ -440,6 +459,42 @@ fn build_op<'db>(
             predicates.clone(),
         )),
         PhysOp::Project { source, cols } => {
+            // Fusion: a projection whose direct (sole, non-materialized) input is a
+            // keyed lookup becomes the lookup's emission column set, so values the
+            // projection would drop are never gathered at all. Materialized sources
+            // are exchange points and must stay full-width for their other consumers.
+            //
+            // Deliberately an operator-tree concern, not a lowering rule: which
+            // columns get *physically gathered* is a property of this executor's
+            // columnar batches (the materialized strategy and plan
+            // validation/costing/pipeline_dag all reason about the unfused steps,
+            // and must keep doing so). If the fused pattern is broken by a future
+            // lowering change, execution falls back to the explicit ProjectOp —
+            // slower, never wrong.
+            if !plan.steps()[*source].materialize {
+                if let PhysOp::KeyedLookup {
+                    source: klu_source,
+                    key_cols,
+                    relation,
+                    positions,
+                    constraint_index,
+                    residual,
+                    ..
+                } = &plan.steps()[*source].op
+                {
+                    return Ok(Box::new(fetch::KeyedLookupOp::new(
+                        input(*klu_source)?,
+                        key_cols.clone(),
+                        relation.clone(),
+                        positions.clone(),
+                        *constraint_index,
+                        residual.clone(),
+                        Some(cols.clone()),
+                        database,
+                        state.clone(),
+                    )));
+                }
+            }
             Box::new(relational::ProjectOp::new(input(*source)?, cols.clone()))
         }
         PhysOp::Dedup { source } => {
@@ -467,7 +522,8 @@ mod tests {
     use super::*;
     use crate::exec::{execute_plan_with_options, ExecOptions};
     use bea_core::access::{AccessConstraint, AccessSchema};
-    use bea_core::plan::{lower_plan_with, LowerOptions, PlanBuilder};
+    use bea_core::plan::{lower_plan_with, LowerOptions, PlanBuilder, Predicate};
+    use bea_core::value::Value;
     use bea_storage::Database;
 
     fn setup() -> IndexedDatabase {
@@ -622,6 +678,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_build_side_keeps_batch_arity_for_downstream_projections() {
+        // Regression: a runtime-empty hash-join build side must still emit batches of
+        // the plan's combined arity — a downstream projection of a right-side column
+        // used to index out of bounds on the narrower placeholder batch.
+        let idb = setup();
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(99), "k"); // no matching rows in R
+        let fetched = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(k, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        let projected = b.project(sel, vec![2]); // a fetched (right-side) column
+        let other = b.project(fetched, vec![1]);
+        let out = b.product(projected, other);
+        let plan = b.finish("Q", out).unwrap();
+        let phys = bea_core::plan::lower_plan(&plan).unwrap();
+        assert!(phys
+            .steps()
+            .iter()
+            .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
+        for threads in [1, 4] {
+            let (table, _, ledger) = execute_inner(&phys, &idb, threads).unwrap();
+            assert!(table.is_empty());
+            assert_eq!(ledger.resident(), 0);
+        }
+    }
+
+    #[test]
     fn dropping_a_scan_mid_stream_releases_the_materialization() {
         // Regression for the "consumers always drain their inputs fully" assumption: a
         // consumer dropped mid-stream must still count as done, so the materialized
@@ -631,7 +722,8 @@ mod tests {
         let rows: Vec<Row> = (0..3).map(|i| vec![Value::int(i)]).collect();
         state.borrow_mut().acquire(rows.len() as u64);
         let node: SharedMat = Arc::new(Mutex::new(MatNode {
-            rows: Some(rows),
+            batches: Some(vec![Batch::from_rows(1, rows)]),
+            rows: 3,
             remaining: 2,
         }));
 
@@ -644,7 +736,7 @@ mod tests {
         let second = source::ScanOp::new(node.clone(), state.clone());
         drop(second); // never pulled at all
         assert_eq!(node.lock().unwrap().remaining, 0);
-        assert!(node.lock().unwrap().rows.is_none());
+        assert!(node.lock().unwrap().batches.is_none());
         assert_eq!(ledger.resident(), 0, "last drop must free the rows");
     }
 

@@ -1,12 +1,20 @@
 //! Streaming relational operators: filter, project, dedup, union, difference, product.
+//!
+//! Filter and project are pure batch-metadata manipulation (selection vectors and
+//! column-handle permutation — zero value copies). Dedup and difference emit their
+//! input batches restricted by a selection; only the membership sets hold (O(1)-clone)
+//! rows. The product is the one genuine gather here: it writes combined rows into
+//! fresh output columns.
 
-use super::{passes, BoxOp, Operator, SharedState};
+use super::batch::Batch;
+use super::{BoxOp, Operator, SharedState};
 use bea_core::error::Result;
 use bea_core::plan::Predicate;
-use bea_core::value::Row;
-use std::collections::BTreeSet;
+use bea_core::value::{Row, Value};
+use std::collections::HashMap;
 
-/// Streaming selection.
+/// Streaming selection: writes a selection vector over the input batch's shared
+/// columns. No values move.
 pub(crate) struct FilterOp<'db> {
     input: BoxOp<'db>,
     predicates: Vec<Predicate>,
@@ -19,16 +27,16 @@ impl<'db> FilterOp<'db> {
 }
 
 impl Operator for FilterOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
-        let Some(mut batch) = self.input.next_batch()? else {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next_batch()? else {
             return Ok(None);
         };
-        batch.retain(|row| passes(row, &self.predicates));
-        Ok(Some(batch))
+        Ok(Some(batch.retain(|i| batch.passes(i, &self.predicates))))
     }
 }
 
-/// Streaming projection (no dedup — lowering inserts a [`DedupOp`] where needed).
+/// Streaming projection (no dedup — lowering inserts a [`DedupOp`] where needed):
+/// permutes the shared column handles. No values move.
 pub(crate) struct ProjectOp<'db> {
     input: BoxOp<'db>,
     cols: Vec<usize>,
@@ -41,25 +49,70 @@ impl<'db> ProjectOp<'db> {
 }
 
 impl Operator for ProjectOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         let Some(batch) = self.input.next_batch()? else {
             return Ok(None);
         };
-        Ok(Some(
-            batch
-                .into_iter()
-                .map(|row| self.cols.iter().map(|&c| row[c].clone()).collect())
-                .collect(),
-        ))
+        Ok(Some(batch.project(&self.cols)))
+    }
+}
+
+/// Hash-then-compare membership set over whole rows: buckets of owned rows keyed by
+/// their hash, so *asking* whether a batch row is present clones nothing
+/// ([`Batch::hash_row`] + [`Batch::row_equals`]) and only genuinely fresh rows are
+/// ever gathered into the set. Shared by [`DedupOp`] (seen set) and [`DifferenceOp`]
+/// (removal set).
+#[derive(Default)]
+struct RowSet {
+    buckets: HashMap<u64, Vec<Row>>,
+    len: u64,
+}
+
+impl RowSet {
+    /// Is `batch`'s logical row `i` in the set? No clones.
+    fn contains(&self, batch: &Batch, i: usize) -> bool {
+        self.buckets
+            .get(&batch.hash_row(i))
+            .is_some_and(|bucket| bucket.iter().any(|row| batch.row_equals(i, row)))
+    }
+
+    /// Insert `batch`'s logical row `i` if absent; returns whether it was fresh (the
+    /// only case that clones the row — `arity` O(1) value clones).
+    fn insert(&mut self, batch: &Batch, i: usize) -> bool {
+        let bucket = self.buckets.entry(batch.hash_row(i)).or_default();
+        if bucket.iter().any(|row| batch.row_equals(i, row)) {
+            return false;
+        }
+        bucket.push(batch.row(i));
+        self.len += 1;
+        true
+    }
+
+    /// Number of rows stored.
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.buckets.clear();
+        self.len = 0;
+    }
+
+    /// Pre-size for `additional` more rows instead of growing incrementally.
+    fn reserve(&mut self, additional: usize) {
+        self.buckets.reserve(additional);
     }
 }
 
 /// Streaming duplicate elimination. The set of rows seen so far is durable state,
-/// released when the input is exhausted (or on drop).
+/// released when the input is exhausted (or on drop); fresh rows pass through as a
+/// selection over the input batch — the emitted values are never copied, and only the
+/// fresh set entries are cloned (duplicates are detected hash-then-compare, with no
+/// clone at all).
 pub(crate) struct DedupOp<'db> {
     input: BoxOp<'db>,
     state: SharedState,
-    seen: BTreeSet<Row>,
+    seen: RowSet,
     done: bool,
 }
 
@@ -68,41 +121,46 @@ impl<'db> DedupOp<'db> {
         Self {
             input,
             state,
-            seen: BTreeSet::new(),
+            seen: RowSet::default(),
             done: false,
         }
     }
 }
 
 impl Operator for DedupOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);
         }
         let Some(batch) = self.input.next_batch()? else {
             self.done = true;
             let mut state = self.state.borrow_mut();
-            state.release(self.seen.len() as u64);
+            state.release(self.seen.len());
             self.seen.clear();
             return Ok(None);
         };
-        let mut out: Vec<Row> = Vec::new();
+        self.seen.reserve(batch.len());
         let mut fresh = 0u64;
-        for row in batch {
-            if self.seen.insert(row.clone()) {
+        let arity = batch.arity() as u64;
+        let out = batch.retain(|i| {
+            if self.seen.insert(&batch, i) {
                 fresh += 1;
-                out.push(row);
+                true
+            } else {
+                false
             }
-        }
-        self.state.borrow_mut().acquire(fresh);
+        });
+        let mut state = self.state.borrow_mut();
+        state.stats.values_cloned += fresh * arity;
+        state.acquire(fresh);
         Ok(Some(out))
     }
 }
 
 impl Drop for DedupOp<'_> {
     fn drop(&mut self) {
-        if !self.seen.is_empty() {
-            self.state.borrow_mut().release(self.seen.len() as u64);
+        if self.seen.len() > 0 {
+            self.state.borrow_mut().release(self.seen.len());
             self.seen.clear();
         }
     }
@@ -124,7 +182,7 @@ impl<'db> UnionOp<'db> {
 }
 
 impl Operator for UnionOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if let Some(left) = self.left.as_mut() {
             if let Some(batch) = left.next_batch()? {
                 return Ok(Some(batch));
@@ -141,13 +199,14 @@ impl Operator for UnionOp<'_> {
     }
 }
 
-/// Anti-semijoin on whole rows: the right side is buffered as a set (durable state,
-/// released on exhaustion or on drop), the left side streams through it.
+/// Anti-semijoin on whole rows: the right side is buffered as a [`RowSet`] (durable
+/// state, released on exhaustion or on drop), the left side streams through it as a
+/// selection over its own shared columns — membership probes clone nothing.
 pub(crate) struct DifferenceOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
     state: SharedState,
-    remove: BTreeSet<Row>,
+    remove: RowSet,
     done: bool,
 }
 
@@ -157,51 +216,54 @@ impl<'db> DifferenceOp<'db> {
             left,
             right: Some(right),
             state,
-            remove: BTreeSet::new(),
+            remove: RowSet::default(),
             done: false,
         }
     }
 }
 
 impl Operator for DifferenceOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);
         }
         if let Some(mut right) = self.right.take() {
             while let Some(batch) = right.next_batch()? {
+                self.remove.reserve(batch.len());
                 let mut fresh = 0u64;
-                for row in batch {
-                    if self.remove.insert(row) {
+                let arity = batch.arity() as u64;
+                for i in 0..batch.len() {
+                    if self.remove.insert(&batch, i) {
                         fresh += 1;
                     }
                 }
-                self.state.borrow_mut().acquire(fresh);
+                let mut state = self.state.borrow_mut();
+                state.stats.values_cloned += fresh * arity;
+                state.acquire(fresh);
             }
         }
-        let Some(mut batch) = self.left.next_batch()? else {
+        let Some(batch) = self.left.next_batch()? else {
             self.done = true;
             let mut state = self.state.borrow_mut();
-            state.release(self.remove.len() as u64);
+            state.release(self.remove.len());
             self.remove.clear();
             return Ok(None);
         };
-        batch.retain(|row| !self.remove.contains(row));
-        Ok(Some(batch))
+        Ok(Some(batch.retain(|i| !self.remove.contains(&batch, i))))
     }
 }
 
 impl Drop for DifferenceOp<'_> {
     fn drop(&mut self) {
-        if !self.remove.is_empty() {
-            self.state.borrow_mut().release(self.remove.len() as u64);
+        if self.remove.len() > 0 {
+            self.state.borrow_mut().release(self.remove.len());
             self.remove.clear();
         }
     }
 }
 
-/// Cartesian product: the right side is buffered (durable state, released on
-/// exhaustion), the left side streams. Emitted rows are accounted as
+/// Cartesian product: the right side is buffered in dense columns (durable state,
+/// released on exhaustion), the left side streams. Emitted rows are accounted as
 /// `product_rows_materialized`, matching the literal semantics' accounting, even though
 /// the pipeline never holds more than a batch of them: output is chunked to
 /// [`super::BATCH_SIZE`] rows per call, however large `|batch| · |right|` gets, so the
@@ -210,10 +272,13 @@ pub(crate) struct ProductOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
     state: SharedState,
-    buffered: Vec<Row>,
-    /// Left rows whose pairings are still being emitted, with the cursor position
+    /// The buffered right side, as dense columns.
+    buffered: Vec<Vec<Value>>,
+    buffered_rows: usize,
+    right_arity: usize,
+    /// Left batch whose pairings are still being emitted, with the cursor position
     /// `(left row index, right row index)` of the next pair.
-    pending: Vec<Row>,
+    pending: Option<Batch>,
     cursor: (usize, usize),
     done: bool,
 }
@@ -225,7 +290,9 @@ impl<'db> ProductOp<'db> {
             right: Some(right),
             state,
             buffered: Vec::new(),
-            pending: Vec::new(),
+            buffered_rows: 0,
+            right_arity: 0,
+            pending: None,
             cursor: (0, 0),
             done: false,
         }
@@ -233,60 +300,86 @@ impl<'db> ProductOp<'db> {
 }
 
 impl Operator for ProductOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);
         }
         if let Some(mut right) = self.right.take() {
             while let Some(batch) = right.next_batch()? {
-                self.state.borrow_mut().acquire(batch.len() as u64);
-                self.buffered.extend(batch);
+                if self.buffered.is_empty() {
+                    self.right_arity = batch.arity();
+                    self.buffered = vec![Vec::new(); batch.arity()];
+                }
+                let mut state = self.state.borrow_mut();
+                state.acquire(batch.len() as u64);
+                state.stats.values_cloned += (batch.len() * batch.arity()) as u64;
+                for i in 0..batch.len() {
+                    batch.append_row_to(i, &mut self.buffered);
+                }
+                self.buffered_rows += batch.len();
             }
         }
-        let mut out: Vec<Row> = Vec::new();
-        while out.len() < super::BATCH_SIZE {
-            if self.cursor.0 >= self.pending.len() {
-                let Some(batch) = self.left.next_batch()? else {
-                    self.done = true;
-                    let mut state = self.state.borrow_mut();
-                    state.release(self.buffered.len() as u64);
-                    self.buffered.clear();
-                    state.stats.product_rows_materialized += out.len() as u64;
-                    return if out.is_empty() {
-                        Ok(None)
-                    } else {
-                        Ok(Some(out))
-                    };
-                };
-                self.pending = batch;
+        let mut out: Option<Vec<Vec<Value>>> = None;
+        let mut out_rows = 0usize;
+        let mut exhausted = false;
+        while out_rows < super::BATCH_SIZE {
+            let Some(pending) = &self.pending else {
+                match self.left.next_batch()? {
+                    Some(batch) => {
+                        self.pending = Some(batch);
+                        self.cursor = (0, 0);
+                        continue;
+                    }
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            };
+            if self.cursor.0 >= pending.len() || self.buffered_rows == 0 {
+                // Nothing (left) to pair, or an empty right side: consume the pending
+                // batch without output.
+                self.pending = None;
                 self.cursor = (0, 0);
                 continue;
             }
-            if self.buffered.is_empty() {
-                // Nothing to pair with: consume the pending rows without output.
-                self.pending.clear();
-                self.cursor = (0, 0);
-                continue;
+            let sinks =
+                out.get_or_insert_with(|| vec![Vec::new(); pending.arity() + self.right_arity]);
+            let (li, ri) = self.cursor;
+            let (left_cols, right_cols) = sinks.split_at_mut(pending.arity());
+            pending.append_row_to(li, left_cols);
+            for (column, sink) in self.buffered.iter().zip(right_cols) {
+                sink.push(column[ri].clone());
             }
-            let lrow = &self.pending[self.cursor.0];
-            let mut row = lrow.clone();
-            row.extend(self.buffered[self.cursor.1].iter().cloned());
-            out.push(row);
+            out_rows += 1;
             self.cursor.1 += 1;
-            if self.cursor.1 >= self.buffered.len() {
+            if self.cursor.1 >= self.buffered_rows {
                 self.cursor = (self.cursor.0 + 1, 0);
             }
         }
-        self.state.borrow_mut().stats.product_rows_materialized += out.len() as u64;
-        Ok(Some(out))
+        let arity = out.as_ref().map_or(0, Vec::len) as u64;
+        let mut state = self.state.borrow_mut();
+        state.stats.product_rows_materialized += out_rows as u64;
+        state.stats.values_cloned += out_rows as u64 * arity;
+        if exhausted {
+            self.done = true;
+            state.release(self.buffered_rows as u64);
+            self.buffered = Vec::new();
+            self.buffered_rows = 0;
+            if out_rows == 0 {
+                return Ok(None);
+            }
+        }
+        Ok(Some(Batch::from_dense(out.unwrap_or_default(), out_rows)))
     }
 }
 
 impl Drop for ProductOp<'_> {
     fn drop(&mut self) {
-        if !self.buffered.is_empty() {
-            self.state.borrow_mut().release(self.buffered.len() as u64);
-            self.buffered.clear();
+        if self.buffered_rows > 0 {
+            self.state.borrow_mut().release(self.buffered_rows as u64);
+            self.buffered = Vec::new();
+            self.buffered_rows = 0;
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Leaf operators: singletons, the empty relation, and scans of materialized steps.
 
-use super::{Operator, SharedMat, SharedState, BATCH_SIZE};
+use super::batch::Batch;
+use super::{Operator, SharedMat, SharedState};
 use bea_core::error::Result;
 use bea_core::value::Row;
 
@@ -16,8 +17,8 @@ impl SingletonOp {
 }
 
 impl Operator for SingletonOp {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
-        Ok(self.row.take().map(|row| vec![row]))
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        Ok(self.row.take().map(Batch::singleton))
     }
 }
 
@@ -25,15 +26,17 @@ impl Operator for SingletonOp {
 pub(crate) struct EmptyOp;
 
 impl Operator for EmptyOp {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         Ok(None)
     }
 }
 
 /// Streams a materialized step to one of its consumers — the exchange protocol between
-/// pipelines. When the last consumer is done, the materialized rows are dropped and
-/// their residency released; a consumer counts as done when it drains the scan *or*
-/// drops it mid-stream (short-circuits must not leak the materialization).
+/// pipelines. Each pull hands out the next stored batch by *cheap clone* (an `Arc`
+/// bump per column — no value is copied crossing a materialization point). When the
+/// last consumer is done, the batches are dropped and their residency released; a
+/// consumer counts as done when it drains the scan *or* drops it mid-stream
+/// (short-circuits must not leak the materialization).
 pub(crate) struct ScanOp {
     node: SharedMat,
     state: SharedState,
@@ -52,7 +55,7 @@ impl ScanOp {
     }
 
     /// Mark this consumer done exactly once: decrement the node's consumer count and,
-    /// if this was the last consumer, free the rows and release their residency.
+    /// if this was the last consumer, free the batches and release their residency.
     fn finish(&mut self) {
         if self.finished {
             return;
@@ -60,33 +63,26 @@ impl ScanOp {
         self.finished = true;
         let mut node = self.node.lock().expect("materialization lock");
         node.remaining -= 1;
-        if node.remaining == 0 {
-            if let Some(rows) = node.rows.take() {
-                self.state.borrow_mut().release(rows.len() as u64);
-            }
+        if node.remaining == 0 && node.batches.take().is_some() {
+            self.state.borrow_mut().release(node.rows);
         }
     }
 }
 
 impl Operator for ScanOp {
-    fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.finished {
             return Ok(None);
         }
         let batch = {
             let node = self.node.lock().expect("materialization lock");
-            let rows = node
-                .rows
+            let batches = node
+                .batches
                 .as_ref()
-                .expect("materialized rows outlive their consumers");
-            if self.pos < rows.len() {
-                let end = (self.pos + BATCH_SIZE).min(rows.len());
-                let batch = rows[self.pos..end].to_vec();
-                self.pos = end;
-                Some(batch)
-            } else {
-                None
-            }
+                .expect("materialized batches outlive their consumers");
+            let batch = batches.get(self.pos).cloned();
+            self.pos += 1;
+            batch
         };
         match batch {
             Some(batch) => Ok(Some(batch)),

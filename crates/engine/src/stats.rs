@@ -34,6 +34,18 @@ pub struct AccessStats {
     /// last consumer is done, so this is the number the materialized-vs-streaming
     /// ablation compares.
     pub peak_rows_resident: u64,
+    /// Number of individual [`bea_core::value::Value`] clones the executor physically
+    /// performs: gathers into output columns, row copies between step tables, key
+    /// projections (probe keys included — they are cloned whether or not they hit),
+    /// and membership/cache insertions. Index lookups that only *read* tuples are not
+    /// counted, and neither is work that performs no clone — the columnar pipeline's
+    /// duplicate detection is hash-then-compare, so only genuinely fresh rows enter a
+    /// set. This is the copy-traffic side of execution, the quantity the columnar
+    /// pipeline exists to minimize; value clones are O(1) (interned strings), so the
+    /// counter measures traffic, not bytes. Like residency, it is an
+    /// execution-strategy artifact and excluded from
+    /// [`AccessStats::same_data_access`]; across workers it merges additively.
+    pub values_cloned: u64,
     /// Tuples fetched through index lookups, per relation. Lets experiments attribute
     /// the access cost of a plan to the constraints that served it.
     pub rows_fetched_by_relation: BTreeMap<String, u64>,
@@ -78,6 +90,7 @@ impl AccessStats {
         self.fetch_ops += rhs.fetch_ops;
         self.tuples_scanned += rhs.tuples_scanned;
         self.product_rows_materialized += rhs.product_rows_materialized;
+        self.values_cloned += rhs.values_cloned;
         for (relation, tuples) in rhs.rows_fetched_by_relation {
             *self.rows_fetched_by_relation.entry(relation).or_insert(0) += tuples;
         }
@@ -118,12 +131,13 @@ impl fmt::Display for AccessStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident",
+            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident, {} values cloned",
             self.tuples_fetched,
             self.index_lookups,
             self.fetch_ops,
             self.tuples_scanned,
-            self.peak_rows_resident
+            self.peak_rows_resident,
+            self.values_cloned
         )
     }
 }
@@ -142,6 +156,7 @@ mod tests {
             tuples_scanned: 0,
             product_rows_materialized: 0,
             peak_rows_resident: 7,
+            values_cloned: 20,
             rows_fetched_by_relation: [("R".to_owned(), 10)].into_iter().collect(),
         };
         a += AccessStats {
@@ -151,6 +166,7 @@ mod tests {
             tuples_scanned: 100,
             product_rows_materialized: 4,
             peak_rows_resident: 3,
+            values_cloned: 5,
             rows_fetched_by_relation: [("R".to_owned(), 2), ("S".to_owned(), 3)]
                 .into_iter()
                 .collect(),
@@ -159,6 +175,7 @@ mod tests {
         assert_eq!(a.index_lookups, 3);
         assert_eq!(a.fetch_ops, 2);
         assert_eq!(a.product_rows_materialized, 4);
+        assert_eq!(a.values_cloned, 25); // additive under every merge rule
         assert_eq!(a.peak_rows_resident, 7); // max, not sum
         assert_eq!(a.total_tuples_read(), 115);
         assert_eq!(a.rows_fetched_by_relation["R"], 12);
@@ -178,6 +195,7 @@ mod tests {
             tuples_scanned: 0,
             product_rows_materialized: 0,
             peak_rows_resident: peak,
+            values_cloned: 12,
             rows_fetched_by_relation: [("R".to_owned(), 6)].into_iter().collect(),
         };
 
@@ -217,6 +235,7 @@ mod tests {
         let mut b = a.clone();
         b.peak_rows_resident = 99;
         b.product_rows_materialized = 42;
+        b.values_cloned = 1_000;
         assert!(a.same_data_access(&b));
         b.record_fetched("R", 1);
         assert!(!a.same_data_access(&b));

@@ -350,7 +350,7 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.advance();
-                Ok(Arg::Const(Value::Str(s)))
+                Ok(Arg::Const(Value::Str(s.into())))
             }
             _ => Err(self.unexpected("a variable, parameter or constant")),
         }

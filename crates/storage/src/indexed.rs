@@ -105,6 +105,42 @@ impl IndexedDatabase {
         })
     }
 
+    /// Columnar counterpart of [`IndexedDatabase::fetch_iter`]: append, for every tuple
+    /// whose `X`-projection equals `key`, the values at `positions` directly into the
+    /// corresponding output columns (`out[i]` receives `tuple[positions[i]]`).
+    ///
+    /// This is the storage half of the columnar fetch path: the matched tuples go
+    /// straight from the relation into the caller's column builders, without an
+    /// intermediate `Row` allocation per tuple. Value clones are O(1) (shared string
+    /// payloads), so the append is a pointer-sized copy per value. Returns the number
+    /// of tuples appended — the same count [`IndexedDatabase::fetch_iter`] would
+    /// report, for access accounting.
+    ///
+    /// `out` must have exactly one column per requested position; positions beyond the
+    /// relation's arity are the caller's responsibility (the engine validates plans
+    /// before executing them).
+    pub fn fetch_into_columns(
+        &self,
+        constraint_index: usize,
+        key: &[Value],
+        positions: &[usize],
+        out: &mut [Vec<Value>],
+    ) -> Result<u64> {
+        debug_assert_eq!(
+            positions.len(),
+            out.len(),
+            "one output column per projected position"
+        );
+        let mut appended = 0u64;
+        for tuple in self.fetch_iter(constraint_index, key)? {
+            for (column, &position) in out.iter_mut().zip(positions) {
+                column.push(tuple[position].clone());
+            }
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
     /// Check the cardinality part of every constraint: does `D ⊨ A` hold?
     ///
     /// Returns the list of violations (empty iff the instance satisfies the schema).
@@ -259,6 +295,40 @@ mod tests {
         // The same argument errors apply as for `fetch`.
         assert!(idb.fetch_iter(7, &[Value::int(1)]).is_err());
         assert!(idb.fetch_iter(0, &[]).is_err());
+    }
+
+    #[test]
+    fn fetch_into_columns_matches_fetch_iter() {
+        let c = catalog();
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 2).unwrap()
+            ]);
+        let idb = IndexedDatabase::build(sample_db(), schema).unwrap();
+        // Project (b, a) — positions in a caller-chosen order, including a swap.
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(), Vec::new()];
+        let appended = idb
+            .fetch_into_columns(0, &[Value::int(1)], &[1, 0], &mut cols)
+            .unwrap();
+        assert_eq!(appended, 2);
+        assert_eq!(cols[0], vec![Value::int(10), Value::int(11)]);
+        assert_eq!(cols[1], vec![Value::int(1), Value::int(1)]);
+        // Appends accumulate: a second key extends the same columns.
+        let appended = idb
+            .fetch_into_columns(0, &[Value::int(2)], &[1, 0], &mut cols)
+            .unwrap();
+        assert_eq!(appended, 1);
+        assert_eq!(cols[0].len(), 3);
+        assert_eq!(cols[1][2], Value::int(2));
+        // Missing keys append nothing; argument errors mirror `fetch_iter`.
+        assert_eq!(
+            idb.fetch_into_columns(0, &[Value::int(9)], &[0], &mut [Vec::new()])
+                .unwrap(),
+            0
+        );
+        assert!(idb
+            .fetch_into_columns(7, &[Value::int(1)], &[0], &mut [Vec::new()])
+            .is_err());
     }
 
     #[test]

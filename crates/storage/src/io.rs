@@ -61,7 +61,7 @@ fn parse(field: &str) -> Result<Value> {
             .parse::<i64>()
             .map(Value::Int)
             .map_err(|_| Error::invalid(format!("malformed integer `{rest}`"))),
-        "s" => Ok(Value::Str(unescape(rest))),
+        "s" => Ok(Value::Str(unescape(rest).into())),
         "b" => rest
             .parse::<bool>()
             .map(Value::Bool)

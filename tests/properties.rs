@@ -130,6 +130,25 @@ fn assert_bounded_plans_agree_with_naive(
             stats.peak_rows_resident,
             materialized_stats.peak_rows_resident
         );
+        // Copy traffic: whenever the plan moves a nontrivial amount of data, the
+        // columnar pipeline moves no more values than the row-at-a-time executor (on
+        // near-empty results the columnar path's fixed costs — key gathers, cache
+        // bookkeeping — can exceed the row path's handful of clones by single digits,
+        // which is noise, not traffic; the ≥2× drop on real fan-out is asserted by
+        // `columnar_pipeline_halves_copy_traffic_on_target_scenarios`). The traffic is
+        // a function of the plan, not of the schedule.
+        if materialized_stats.values_cloned >= 100 {
+            assert!(
+                stats.values_cloned <= materialized_stats.values_cloned,
+                "columnar pipeline cloned more values ({}) than the row path ({}) for {query}",
+                stats.values_cloned,
+                materialized_stats.values_cloned
+            );
+        }
+        assert_eq!(
+            stats.values_cloned, parallel_stats.values_cloned,
+            "thread count changed the copy traffic for {query}"
+        );
         let cost = plan.cost(schema, indexed.size());
         assert!(
             stats.tuples_fetched <= cost.max_fetched_tuples,
@@ -233,6 +252,59 @@ fn covered_plans_agree_with_naive_evaluation_on_graph() {
             assert_bounded_plans_agree_with_naive(&schema, db, &workload)
         },
     );
+}
+
+/// The columnar pipeline's acceptance property (PR 4): on the scenarios with real
+/// fan-out — the accidents Q0 plan and the multi-pipeline batch of anchored Q0
+/// branches — the copy traffic (`values_cloned`) drops at least 2× against the
+/// row-at-a-time executor, at 1 *and* 4 worker threads, while the answers, the data
+/// access and the residency guarantees are untouched.
+#[test]
+fn columnar_pipeline_halves_copy_traffic_on_target_scenarios() {
+    use bea::bench::scenarios::{AccidentsScenario, ParallelScenario};
+
+    let accidents = AccidentsScenario::with_total_tuples(20_000, 42).unwrap();
+    let batch = ParallelScenario::with_branches(6, 20_000, 42).unwrap();
+
+    // (plan, database, scenario name) for both row-vs-columnar comparisons.
+    let cases: [(&bea::core::plan::QueryPlan, &IndexedDatabase, &str); 2] = [
+        (&accidents.plan, &accidents.indexed, "accidents q0"),
+        (&batch.plan, &batch.indexed, "parallel q0 batch"),
+    ];
+    for (plan, indexed, name) in cases {
+        let (row_table, row_stats) =
+            execute_plan_with_options(plan, indexed, &ExecOptions::materialized()).unwrap();
+        for threads in [1usize, 4] {
+            let (columnar_table, columnar_stats) =
+                execute_plan_with_options(plan, indexed, &ExecOptions::new().with_threads(threads))
+                    .unwrap();
+            assert!(
+                columnar_table.same_rows(&row_table),
+                "{name}: executors disagree at {threads} threads"
+            );
+            assert!(
+                columnar_stats.same_data_access(&row_stats),
+                "{name}: executors read different data at {threads} threads"
+            );
+            // Residency: schedule-independent comparison only — the 4-thread peak
+            // legitimately grows with pipeline overlap (it stays exact via the shared
+            // ledger), so "no worse than the row path" is asserted where it is an
+            // invariant, at 1 thread.
+            if threads == 1 {
+                assert!(
+                    columnar_stats.peak_rows_resident <= row_stats.peak_rows_resident,
+                    "{name}: columnar residency regressed at {threads} threads"
+                );
+            }
+            assert!(
+                columnar_stats.values_cloned * 2 <= row_stats.values_cloned,
+                "{name} at {threads} threads: columnar cloned {} values, row path {} — \
+                 less than the required 2× drop",
+                columnar_stats.values_cloned,
+                row_stats.values_cloned
+            );
+        }
+    }
 }
 
 /// Parallel pipeline execution is deterministic: on a genuinely multi-pipeline plan (a

@@ -47,6 +47,14 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+/// True when the bench binary was invoked in criterion's `--test` mode (e.g.
+/// `cargo bench -- --test`): every routine runs exactly once, un-timed, so the bench
+/// doubles as a smoke test (CI uses this to execute bench-embedded assertions without
+/// paying for sampling).
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 /// Timing loop handed to the bench closure.
 pub struct Bencher {
     samples: Vec<Duration>,
@@ -54,12 +62,17 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measure `routine`: a few warm-up runs, then `sample_size` timed samples.
+    /// Measure `routine`: a few warm-up runs, then `sample_size` timed samples. In
+    /// `--test` mode ([`is_test_mode`]) the routine runs exactly once instead.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.samples.clear();
+        if is_test_mode() {
+            std_black_box(routine());
+            return;
+        }
         for _ in 0..3.min(self.sample_size) {
             std_black_box(routine());
         }
-        self.samples.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
             std_black_box(routine());
