@@ -24,6 +24,7 @@
 
 use bea_bench::scenarios::{
     pipeline_bench_report, AccidentsScenario, EcommerceScenario, GraphScenario, ParallelScenario,
+    ShardedScenario,
 };
 use bea_bench::{families, report::TextTable};
 use bea_core::bounded::{analyze_cq, BoundedConfig};
@@ -31,8 +32,10 @@ use bea_core::cover;
 use bea_core::plan::QueryPlan;
 use bea_core::reason::containment::a_contained;
 use bea_core::reason::ReasonConfig;
-use bea_engine::{execute_physical_with_options, execute_plan_with_options, ExecOptions};
-use bea_storage::IndexedDatabase;
+use bea_engine::{
+    execute_physical_on, execute_physical_with_options, execute_plan_with_options, ExecOptions,
+};
+use bea_storage::{IndexedDatabase, Store};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ablations(c: &mut Criterion) {
@@ -102,6 +105,7 @@ fn bench_execution_strategies(c: &mut Criterion) {
     let mut table = TextTable::new([
         "scenario",
         "db tuples",
+        "shards",
         "tuples fetched",
         "peak resident (materialized)",
         "peak resident (streaming)",
@@ -139,6 +143,7 @@ fn bench_execution_strategies(c: &mut Criterion) {
         table.row([
             name.to_string(),
             indexed.size().to_string(),
+            "1".to_owned(),
             streaming_stats.tuples_fetched.to_string(),
             materialized_stats.peak_rows_resident.to_string(),
             streaming_stats.peak_rows_resident.to_string(),
@@ -265,10 +270,100 @@ fn bench_parallel_pipelines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Unsharded vs sharded execution of the anchored Q0 plan: the same logical plan,
+/// fanned out over 1 vs 4 index-partition shards, at 4 worker threads. Before timing,
+/// the bench checks the sharding invariants — identical answers, identical data-access
+/// totals and copy traffic at every shard count, per-shard counts summing to the total
+/// — and prints the shards table. Sharding buys pipeline-DAG width (and keeps each
+/// fetch local to one index partition); what is read never changes.
+fn bench_sharded_execution(c: &mut Criterion) {
+    let unsharded = ShardedScenario::with_shards(1, 20_000, 42).expect("scenario builds");
+    let sharded = ShardedScenario::with_shards(4, 20_000, 42).expect("scenario builds");
+    let options = ExecOptions::new().with_threads(4);
+
+    let (base_table, base_stats) = execute_physical_on(
+        &unsharded.physical,
+        Store::Sharded(&unsharded.sharded),
+        &options,
+    )
+    .expect("plan executes");
+    let (sharded_table_out, sharded_stats) = execute_physical_on(
+        &sharded.physical,
+        Store::Sharded(&sharded.sharded),
+        &options,
+    )
+    .expect("plan executes");
+    assert!(
+        sharded_table_out.same_rows(&base_table),
+        "shard count changed the answers"
+    );
+    assert!(
+        sharded_stats.same_data_access(&base_stats),
+        "shard count changed the data access"
+    );
+    assert_eq!(
+        sharded_stats.values_cloned, base_stats.values_cloned,
+        "shard count changed the copy traffic"
+    );
+    assert_eq!(
+        sharded_stats.rows_fetched_by_shard.values().sum::<u64>(),
+        sharded_stats.tuples_fetched,
+        "per-shard counts must sum to the fetch total"
+    );
+    assert!(
+        sharded.physical.pipeline_dag().parallel_width() >= 4,
+        "sharded DAG lost its parallel width"
+    );
+
+    let mut table = TextTable::new([
+        "scenario",
+        "shards",
+        "pipelines",
+        "parallel width",
+        "tuples fetched",
+        "values cloned",
+    ]);
+    for (scenario, stats) in [(&unsharded, &base_stats), (&sharded, &sharded_stats)] {
+        let dag = scenario.physical.pipeline_dag();
+        table.row([
+            "sharded_q0".to_owned(),
+            scenario.shards.to_string(),
+            dag.len().to_string(),
+            dag.parallel_width().to_string(),
+            stats.tuples_fetched.to_string(),
+            stats.values_cloned.to_string(),
+        ]);
+    }
+    println!("\nsharded execution, identical data access at every shard count:\n");
+    table.print();
+    println!();
+
+    let mut group = c.benchmark_group("sharded_execution");
+    group.sample_size(20);
+    for scenario in [&unsharded, &sharded] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_q0", scenario.shards),
+            &scenario.shards,
+            |b, _| {
+                b.iter(|| {
+                    execute_physical_on(
+                        &scenario.physical,
+                        Store::Sharded(&scenario.sharded),
+                        &options,
+                    )
+                    .expect("plan executes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ablations,
     bench_execution_strategies,
-    bench_parallel_pipelines
+    bench_parallel_pipelines,
+    bench_sharded_execution
 );
 criterion_main!(benches);

@@ -190,8 +190,9 @@ impl PipelineBenchReport {
                     let allowed = base.values_cloned + base.values_cloned * tolerance_percent / 100;
                     if fresh.values_cloned > allowed {
                         violations.push(format!(
-                            "scenario `{name}`: values_cloned {} exceeds baseline {} by more \
-                             than {tolerance_percent}% (allowed {allowed})",
+                            "scenario `{name}`: field `values_cloned` regressed — fresh {} \
+                             exceeds the committed baseline {} by more than \
+                             {tolerance_percent}% (allowed up to {allowed})",
                             fresh.values_cloned, base.values_cloned
                         ));
                     }
@@ -278,7 +279,11 @@ mod tests {
             .values_cloned = 2_201;
         let violations = fresh.regressions_against(&report, 10);
         assert_eq!(violations.len(), 1);
+        // The violation names both the scenario and the regressing field explicitly.
         assert!(violations[0].contains("accidents_q0"));
+        assert!(violations[0].contains("`values_cloned`"));
+        assert!(violations[0].contains("2201"));
+        assert!(violations[0].contains("2000"));
         // A disappeared scenario is a violation too; timing changes never are.
         let mut shrunk = report.clone();
         shrunk.scenarios.remove("parallel_q0_batch_6");

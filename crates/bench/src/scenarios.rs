@@ -11,8 +11,10 @@ use bea_core::query::cq::ConjunctiveQuery;
 use bea_core::query::ucq::UnionQuery;
 use bea_core::reason::ReasonConfig;
 use bea_core::schema::Catalog;
-use bea_engine::{execute_physical_with_options, execute_plan_with_options, ExecOptions};
-use bea_storage::IndexedDatabase;
+use bea_engine::{
+    execute_physical_on, execute_physical_with_options, execute_plan_with_options, ExecOptions,
+};
+use bea_storage::{IndexedDatabase, ShardedDatabase, Store};
 use bea_workload::{accidents, ecommerce, graph};
 
 /// The Example 1.1 scenario at a given scale: an indexed accidents database, the query
@@ -203,6 +205,68 @@ impl ParallelScenario {
     }
 }
 
+/// The sharded-execution scenario: the anchored Q0 accidents query fanned out over `K`
+/// index-partition shards. The physical plan is lowered with a shard fan-out equal to
+/// the store's shard count, so every keyed fetch becomes one branch per shard probing
+/// only the partition that owns its keys — the pipeline DAG gains one shard-local
+/// pipeline per branch, which is the shape shard-affine scheduling and (eventually)
+/// NUMA placement target. The unsharded `indexed` twin of the same data is kept so
+/// invariants (same rows, same access totals, same copy traffic) are assertable
+/// against shards = 1.
+pub struct ShardedScenario {
+    /// The relational schema.
+    pub catalog: Catalog,
+    /// ψ1–ψ4.
+    pub schema: AccessSchema,
+    /// The sharded store (`shards` index partitions per constraint).
+    pub sharded: ShardedDatabase,
+    /// The same data, unsharded — the shards = 1 baseline.
+    pub indexed: IndexedDatabase,
+    /// Q0 anchored at a district/day present in the data.
+    pub q0: ConjunctiveQuery,
+    /// The boundedly evaluable plan for Q0.
+    pub plan: QueryPlan,
+    /// The plan lowered with shard fan-out (and exchange points): one shard-local
+    /// pipeline per branch.
+    pub physical: PhysicalPlan,
+    /// Number of shards.
+    pub shards: u32,
+}
+
+impl ShardedScenario {
+    /// Build the scenario with `shards` shards over roughly `total_tuples` tuples.
+    pub fn with_shards(shards: u32, total_tuples: u64, seed: u64) -> Result<Self> {
+        let catalog = accidents::catalog();
+        let schema = accidents::access_schema(&catalog);
+        let config = accidents::AccidentsConfig::with_total_tuples(total_tuples, seed);
+        let db = accidents::generate(&config)?;
+        let q0 = accidents::q0(
+            &catalog,
+            &accidents::district_value(0),
+            &accidents::date_value(1),
+        )?;
+        let plan = bounded_plan(&q0, &schema)?;
+        let physical = lower_plan_with(
+            &plan,
+            &LowerOptions::new()
+                .with_exchange_parallelism(true)
+                .with_shard_fanout(shards),
+        )?;
+        let sharded = ShardedDatabase::build(db.clone(), schema.clone(), shards)?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+        Ok(Self {
+            catalog,
+            schema,
+            sharded,
+            indexed,
+            q0,
+            plan,
+            physical,
+            shards,
+        })
+    }
+}
+
 /// The scenario scales the perf record is measured at — shared by `exp_table1` and the
 /// `ablations` bench so `BENCH_pipeline.json` means the same thing wherever it is
 /// emitted. Kept moderate so the CI perf-smoke stays fast.
@@ -217,6 +281,7 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
     let graph = GraphScenario::with_persons(500, BENCH_REPORT_SEED)?;
     let ecommerce = EcommerceScenario::with_customers(300, BENCH_REPORT_SEED)?;
     let batch = ParallelScenario::with_branches(6, 20_000, BENCH_REPORT_SEED)?;
+    let sharded = ShardedScenario::with_shards(4, 20_000, BENCH_REPORT_SEED)?;
 
     let mut report = PipelineBenchReport::default();
     let single = ExecOptions::new().with_threads(1);
@@ -259,6 +324,25 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
             ns_per_op: ns,
         },
     );
+    // The sharded scenario follows the same recording convention: deterministic
+    // fields from the sequential run (pipelines execute in step order, so the peak is
+    // schedule-independent; access counters and copy traffic are shard- and
+    // thread-invariant anyway), wall clock at 4 workers — the shard-affine schedule
+    // the scenario exists to exercise.
+    let sharded_store = Store::Sharded(&sharded.sharded);
+    let (_, stats) = execute_physical_on(&sharded.physical, sharded_store, &single)?;
+    let ns = time_ns_per_op(timing_iters, || {
+        execute_physical_on(&sharded.physical, sharded_store, &parallel).map(|_| ())
+    })?;
+    report.insert(
+        "sharded_q0_shards_4",
+        BenchEntry {
+            rows_fetched: stats.tuples_fetched,
+            peak_rows_resident: stats.peak_rows_resident,
+            values_cloned: stats.values_cloned,
+            ns_per_op: ns,
+        },
+    );
     Ok(report)
 }
 
@@ -289,6 +373,7 @@ mod tests {
             "graph_personalized",
             "ecommerce_orders",
             "parallel_q0_batch_6",
+            "sharded_q0_shards_4",
         ] {
             let entry = report
                 .scenarios
@@ -382,6 +467,71 @@ mod tests {
     fn streaming_residency_win_on_ecommerce() {
         let scenario = EcommerceScenario::with_customers(120, 7).unwrap();
         assert_streaming_beats_materialized(&scenario.plan, &scenario.indexed);
+    }
+
+    /// The acceptance property of sharded execution on its target scenario: a
+    /// shards = 4 / threads = 4 run of the anchored Q0 fan-out fetches *exactly* the
+    /// same total rows as shards = 1 — boundedness is preserved under partitioning,
+    /// asserted via the per-shard `AccessStats` (the shard counts sum to the total and
+    /// the work genuinely spreads over several partitions) — and the sharded pipeline
+    /// DAG exposes parallel width of at least the shard count.
+    #[test]
+    fn sharded_scenario_preserves_boundedness_under_partitioning() {
+        let scenario = ShardedScenario::with_shards(4, 10_000, BENCH_REPORT_SEED).unwrap();
+        assert!(scenario.sharded.satisfies_schema());
+        assert!(scenario.plan.is_bounded_under(&scenario.schema));
+        assert_eq!(scenario.catalog.len(), 3);
+
+        let dag = scenario.physical.pipeline_dag();
+        assert!(
+            dag.parallel_width() >= scenario.shards as usize,
+            "sharded DAG width {} below shard count {}",
+            dag.parallel_width(),
+            scenario.shards
+        );
+        // The branch pipelines carry their shard tags (what the scheduler's affinity
+        // keys on), covering every shard.
+        let tags: std::collections::BTreeSet<u32> =
+            dag.pipelines().iter().filter_map(|p| p.shard).collect();
+        assert_eq!(tags.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+
+        // shards = 1 baseline: the plain indexed store, single-threaded.
+        let (baseline, baseline_stats) = execute_plan_with_options(
+            &scenario.plan,
+            &scenario.indexed,
+            &ExecOptions::new().with_threads(1),
+        )
+        .unwrap();
+        // The sharded run at the scenario's target shape: 4 shards × 4 threads.
+        let (sharded, sharded_stats) = execute_physical_on(
+            &scenario.physical,
+            Store::Sharded(&scenario.sharded),
+            &ExecOptions::new().with_threads(4),
+        )
+        .unwrap();
+
+        assert!(sharded.same_rows(&baseline));
+        assert_eq!(
+            sharded_stats.tuples_fetched, baseline_stats.tuples_fetched,
+            "partitioning changed the fetch volume"
+        );
+        assert!(sharded_stats.same_data_access(&baseline_stats));
+        assert_eq!(sharded_stats.values_cloned, baseline_stats.values_cloned);
+        // Per-shard boundedness: the partitions serve exactly the total, and more
+        // than one partition actually serves (the anchored keys spread at this seed).
+        assert_eq!(
+            sharded_stats.rows_fetched_by_shard.values().sum::<u64>(),
+            sharded_stats.tuples_fetched
+        );
+        assert!(
+            sharded_stats.rows_fetched_by_shard.len() >= 2,
+            "all fetches landed on one shard: {:?}",
+            sharded_stats.rows_fetched_by_shard
+        );
+        assert!(sharded_stats.tuples_fetched < scenario.sharded.size());
+
+        let (naive, _) = eval_cq(&scenario.q0, scenario.sharded.database()).unwrap();
+        assert!(sharded.same_rows(&naive));
     }
 
     /// The acceptance property of the parallel scheduler on its target scenario: the

@@ -22,7 +22,7 @@ pub mod synthesis;
 
 pub use physical::{
     keys_all_tied, lower_plan, lower_plan_with, residual_predicates, LowerOptions, PhysOp,
-    PhysStep, PhysicalPlan, Pipeline, PipelineDag,
+    PhysStep, PhysicalPlan, Pipeline, PipelineDag, ShardRoute,
 };
 pub use synthesis::{bounded_plan, bounded_plan_for_report, bounded_plan_ucq};
 

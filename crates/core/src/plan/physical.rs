@@ -42,6 +42,18 @@
 //!   scheduler can run on worker threads; it trades some residency (the exchanged
 //!   results are buffered instead of streamed) for parallelism, and never changes what
 //!   data is accessed.
+//! * **Shard fan-out** (opt-in, [`LowerOptions::shard_fanout`]) — when the store's
+//!   constraint indexes are partitioned into `K` shards, every keyed fetch and keyed
+//!   lookup is rewritten into `K` per-shard branches (each tagged with a
+//!   [`ShardRoute`], each a materialization point) merged by a union: branch `k`
+//!   processes exactly the probe keys the routing hash assigns to shard `k`, so the
+//!   branches partition the key set and the union of their outputs equals the
+//!   unsharded result — boundedness survives partitioning, and the pipeline DAG gains
+//!   one shard-local pipeline per branch (parallel width ≥ `K`). A sole-consumer
+//!   projection over a fanned-out keyed lookup is absorbed into the branches' `emit`
+//!   column set, so the sharded plan gathers exactly the values the unsharded
+//!   executor's projection fusion would — copy traffic is shard-count-invariant.
+//!   Fetches whose key is empty are not fanned out (a single shard owns the lone key).
 //!
 //! [`PhysicalPlan::pipeline_dag`] decomposes any lowered plan into its pipelines: each
 //! materialization point, together with the streaming region feeding it, becomes one
@@ -60,6 +72,18 @@ use std::fmt;
 
 /// Identifier of a physical step within a [`PhysicalPlan`].
 pub type PhysId = usize;
+
+/// Routing tag of a per-shard fetch branch: the branch processes exactly the probe
+/// keys whose routing hash (`bea-storage`'s `shard_of`) equals `shard` under `of`
+/// shards. Lowering only records the tag; the executor applies the hash, so the plan
+/// layer never needs to know the hash function itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRoute {
+    /// The shard this branch serves.
+    pub shard: u32,
+    /// Total number of shards the key space is partitioned into (≥ 2).
+    pub of: u32,
+}
 
 /// One physical operator.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +118,9 @@ pub enum PhysOp {
         positions: Vec<usize>,
         /// Index of the backing access constraint in the access schema.
         constraint_index: usize,
+        /// `Some` on a per-shard branch of a sharded lowering: only probe keys routed
+        /// to this shard are fetched. `None` fetches every key (the unsharded plan).
+        shard: Option<ShardRoute>,
     },
     /// Index nested-loop join: for each row of `source`, probe the constraint's index
     /// with the row's `key_cols` projection (once per distinct key) and emit the row
@@ -114,7 +141,15 @@ pub enum PhysOp {
         /// Index of the backing access constraint in the access schema.
         constraint_index: usize,
         /// Predicates (over the concatenated output) beyond the fused key equalities.
+        /// Evaluated over the *full* concatenation even when `emit` projects it.
         residual: Vec<Predicate>,
+        /// `Some` on a per-shard branch of a sharded lowering: only source rows whose
+        /// key routes to this shard are probed and emitted.
+        shard: Option<ShardRoute>,
+        /// Columns of the concatenated output (source columns, then fetched
+        /// positions) to emit, set when shard fan-out absorbed a sole-consumer
+        /// projection into the branches. `None` emits the full concatenation.
+        emit: Option<Vec<usize>>,
     },
     /// Hash join on column equalities: build a hash table over `right` keyed by
     /// `right_keys`, stream `left`, and emit matching concatenations filtered by the
@@ -283,11 +318,13 @@ impl PhysicalPlan {
                     x_attrs,
                     positions,
                     source,
+                    shard,
                     ..
                 } => {
                     key_cols.len() == x_attrs.len()
                         && key_cols.iter().all(|&c| c < arity(*source))
                         && step.columns.len() == positions.len()
+                        && shard.is_none_or(|r| r.of >= 2 && r.shard < r.of)
                 }
                 PhysOp::KeyedLookup {
                     key_cols,
@@ -295,12 +332,22 @@ impl PhysicalPlan {
                     positions,
                     source,
                     residual,
+                    shard,
+                    emit,
                     ..
                 } => {
+                    let full_arity = arity(*source) + positions.len();
                     key_cols.len() == x_attrs.len()
                         && key_cols.iter().all(|&c| c < arity(*source))
-                        && step.columns.len() == arity(*source) + positions.len()
-                        && preds_in_range(residual, step.columns.len())
+                        && match emit {
+                            None => step.columns.len() == full_arity,
+                            Some(cols) => {
+                                step.columns.len() == cols.len()
+                                    && cols.iter().all(|&c| c < full_arity)
+                            }
+                        }
+                        && preds_in_range(residual, full_arity)
+                        && shard.is_none_or(|r| r.of >= 2 && r.shard < r.of)
                 }
                 PhysOp::HashJoin {
                     left,
@@ -358,13 +405,33 @@ impl PhysicalPlan {
             }
             // Walk the streaming region feeding this sink. Non-materialized steps have
             // exactly one consumer (multi-consumer steps are always materialized), so
-            // the region is a tree and the walk is linear.
+            // the region is a tree and the walk is linear. Along the way, collect the
+            // shard routes of the region's fetch-shaped steps: a region that probes
+            // exactly one shard tags the pipeline with it (shard affinity in the
+            // scheduler); mixed or shard-free regions stay untagged.
             let mut sources: BTreeSet<PhysId> = BTreeSet::new();
+            let mut shard: Option<u32> = None;
+            let mut mixed = false;
+            let mut note_shard = |op: &PhysOp| {
+                let tag = match op {
+                    PhysOp::Fetch { shard, .. } | PhysOp::KeyedLookup { shard, .. } => {
+                        shard.map(|route| route.shard)
+                    }
+                    _ => None,
+                };
+                match (tag, shard) {
+                    (Some(tag), Some(seen)) if tag != seen => mixed = true,
+                    (Some(tag), None) => shard = Some(tag),
+                    _ => {}
+                }
+            };
+            note_shard(&step.op);
             let mut stack: Vec<PhysId> = self.steps[sink].op.inputs();
             while let Some(j) = stack.pop() {
                 if self.steps[j].materialize {
                     sources.insert(j);
                 } else {
+                    note_shard(&self.steps[j].op);
                     stack.extend(self.steps[j].op.inputs());
                 }
             }
@@ -372,6 +439,7 @@ impl PhysicalPlan {
             pipelines.push(Pipeline {
                 sink,
                 sources: sources.into_iter().collect(),
+                shard: if mixed { None } else { shard },
             });
         }
         let deps: Vec<Vec<usize>> = pipelines
@@ -409,6 +477,11 @@ pub struct Pipeline {
     /// The materialized steps its streaming region reads (exchange edges), in step
     /// order.
     pub sources: Vec<PhysId>,
+    /// The index-partition shard this pipeline probes, when its region is shard-local
+    /// (a per-shard branch of a sharded lowering). The parallel scheduler uses it for
+    /// shard affinity: a worker that just ran shard `k`'s pipeline prefers the next
+    /// pipeline tagged `k`.
+    pub shard: Option<u32>,
 }
 
 /// The pipeline decomposition of a [`PhysicalPlan`]: pipelines in topological (step)
@@ -488,11 +561,16 @@ impl fmt::Display for PhysicalPlan {
                     relation,
                     positions,
                     constraint_index,
+                    shard,
                     ..
-                } => writeln!(
-                    f,
-                    "  P{i} = fetch(X ∈ π{key_cols:?}(P{source}), {relation}→{positions:?}) via φ{constraint_index}{marks} [{cols}]"
-                )?,
+                } => {
+                    let route =
+                        shard.map_or_else(String::new, |r| format!(" @shard {}/{}", r.shard, r.of));
+                    writeln!(
+                        f,
+                        "  P{i} = fetch(X ∈ π{key_cols:?}(P{source}), {relation}→{positions:?}) via φ{constraint_index}{route}{marks} [{cols}]"
+                    )?
+                }
                 PhysOp::KeyedLookup {
                     source,
                     key_cols,
@@ -500,12 +578,21 @@ impl fmt::Display for PhysicalPlan {
                     positions,
                     constraint_index,
                     residual,
+                    shard,
+                    emit,
                     ..
-                } => writeln!(
-                    f,
-                    "  P{i} = P{source} ⋉× lookup({relation}→{positions:?} by {key_cols:?}, σ[{} residual]) via φ{constraint_index}{marks} [{cols}]",
-                    residual.len()
-                )?,
+                } => {
+                    let route =
+                        shard.map_or_else(String::new, |r| format!(" @shard {}/{}", r.shard, r.of));
+                    let emitted = emit
+                        .as_ref()
+                        .map_or_else(String::new, |cols| format!(" π{cols:?}"));
+                    writeln!(
+                        f,
+                        "  P{i} = P{source} ⋉× lookup({relation}→{positions:?} by {key_cols:?}, σ[{} residual]){emitted} via φ{constraint_index}{route}{marks} [{cols}]",
+                        residual.len()
+                    )?
+                }
                 PhysOp::HashJoin {
                     left,
                     right,
@@ -556,7 +643,7 @@ enum Fusion {
 ///
 /// The struct is `#[non_exhaustive]`: construct it with [`LowerOptions::new`] (or
 /// [`Default`]) and adjust knobs through the `with_*` methods.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct LowerOptions {
     /// Additionally mark the inputs of unions and the buffered sides of products,
@@ -565,10 +652,25 @@ pub struct LowerOptions {
     /// Off by default: the single-threaded executor prefers the minimal set of
     /// breakers, which minimizes residency.
     pub exchange_parallelism: bool,
+    /// Fan every keyed fetch/lookup out into this many per-shard branches merged by
+    /// union (see the module docs). `1` (the default) and `0` leave the plan
+    /// unsharded; set it to the store's shard count when executing against a
+    /// `ShardedDatabase`, so every branch probes only the index partition that owns
+    /// its keys.
+    pub shard_fanout: u32,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        Self {
+            exchange_parallelism: false,
+            shard_fanout: 1,
+        }
+    }
 }
 
 impl LowerOptions {
-    /// The default options: minimal materialization, no exchange points.
+    /// The default options: minimal materialization, no exchange points, no sharding.
     pub fn new() -> Self {
         Self::default()
     }
@@ -576,6 +678,12 @@ impl LowerOptions {
     /// Set whether lowering inserts exchange points for parallel execution.
     pub fn with_exchange_parallelism(mut self, exchange_parallelism: bool) -> Self {
         self.exchange_parallelism = exchange_parallelism;
+        self
+    }
+
+    /// Set the shard fan-out (the store's shard count; 0 or 1 = unsharded).
+    pub fn with_shard_fanout(mut self, shard_fanout: u32) -> Self {
+        self.shard_fanout = shard_fanout;
         self
     }
 }
@@ -742,6 +850,7 @@ pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<Physi
                         x_attrs: x_attrs.clone(),
                         positions: fetch_base_positions(i),
                         constraint_index: *constraint_index,
+                        shard: None,
                     },
                     step.columns.clone(),
                     true,
@@ -774,6 +883,7 @@ pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<Physi
                             x_attrs: x_attrs.clone(),
                             positions,
                             constraint_index: *constraint_index,
+                            shard: None,
                         },
                         step.columns.clone(),
                         sv,
@@ -844,6 +954,8 @@ pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<Physi
                             positions: fetch_base_positions(*fetch),
                             constraint_index: *constraint_index,
                             residual,
+                            shard: None,
+                            emit: None,
                         },
                         step.columns.clone(),
                         sv,
@@ -966,7 +1078,16 @@ pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<Physi
 
     // Prune steps no longer reachable from the output (sources of eliminated renames,
     // ∅ branches, steps absorbed into fused operators).
-    let (mut phys, output) = prune_unreachable(phys, output);
+    let (phys, output) = prune_unreachable(phys, output);
+
+    // Shard fan-out: rewrite every keyed fetch/lookup into one branch per shard,
+    // merged by union (see the module docs). The branch steps are forced to
+    // materialize below, so each becomes a shard-local pipeline.
+    let (mut phys, output, shard_branches) = if options.shard_fanout >= 2 {
+        fan_out_shards(phys, output, options.shard_fanout)
+    } else {
+        (phys, output, Vec::new())
+    };
 
     // Consumer counts over the physical graph decide the materialization points.
     let mut counts: Vec<usize> = vec![0; phys.len()];
@@ -981,6 +1102,9 @@ pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<Physi
         step.materialize = count >= 2;
     }
     phys[output].materialize = true;
+    for &branch in &shard_branches {
+        phys[branch].materialize = true;
+    }
 
     // Exchange points: cut the plan at the inputs of unions and at the buffered sides
     // of products, differences and hash joins, provided the cut-off subtree actually
@@ -1046,27 +1170,161 @@ fn prune_unreachable(steps: Vec<PhysStep>, output: PhysId) -> (Vec<PhysStep>, Ph
         if !reachable[i] {
             continue;
         }
-        let fix = |j: &mut PhysId| *j = remap[*j].expect("inputs of reachable steps are reachable");
-        match &mut step.op {
-            PhysOp::Const { .. } | PhysOp::Unit | PhysOp::Empty { .. } => {}
-            PhysOp::Fetch { source, .. }
-            | PhysOp::KeyedLookup { source, .. }
-            | PhysOp::Filter { source, .. }
-            | PhysOp::Project { source, .. }
-            | PhysOp::Dedup { source } => fix(source),
-            PhysOp::HashJoin { left, right, .. }
-            | PhysOp::Product { left, right }
-            | PhysOp::Union { left, right }
-            | PhysOp::Difference { left, right } => {
-                fix(left);
-                fix(right);
-            }
-        }
+        remap_op_inputs(&mut step.op, &remap);
         remap[i] = Some(kept.len());
         kept.push(step);
     }
     let output = remap[output].expect("output is reachable");
     (kept, output)
+}
+
+/// Point every input of `op` at its image under `map` (which must be total on the
+/// inputs).
+fn remap_op_inputs(op: &mut PhysOp, map: &[Option<PhysId>]) {
+    let fix = |j: &mut PhysId| *j = map[*j].expect("inputs lowered earlier");
+    match op {
+        PhysOp::Const { .. } | PhysOp::Unit | PhysOp::Empty { .. } => {}
+        PhysOp::Fetch { source, .. }
+        | PhysOp::KeyedLookup { source, .. }
+        | PhysOp::Filter { source, .. }
+        | PhysOp::Project { source, .. }
+        | PhysOp::Dedup { source } => fix(source),
+        PhysOp::HashJoin { left, right, .. }
+        | PhysOp::Product { left, right }
+        | PhysOp::Union { left, right }
+        | PhysOp::Difference { left, right } => {
+            fix(left);
+            fix(right);
+        }
+    }
+}
+
+/// Rewrite every keyed fetch/lookup into `fanout` per-shard branches merged by a union
+/// chain, returning the rewritten steps, the remapped output, and the branch step ids
+/// (which the caller forces to materialize — one shard-local pipeline each).
+///
+/// The branches partition the probe-key set by the routing hash, so their outputs are
+/// disjoint slices of the unsharded result: the union preserves the original step's
+/// set-valuedness, and data access (which keys are probed, which tuples fetched) is
+/// exactly the unsharded plan's. A sole-consumer projection directly over a fanned-out
+/// keyed lookup is absorbed into the branches' `emit` columns, so the branches gather
+/// exactly the values the unsharded executor's projection fusion would — the copy
+/// traffic of a plan is invariant under the shard count. Fetches with an empty key are
+/// left alone: one shard owns the lone key, so there is nothing to fan out.
+fn fan_out_shards(
+    steps: Vec<PhysStep>,
+    output: PhysId,
+    fanout: u32,
+) -> (Vec<PhysStep>, PhysId, Vec<PhysId>) {
+    // Consumer counts decide which projections are sole consumers (the output counts
+    // as one extra, so an output-feeding lookup keeps its full arity).
+    let mut counts: Vec<usize> = vec![0; steps.len()];
+    for step in &steps {
+        for input in step.op.inputs() {
+            counts[input] += 1;
+        }
+    }
+    counts[output] += 1;
+
+    // Projections absorbed into the branches of the keyed lookup they solely consume.
+    let mut absorb: BTreeMap<PhysId, PhysId> = BTreeMap::new(); // lookup -> projection
+    for (i, step) in steps.iter().enumerate() {
+        let PhysOp::Project { source, .. } = &step.op else {
+            continue;
+        };
+        if counts[*source] != 1 {
+            continue;
+        }
+        if let PhysOp::KeyedLookup { key_cols, emit, .. } = &steps[*source].op {
+            if !key_cols.is_empty() && emit.is_none() {
+                absorb.insert(*source, i);
+            }
+        }
+    }
+    let absorbed_projects: BTreeSet<PhysId> = absorb.values().copied().collect();
+
+    let mut out: Vec<PhysStep> = Vec::with_capacity(steps.len());
+    let mut map: Vec<Option<PhysId>> = vec![None; steps.len()];
+    let mut branches: Vec<PhysId> = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        if absorbed_projects.contains(&i) {
+            // The projection's result is the union its lookup was fanned out into.
+            let PhysOp::Project { source, .. } = &step.op else {
+                unreachable!("absorbed steps are projections");
+            };
+            map[i] = map[*source];
+            continue;
+        }
+        let fan = match &step.op {
+            PhysOp::Fetch { key_cols, .. } | PhysOp::KeyedLookup { key_cols, .. } => {
+                !key_cols.is_empty()
+            }
+            _ => false,
+        };
+        if !fan {
+            let mut copy = step.clone();
+            remap_op_inputs(&mut copy.op, &map);
+            out.push(copy);
+            map[i] = Some(out.len() - 1);
+            continue;
+        }
+        // The fanned result carries the absorbed projection's shape when there is one.
+        let (columns, set_valued, emit_cols) = match absorb.get(&i) {
+            Some(&project) => {
+                let PhysOp::Project { cols, .. } = &steps[project].op else {
+                    unreachable!("absorb targets are projections");
+                };
+                (
+                    steps[project].columns.clone(),
+                    steps[project].set_valued,
+                    Some(cols.clone()),
+                )
+            }
+            None => (step.columns.clone(), step.set_valued, None),
+        };
+        let mut branch_ids = Vec::with_capacity(fanout as usize);
+        for shard in 0..fanout {
+            let mut op = step.op.clone();
+            remap_op_inputs(&mut op, &map);
+            let route = Some(ShardRoute { shard, of: fanout });
+            match &mut op {
+                PhysOp::Fetch { shard: s, .. } => *s = route,
+                PhysOp::KeyedLookup { shard: s, emit, .. } => {
+                    *s = route;
+                    *emit = emit_cols.clone();
+                }
+                _ => unreachable!("only fetch-shaped steps are fanned out"),
+            }
+            out.push(PhysStep {
+                op,
+                columns: columns.clone(),
+                set_valued,
+                materialize: false,
+                consumers: 0,
+            });
+            branch_ids.push(out.len() - 1);
+        }
+        // Merge the branches. They partition the key space, so the chain keeps the
+        // original step's set-valuedness even though a generic union would lose it.
+        let mut acc = branch_ids[0];
+        for &branch in &branch_ids[1..] {
+            out.push(PhysStep {
+                op: PhysOp::Union {
+                    left: acc,
+                    right: branch,
+                },
+                columns: columns.clone(),
+                set_valued,
+                materialize: false,
+                consumers: 0,
+            });
+            acc = out.len() - 1;
+        }
+        branches.extend(branch_ids);
+        map[i] = Some(acc);
+    }
+    let output = map[output].expect("output survives fan-out");
+    (out, output, branches)
 }
 
 /// True when `predicates` equates every fetch key column with its source column — the
@@ -1453,6 +1711,124 @@ mod tests {
         let options = LowerOptions::new().with_exchange_parallelism(true);
         assert!(options.exchange_parallelism);
         assert!(!LowerOptions::default().exchange_parallelism);
+    }
+
+    #[test]
+    fn shard_fanout_partitions_keyed_lookups() {
+        let plan = keyed_join_plan();
+        let unsharded = lower_plan(&plan).unwrap();
+        let sharded = lower_plan_with(&plan, &LowerOptions::new().with_shard_fanout(4)).unwrap();
+        assert!(sharded.validate().is_ok());
+
+        // One branch per shard, tagged 0..4, each a materialization point.
+        let branches: Vec<&PhysStep> = sharded
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.op, PhysOp::KeyedLookup { .. }))
+            .collect();
+        assert_eq!(branches.len(), 4);
+        let mut tags: Vec<u32> = branches
+            .iter()
+            .map(|s| {
+                let PhysOp::KeyedLookup { shard, .. } = &s.op else {
+                    unreachable!()
+                };
+                let route = shard.expect("branches carry a route");
+                assert_eq!(route.of, 4);
+                assert!(s.materialize, "branches are shard-local pipelines");
+                route.shard
+            })
+            .collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1, 2, 3]);
+        // Three unions merge the four branches.
+        let unions = sharded
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.op, PhysOp::Union { .. }))
+            .count();
+        assert!(unions >= 3);
+
+        // The DAG gains real parallel width: the branch pipelines are independent and
+        // tagged with their shard.
+        let dag = sharded.pipeline_dag();
+        assert!(dag.parallel_width() >= 4, "width {}", dag.parallel_width());
+        let mut pipeline_shards: Vec<u32> =
+            dag.pipelines().iter().filter_map(|p| p.shard).collect();
+        pipeline_shards.sort_unstable();
+        assert_eq!(pipeline_shards, vec![0, 1, 2, 3]);
+
+        // A fan-out of 1 (or 0) is the identity.
+        for fanout in [0, 1] {
+            let same =
+                lower_plan_with(&plan, &LowerOptions::new().with_shard_fanout(fanout)).unwrap();
+            assert_eq!(same, unsharded);
+        }
+    }
+
+    #[test]
+    fn shard_fanout_absorbs_sole_consumer_projection() {
+        // π over the fused lookup: the fan-out must absorb the projection into the
+        // branches' emit set so the sharded plan gathers exactly what the unsharded
+        // executor's projection fusion would.
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let k2 = b.constant(Value::int(2), "k");
+        let keys = b.union(k1, k2);
+        let fetched = b.fetch(
+            keys,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let prod = b.product(keys, fetched);
+        let sel = b.select(prod, vec![Predicate::ColEqCol(0, 1)]);
+        let projected = b.project(sel, vec![2]); // keep only the fetched b column
+        let plan = b.finish("Q", projected).unwrap();
+        let sharded = lower_plan_with(&plan, &LowerOptions::new().with_shard_fanout(2)).unwrap();
+        assert!(sharded.validate().is_ok());
+        // No standalone projection survives; both branches emit the projected column.
+        assert!(sharded
+            .steps()
+            .iter()
+            .all(|s| !matches!(s.op, PhysOp::Project { .. })));
+        let emits: Vec<_> = sharded
+            .steps()
+            .iter()
+            .filter_map(|s| match &s.op {
+                PhysOp::KeyedLookup { emit, .. } => Some(emit.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(emits.len(), 2);
+        assert!(emits.iter().all(|e| e == &Some(vec![2])));
+        let display = sharded.to_string();
+        assert!(display.contains("@shard 0/2"));
+        assert!(display.contains("@shard 1/2"));
+    }
+
+    #[test]
+    fn shard_fanout_skips_empty_key_fetches() {
+        // An empty-key fetch has exactly one key; a single shard owns it, so there is
+        // nothing to fan out and the plan must lower unchanged.
+        let mut b = PlanBuilder::new();
+        let u = b.unit();
+        let fetched = b.fetch(
+            u,
+            vec![],
+            "R",
+            vec![],
+            vec![0, 1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let plan = b.finish("Q", fetched).unwrap();
+        let unsharded = lower_plan(&plan).unwrap();
+        let sharded = lower_plan_with(&plan, &LowerOptions::new().with_shard_fanout(4)).unwrap();
+        assert_eq!(unsharded, sharded);
     }
 
     #[test]

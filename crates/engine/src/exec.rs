@@ -30,7 +30,7 @@ use bea_core::plan::{
     Predicate, QueryPlan,
 };
 use bea_core::value::Row;
-use bea_storage::IndexedDatabase;
+use bea_storage::{IndexedDatabase, Store};
 use std::collections::BTreeSet;
 
 /// Environment variable overriding the automatic worker-thread count (used by the CI
@@ -139,7 +139,18 @@ pub fn execute_physical_with_options(
     database: &IndexedDatabase,
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
-    ops::execute(plan, database, options.resolved_threads())
+    execute_physical_on(plan, Store::Indexed(database), options)
+}
+
+/// [`execute_physical_with_options`] against either store flavor — pass
+/// `Store::Sharded(&sharded)` to run a shard-fanned plan against the index partitions
+/// that own its keys.
+pub fn execute_physical_on(
+    plan: &PhysicalPlan,
+    store: Store<'_>,
+    options: &ExecOptions,
+) -> Result<(Table, AccessStats)> {
+    ops::execute(plan, store, options.resolved_threads())
 }
 
 /// Execute a plan, returning the output table and the access statistics.
@@ -153,27 +164,48 @@ pub fn execute_plan_with_options(
     database: &IndexedDatabase,
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
+    execute_plan_on(plan, Store::Indexed(database), options)
+}
+
+/// Execute a plan under explicit [`ExecOptions`] against either store flavor.
+///
+/// When the store is sharded, the streaming strategy lowers the plan with a shard
+/// fan-out equal to the store's shard count: every keyed fetch becomes one branch per
+/// shard, each probing only the index partition that owns its keys (see
+/// `bea_core::plan::physical`). The materialized strategy routes each fetch to the
+/// owning shard inside the store instead. Either way the answers, the data-access
+/// totals and the copy traffic are identical to an unsharded run — only the per-shard
+/// fetch distribution (`AccessStats::rows_fetched_by_shard`) and the pipeline
+/// decomposition change.
+pub fn execute_plan_on(
+    plan: &QueryPlan,
+    store: Store<'_>,
+    options: &ExecOptions,
+) -> Result<(Table, AccessStats)> {
     if options.streaming {
         let threads = options.resolved_threads();
         // Multi-threaded runs lower with exchange points so the pipeline DAG gains
         // parallel width; single-threaded runs keep the minimal (lowest-residency)
-        // breaker set. Exchange points never change what is fetched.
-        let lower_options = LowerOptions::new().with_exchange_parallelism(threads > 1);
+        // breaker set. Exchange points never change what is fetched, and neither does
+        // the shard fan-out (it partitions the probe keys without altering their set).
+        let lower_options = LowerOptions::new()
+            .with_exchange_parallelism(threads > 1)
+            .with_shard_fanout(store.shard_count());
         let physical = lower_plan_with(plan, &lower_options)?;
-        return ops::execute(&physical, database, threads);
+        return ops::execute(&physical, store, threads);
     }
-    execute_plan_materialized(plan, database, options)
+    execute_plan_materialized(plan, store, options)
 }
 
 /// The materialized step loop: every plan step produces a full [`Table`], all of which
 /// stay resident until the end (reflected in `peak_rows_resident`).
 fn execute_plan_materialized(
     plan: &QueryPlan,
-    database: &IndexedDatabase,
+    store: Store<'_>,
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
     plan.validate()?;
-    validate_fetches_for(plan, database)?;
+    validate_fetches_for(plan, store)?;
     let mut stats = AccessStats::default();
     let mut resident: u64 = 0;
     let mut results: Vec<Table> = Vec::with_capacity(plan.len());
@@ -222,8 +254,8 @@ fn execute_plan_materialized(
                 let positions: Vec<usize> = x_attrs.iter().chain(y_attrs.iter()).copied().collect();
                 for key in keys {
                     stats.index_lookups += 1;
-                    let fetched = database.fetch_iter(*constraint_index, &key)?;
-                    stats.record_fetched(relation, fetched.len() as u64);
+                    let (fetched, shard) = store.fetch_iter(*constraint_index, &key)?;
+                    stats.record_fetched_sharded(relation, shard, fetched.len() as u64);
                     stats.values_cloned += (fetched.len() * positions.len()) as u64;
                     for tuple in fetched {
                         out.push(positions.iter().map(|&p| tuple[p].clone()).collect());
@@ -336,12 +368,12 @@ fn dedup_counted(table: &mut Table, stats: &mut AccessStats) {
     table.dedup();
 }
 
-/// Validate every fetch of a logical plan against the database it is about to run on,
+/// Validate every fetch of a logical plan against the store it is about to run on,
 /// through the same [`ops::validate_fetch_shape`] check the physical executor applies
 /// at its entry. [`QueryPlan::validate`] covers step wiring and predicate column
 /// bounds; together they make malformed plans fail *before* execution instead of
 /// panicking mid-loop on an out-of-range index.
-fn validate_fetches_for(plan: &QueryPlan, database: &IndexedDatabase) -> Result<()> {
+fn validate_fetches_for(plan: &QueryPlan, store: Store<'_>) -> Result<()> {
     for (i, step) in plan.steps().iter().enumerate() {
         let PlanOp::Fetch {
             relation,
@@ -355,7 +387,7 @@ fn validate_fetches_for(plan: &QueryPlan, database: &IndexedDatabase) -> Result<
             continue;
         };
         ops::validate_fetch_shape(
-            database,
+            store,
             &format!("plan step {i}"),
             relation,
             key_cols,

@@ -53,6 +53,32 @@
 //! windows). `threads = 1` reproduces the single-threaded streaming behavior exactly;
 //! every data-access counter is identical at any thread count.
 //!
+//! # Sharded execution and routing rules
+//!
+//! Executing against a `bea_storage::ShardedDatabase` (via [`exec::execute_plan_on`] /
+//! [`exec::execute_physical_on`] and `bea_storage::Store::Sharded`) pushes the store's
+//! partitioning through the whole stack:
+//!
+//! * **Lowering** fans every keyed fetch/lookup out into one branch per shard
+//!   (`bea_core::plan::physical`, `LowerOptions::shard_fanout`), merged by union; the
+//!   branches are materialization points, so the pipeline DAG gains one shard-local
+//!   pipeline per shard and parallel width ≥ the shard count.
+//! * **Routing** is the store's deterministic key hash (`bea_storage::shard_of`),
+//!   applied by the branch operators *in place* over the probe-key columns: a row
+//!   owned by another shard is skipped without cloning anything, so across branches
+//!   every key is gathered exactly once and `values_cloned` is shard-count-invariant.
+//!   Each fetch probes only the index partition that owns its key, and each emitted
+//!   batch carries its origin shard.
+//! * **Scheduling** honors shard affinity: a worker that just ran shard `k`'s
+//!   pipeline prefers the next ready pipeline tagged `k` (see [`ops`]' scheduler), so
+//!   consecutive probes of one partition stay on one worker.
+//! * **Accounting**: [`AccessStats::rows_fetched_by_shard`] splits `tuples_fetched`
+//!   by serving shard (the two always sum up), so boundedness is assertable per
+//!   shard; the distribution is a placement artifact and excluded from
+//!   [`AccessStats::same_data_access`]. Answers, data-access totals and copy traffic
+//!   are identical at every shard count — partitioning relocates bounded work, it
+//!   never adds any.
+//!
 //! [`table::Table`] is the shared result representation (set semantics).
 
 pub mod exec;
@@ -62,8 +88,8 @@ pub mod stats;
 pub mod table;
 
 pub use exec::{
-    execute_physical, execute_physical_with_options, execute_plan, execute_plan_with_options,
-    ExecOptions, THREADS_ENV,
+    execute_physical, execute_physical_on, execute_physical_with_options, execute_plan,
+    execute_plan_on, execute_plan_with_options, ExecOptions, THREADS_ENV,
 };
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
 pub use stats::AccessStats;

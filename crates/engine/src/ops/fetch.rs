@@ -1,40 +1,63 @@
 //! Index-backed operators: the streaming fetch and the fused keyed-lookup join.
 //!
-//! Both operators fill their output columns through
-//! [`bea_storage::IndexedDatabase::fetch_into_columns`]: matched tuples are projected
-//! straight from the relation into the batch under construction, without an
-//! intermediate row allocation per tuple. Per-key duplicate elimination runs
-//! *hash-then-compare* over the freshly appended column range (see
-//! [`super::batch::hash_row_at`]) and masks duplicates with a selection vector — no
-//! value is cloned to decide freshness.
+//! Both operators fill their output columns through the store's `fetch_into_columns`
+//! ([`bea_storage::Store`]): matched tuples are projected straight from the relation
+//! into the batch under construction, without an intermediate row allocation per
+//! tuple. Per-key duplicate elimination runs *hash-then-compare* over the freshly
+//! appended column range (see [`super::batch::hash_row_at`]) and masks duplicates with
+//! a selection vector — no value is cloned to decide freshness.
+//!
+//! # Shard routing
+//!
+//! A per-shard branch of a sharded lowering carries a
+//! [`bea_core::plan::ShardRoute`]: the operator then processes exactly the probe keys
+//! the routing hash ([`bea_storage::shard_of`]) assigns to its shard, and skips the
+//! rest. Ownership is decided by hashing the key columns *in place* — a skipped row
+//! clones nothing — so across all branches every key is gathered exactly once and the
+//! copy traffic (`values_cloned`) is invariant under the shard count. The `K` branches
+//! of one sharded fetch are one logical fetch operation: only the shard-0 branch
+//! reports `fetch_ops`, keeping every counter of
+//! [`crate::stats::AccessStats::same_data_access`] shard-count-invariant. Batches a
+//! branch emits are tagged with their origin shard ([`Batch::origin_shard`]).
 
 use super::batch::{hash_row_at, passes_pair, rows_equal_at, Batch};
 use super::{BoxOp, Operator, SharedState, BATCH_SIZE};
 use bea_core::error::Result;
-use bea_core::plan::Predicate;
+use bea_core::plan::{Predicate, ShardRoute};
 use bea_core::value::{Row, Value};
-use bea_storage::IndexedDatabase;
+use bea_storage::{shard_of, Store};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
+/// Does this operator's shard branch own `batch`'s row `i`? Routing hashes the key
+/// columns in place — deciding ownership never clones a value. Route-free operators
+/// own every row.
+fn owns_row(batch: &Batch, i: usize, key_cols: &[usize], route: Option<ShardRoute>) -> bool {
+    match route {
+        None => true,
+        Some(r) => shard_of(key_cols.iter().map(|&c| batch.value(i, c)), r.of) == r.shard,
+    }
+}
+
 /// Append every tuple matching `key` into `cols` (projected at `positions`) and extend
 /// `selection` with the physical indices of the *fresh* projections within this key's
 /// range — the shared fetch kernel of [`FetchOp`] and [`KeyedLookupOp`]. Returns the
-/// number of tuples read (for access accounting). Distinct keys cannot produce equal
-/// projections as long as the key attributes survive in `positions` (lowering adds a
-/// global dedup when a pushed-down projection dropped them), so per-key dedup suffices.
+/// number of tuples read (for access accounting) and the index-partition shard that
+/// served them. Distinct keys cannot produce equal projections as long as the key
+/// attributes survive in `positions` (lowering adds a global dedup when a pushed-down
+/// projection dropped them), so per-key dedup suffices.
 #[allow(clippy::too_many_arguments)]
 fn fetch_key_into(
-    database: &IndexedDatabase,
+    store: Store<'_>,
     constraint_index: usize,
     key: &[Value],
     positions: &[usize],
     cols: &mut [Vec<Value>],
     selection: &mut Vec<u32>,
     dedup: &mut HashMap<u64, Vec<u32>>,
-) -> Result<u64> {
-    let appended = database.fetch_into_columns(constraint_index, key, positions, cols)?;
+) -> Result<(u64, u32)> {
+    let (appended, shard) = store.fetch_into_columns(constraint_index, key, positions, cols)?;
     if cols.is_empty() {
         // Zero-column projection: every matched tuple projects to the empty row, so a
         // nonempty posting list contributes exactly one fresh row. With no columns the
@@ -42,7 +65,7 @@ fn fetch_key_into(
         if appended > 0 {
             selection.push(selection.len() as u32);
         }
-        return Ok(appended);
+        return Ok((appended, shard));
     }
     let base = cols[0].len() - appended as usize;
     dedup.clear();
@@ -58,7 +81,7 @@ fn fetch_key_into(
         candidates.push(idx as u32);
         selection.push(idx as u32);
     }
-    Ok(appended)
+    Ok((appended, shard))
 }
 
 /// Streaming `fetch(X ∈ source, R, …)`: drain the source, deduplicate the key
@@ -73,7 +96,8 @@ pub(crate) struct FetchOp<'db> {
     relation: String,
     positions: Vec<usize>,
     constraint_index: usize,
-    database: &'db IndexedDatabase,
+    route: Option<ShardRoute>,
+    store: Store<'db>,
     state: SharedState,
     keys: std::collections::btree_set::IntoIter<Row>,
     num_keys: u64,
@@ -88,7 +112,8 @@ impl<'db> FetchOp<'db> {
         relation: String,
         positions: Vec<usize>,
         constraint_index: usize,
-        database: &'db IndexedDatabase,
+        route: Option<ShardRoute>,
+        store: Store<'db>,
         state: SharedState,
     ) -> Self {
         Self {
@@ -97,7 +122,8 @@ impl<'db> FetchOp<'db> {
             relation,
             positions,
             constraint_index,
-            database,
+            route,
+            store,
             state,
             keys: BTreeSet::new().into_iter(),
             num_keys: 0,
@@ -113,10 +139,15 @@ impl Operator for FetchOp<'_> {
             let mut keys: BTreeSet<Row> = BTreeSet::new();
             let mut key_values = 0u64;
             while let Some(batch) = input.next_batch()? {
-                // Every candidate key projection is physically gathered (the set
-                // discards duplicates after the fact), so every one counts.
-                key_values += (batch.len() * self.key_cols.len()) as u64;
+                // Every candidate key projection this branch owns is physically
+                // gathered (the set discards duplicates after the fact), so every one
+                // counts. Rows routed to other shards are skipped by an in-place hash
+                // — no clone — so the branches together gather each row exactly once.
                 for i in 0..batch.len() {
+                    if !owns_row(&batch, i, &self.key_cols, self.route) {
+                        continue;
+                    }
+                    key_values += self.key_cols.len() as u64;
                     keys.insert(batch.gather(i, &self.key_cols));
                 }
             }
@@ -136,7 +167,11 @@ impl Operator for FetchOp<'_> {
             let Some(key) = self.keys.next() else {
                 self.done = true;
                 let mut state = self.state.borrow_mut();
-                state.stats.fetch_ops += 1;
+                // The K branches of one sharded fetch are one logical fetch
+                // operation; the shard-0 branch reports it for all of them.
+                if self.route.is_none_or(|r| r.shard == 0) {
+                    state.stats.fetch_ops += 1;
+                }
                 state.release(self.num_keys);
                 self.num_keys = 0;
                 break;
@@ -144,8 +179,8 @@ impl Operator for FetchOp<'_> {
             let mut state = self.state.borrow_mut();
             state.stats.index_lookups += 1;
             drop(state);
-            let fetched = fetch_key_into(
-                self.database,
+            let (fetched, shard) = fetch_key_into(
+                self.store,
                 self.constraint_index,
                 &key,
                 &self.positions,
@@ -154,7 +189,9 @@ impl Operator for FetchOp<'_> {
                 &mut dedup,
             )?;
             let mut state = self.state.borrow_mut();
-            state.stats.record_fetched(&self.relation, fetched);
+            state
+                .stats
+                .record_fetched_sharded(&self.relation, shard, fetched);
             state.stats.values_cloned += fetched * self.positions.len() as u64;
         }
         if selection.is_empty() && self.done {
@@ -162,7 +199,9 @@ impl Operator for FetchOp<'_> {
         } else {
             let stored = cols.first().map_or(selection.len(), Vec::len);
             Ok(Some(
-                Batch::from_dense(cols, stored).keep_physical(selection),
+                Batch::from_dense(cols, stored)
+                    .keep_physical(selection)
+                    .with_origin_shard(self.route.map(|r| r.shard)),
             ))
         }
     }
@@ -199,11 +238,15 @@ pub(crate) struct KeyedLookupOp<'db> {
     constraint_index: usize,
     residual: Vec<Predicate>,
     /// Which columns of the *combined* row (source columns, then fetched positions) to
-    /// emit. `None` emits all of them; `Some` is a projection the operator-tree builder
-    /// fused in from a directly consuming `Project` step, so values a downstream
-    /// projection would discard are never gathered in the first place.
+    /// emit. `None` emits all of them; `Some` is a projection fused in — either by the
+    /// operator-tree builder from a directly consuming `Project` step, or by the
+    /// sharded lowering's fan-out (`PhysOp::KeyedLookup::emit`) — so values a
+    /// downstream projection would discard are never gathered in the first place.
     out_cols: Option<Vec<usize>>,
-    database: &'db IndexedDatabase,
+    /// `Some` on a per-shard branch: only source rows whose key routes to this shard
+    /// are probed; the rest are skipped without cloning anything.
+    route: Option<ShardRoute>,
+    store: Store<'db>,
     state: SharedState,
     cache: HashMap<Row, Rc<Batch>>,
     cached_rows: u64,
@@ -220,7 +263,8 @@ impl<'db> KeyedLookupOp<'db> {
         constraint_index: usize,
         residual: Vec<Predicate>,
         out_cols: Option<Vec<usize>>,
-        database: &'db IndexedDatabase,
+        route: Option<ShardRoute>,
+        store: Store<'db>,
         state: SharedState,
     ) -> Self {
         Self {
@@ -231,7 +275,8 @@ impl<'db> KeyedLookupOp<'db> {
             constraint_index,
             residual,
             out_cols,
-            database,
+            route,
+            store,
             state,
             cache: HashMap::new(),
             cached_rows: 0,
@@ -253,8 +298,8 @@ impl KeyedLookupOp<'_> {
                 let mut selection: Vec<u32> = Vec::new();
                 let mut dedup: HashMap<u64, Vec<u32>> = HashMap::new();
                 self.state.borrow_mut().stats.index_lookups += 1;
-                let fetched = fetch_key_into(
-                    self.database,
+                let (fetched, shard) = fetch_key_into(
+                    self.store,
                     self.constraint_index,
                     entry.key(),
                     &self.positions,
@@ -265,7 +310,9 @@ impl KeyedLookupOp<'_> {
                 let stored = cols.first().map_or(selection.len(), Vec::len);
                 let cached = Batch::from_dense(cols, stored).keep_physical(selection);
                 let mut state = self.state.borrow_mut();
-                state.stats.record_fetched(&self.relation, fetched);
+                state
+                    .stats
+                    .record_fetched_sharded(&self.relation, shard, fetched);
                 state.stats.values_cloned += fetched * self.positions.len() as u64;
                 state.acquire(cached.len() as u64);
                 drop(state);
@@ -284,26 +331,34 @@ impl Operator for KeyedLookupOp<'_> {
         let Some(batch) = self.input.next_batch()? else {
             self.done = true;
             let mut state = self.state.borrow_mut();
-            state.stats.fetch_ops += 1;
+            // As for `FetchOp`: a sharded lookup's branches are one logical fetch
+            // operation, reported once by the shard-0 branch.
+            if self.route.is_none_or(|r| r.shard == 0) {
+                state.stats.fetch_ops += 1;
+            }
             state.release(self.cached_rows);
             self.cached_rows = 0;
             self.cache.clear();
             return Ok(None);
         };
         let left_arity = batch.arity();
-        // Anchor fast path: a single source row, no residual, and a fused projection
-        // that keeps only fetched columns — the output *is* the cached batch under a
-        // column permutation, emitted by handle sharing with zero value clones. This
-        // is the first lookup of every anchored plan, where the fan-out (and hence the
-        // row-pipeline's copy bill) is largest.
-        if batch.len() == 1 && self.residual.is_empty() {
+        let origin = self.route.map(|r| r.shard);
+        // Anchor fast path: a single source row (owned by this branch), no residual,
+        // and a fused projection that keeps only fetched columns — the output *is* the
+        // cached batch under a column permutation, emitted by handle sharing with zero
+        // value clones. This is the first lookup of every anchored plan, where the
+        // fan-out (and hence the row-pipeline's copy bill) is largest.
+        if batch.len() == 1
+            && self.residual.is_empty()
+            && owns_row(&batch, 0, &self.key_cols, self.route)
+        {
             if let Some(cols) = &self.out_cols {
                 if cols.iter().all(|&c| c >= left_arity) {
                     let mapped: Vec<usize> = cols.iter().map(|&c| c - left_arity).collect();
                     let key: Row = batch.gather(0, &self.key_cols);
                     self.state.borrow_mut().stats.values_cloned += self.key_cols.len() as u64;
                     let fetched = self.lookup(key)?;
-                    return Ok(Some(fetched.project(&mapped)));
+                    return Ok(Some(fetched.project(&mapped).with_origin_shard(origin)));
                 }
             }
         }
@@ -313,9 +368,14 @@ impl Operator for KeyedLookupOp<'_> {
             .map_or(left_arity + self.positions.len(), Vec::len);
         let mut out: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
         let mut out_rows = 0usize;
-        // One probe-key gather per source row, hit or miss.
-        self.state.borrow_mut().stats.values_cloned += (batch.len() * self.key_cols.len()) as u64;
+        let mut probed_rows = 0u64;
         for i in 0..batch.len() {
+            // Rows routed to other shards are skipped by an in-place hash — nothing
+            // cloned — so each source row is probe-gathered on exactly one branch.
+            if !owns_row(&batch, i, &self.key_cols, self.route) {
+                continue;
+            }
+            probed_rows += 1;
             let key: Row = batch.gather(i, &self.key_cols);
             let fetched = self.lookup(key)?;
             for j in 0..fetched.len() {
@@ -342,8 +402,12 @@ impl Operator for KeyedLookupOp<'_> {
                 out_rows += 1;
             }
         }
-        self.state.borrow_mut().stats.values_cloned += (out_rows * out_arity) as u64;
-        Ok(Some(Batch::from_dense(out, out_rows)))
+        // One probe-key gather per owned source row, hit or miss.
+        self.state.borrow_mut().stats.values_cloned +=
+            probed_rows * self.key_cols.len() as u64 + (out_rows * out_arity) as u64;
+        Ok(Some(
+            Batch::from_dense(out, out_rows).with_origin_shard(origin),
+        ))
     }
 }
 

@@ -2,8 +2,10 @@
 //! threads.
 //!
 //! [`crate::exec::execute_physical`] runs a [`PhysicalPlan`] (lowered by
-//! `bea_core::plan::physical::lower_plan`) against an [`IndexedDatabase`] as a tree of
-//! pull-based operators, each implementing [`Operator::next_batch`]. Rows move through
+//! `bea_core::plan::physical::lower_plan`) against a [`Store`] — an unsharded
+//! `IndexedDatabase` or a `ShardedDatabase` whose index partitions the per-shard fetch
+//! branches probe — as a tree of pull-based operators, each implementing
+//! [`Operator::next_batch`]. Rows move through
 //! the pipeline in bounded **columnar** [`batch::Batch`]es — filter and project are
 //! selection-vector and column-permutation metadata, only gathers (joins, products,
 //! fetch output) write values, and every value write is an O(1) clone (interned string
@@ -60,7 +62,7 @@ use batch::Batch;
 use bea_core::error::{Error, Result};
 use bea_core::plan::{PhysOp, PhysicalPlan};
 use bea_core::value::Row;
-use bea_storage::IndexedDatabase;
+use bea_storage::Store;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -191,22 +193,23 @@ pub(crate) type MatSlots = [OnceLock<SharedMat>];
 /// fetch/keyed-lookup steps) and the materialized executor (logical fetch steps) so the
 /// two strategies can never drift on what counts as a malformed plan.
 pub(crate) fn validate_fetch_shape<'a>(
-    database: &IndexedDatabase,
+    store: Store<'_>,
     step: &str,
     relation: &str,
     key_cols: &[usize],
     attrs: impl Iterator<Item = &'a usize>,
     constraint_index: usize,
 ) -> Result<()> {
-    let constraint = database
-        .schema()
-        .constraint(constraint_index)
-        .ok_or_else(|| Error::MissingConstraint {
-            reason: format!(
-                "{step} fetches via constraint {constraint_index}, which the access schema \
+    let constraint =
+        store
+            .schema()
+            .constraint(constraint_index)
+            .ok_or_else(|| Error::MissingConstraint {
+                reason: format!(
+                    "{step} fetches via constraint {constraint_index}, which the access schema \
                      does not contain"
-            ),
-        })?;
+                ),
+            })?;
     if key_cols.len() != constraint.x().len() {
         return Err(Error::InvalidPlan {
             reason: format!(
@@ -217,7 +220,7 @@ pub(crate) fn validate_fetch_shape<'a>(
             ),
         });
     }
-    let arity = database.database().catalog().relation(relation)?.arity();
+    let arity = store.database().catalog().relation(relation)?.arity();
     for &position in attrs {
         if position >= arity {
             return Err(Error::InvalidPlan {
@@ -231,11 +234,11 @@ pub(crate) fn validate_fetch_shape<'a>(
     Ok(())
 }
 
-/// Validate a physical plan against the database it is about to run on, so malformed
+/// Validate a physical plan against the store it is about to run on, so malformed
 /// plans fail *before* execution starts instead of panicking mid-pipeline:
 /// [`PhysicalPlan::validate`] checks step wiring, arities and predicate column bounds;
 /// [`validate_fetch_shape`] checks every fetch against the schema and catalog.
-fn validate_for(plan: &PhysicalPlan, database: &IndexedDatabase) -> Result<()> {
+fn validate_for(plan: &PhysicalPlan, store: Store<'_>) -> Result<()> {
     plan.validate()?;
     for (i, step) in plan.steps().iter().enumerate() {
         let (relation, key_cols, x_attrs, positions, constraint_index) = match &step.op {
@@ -258,7 +261,7 @@ fn validate_for(plan: &PhysicalPlan, database: &IndexedDatabase) -> Result<()> {
             _ => continue,
         };
         validate_fetch_shape(
-            database,
+            store,
             &format!("physical step {i}"),
             relation,
             key_cols,
@@ -273,10 +276,10 @@ fn validate_for(plan: &PhysicalPlan, database: &IndexedDatabase) -> Result<()> {
 /// the output table and the access/residency statistics.
 pub(crate) fn execute(
     plan: &PhysicalPlan,
-    database: &IndexedDatabase,
+    store: Store<'_>,
     threads: usize,
 ) -> Result<(Table, AccessStats)> {
-    let (table, stats, _ledger) = execute_inner(plan, database, threads)?;
+    let (table, stats, _ledger) = execute_inner(plan, store, threads)?;
     Ok((table, stats))
 }
 
@@ -284,18 +287,18 @@ pub(crate) fn execute(
 /// accounting drained back to zero.
 pub(crate) fn execute_inner(
     plan: &PhysicalPlan,
-    database: &IndexedDatabase,
+    store: Store<'_>,
     threads: usize,
 ) -> Result<(Table, AccessStats, Arc<ResidencyLedger>)> {
-    validate_for(plan, database)?;
+    validate_for(plan, store)?;
     let dag = plan.pipeline_dag();
     let ledger = Arc::new(ResidencyLedger::default());
     let mats: Vec<OnceLock<SharedMat>> = (0..plan.len()).map(|_| OnceLock::new()).collect();
 
     let mut stats = if threads <= 1 || dag.len() <= 1 {
-        run_sequential(plan, &dag, database, &ledger, &mats)?
+        run_sequential(plan, &dag, store, &ledger, &mats)?
     } else {
-        sched::run_parallel(plan, &dag, database, &ledger, &mats, threads)?
+        sched::run_parallel(plan, &dag, store, &ledger, &mats, threads)?
     };
 
     let output = plan.output();
@@ -336,13 +339,13 @@ pub(crate) fn execute_inner(
 fn run_sequential(
     plan: &PhysicalPlan,
     dag: &bea_core::plan::PipelineDag,
-    database: &IndexedDatabase,
+    store: Store<'_>,
     ledger: &Arc<ResidencyLedger>,
     mats: &MatSlots,
 ) -> Result<AccessStats> {
     let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
     for pipeline in dag.pipelines() {
-        run_pipeline(plan, pipeline.sink, database, &state, mats)?;
+        run_pipeline(plan, pipeline.sink, store, &state, mats)?;
     }
     Ok(Rc::try_unwrap(state)
         .expect("pipeline operators are dropped before their stats are read")
@@ -355,11 +358,11 @@ fn run_sequential(
 pub(crate) fn run_pipeline(
     plan: &PhysicalPlan,
     sink: usize,
-    database: &IndexedDatabase,
+    store: Store<'_>,
     state: &SharedState,
     mats: &MatSlots,
 ) -> Result<()> {
-    let mut op = build_op(plan, sink, database, state, mats)?;
+    let mut op = build_op(plan, sink, store, state, mats)?;
     let mut batches: Vec<Batch> = Vec::new();
     let mut rows: u64 = 0;
     while let Some(batch) = op.next_batch()? {
@@ -386,7 +389,7 @@ pub(crate) fn run_pipeline(
 fn build_op<'db>(
     plan: &PhysicalPlan,
     node: usize,
-    database: &'db IndexedDatabase,
+    store: Store<'db>,
     state: &SharedState,
     mats: &MatSlots,
 ) -> Result<BoxOp<'db>> {
@@ -397,7 +400,7 @@ fn build_op<'db>(
                 .expect("the scheduler completes a pipeline's sources before starting it");
             Ok(Box::new(source::ScanOp::new(mat.clone(), state.clone())))
         } else {
-            build_op(plan, j, database, state, mats)
+            build_op(plan, j, store, state, mats)
         }
     };
     let op: BoxOp<'db> = match &plan.steps()[node].op {
@@ -410,6 +413,7 @@ fn build_op<'db>(
             relation,
             positions,
             constraint_index,
+            shard,
             ..
         } => Box::new(fetch::FetchOp::new(
             input(*source)?,
@@ -417,7 +421,8 @@ fn build_op<'db>(
             relation.clone(),
             positions.clone(),
             *constraint_index,
-            database,
+            *shard,
+            store,
             state.clone(),
         )),
         PhysOp::KeyedLookup {
@@ -427,6 +432,8 @@ fn build_op<'db>(
             positions,
             constraint_index,
             residual,
+            shard,
+            emit,
             ..
         } => Box::new(fetch::KeyedLookupOp::new(
             input(*source)?,
@@ -435,8 +442,9 @@ fn build_op<'db>(
             positions.clone(),
             *constraint_index,
             residual.clone(),
-            None,
-            database,
+            emit.clone(),
+            *shard,
+            store,
             state.clone(),
         )),
         PhysOp::HashJoin {
@@ -479,9 +487,14 @@ fn build_op<'db>(
                     positions,
                     constraint_index,
                     residual,
+                    shard,
+                    emit: None,
                     ..
                 } = &plan.steps()[*source].op
                 {
+                    // (A lookup that already carries a lowering-level `emit` — a
+                    // sharded branch — never reaches here: its projection was absorbed
+                    // during fan-out and the branch is materialized anyway.)
                     return Ok(Box::new(fetch::KeyedLookupOp::new(
                         input(*klu_source)?,
                         key_cols.clone(),
@@ -490,7 +503,8 @@ fn build_op<'db>(
                         *constraint_index,
                         residual.clone(),
                         Some(cols.clone()),
-                        database,
+                        *shard,
+                        store,
                         state.clone(),
                     )));
                 }
@@ -524,7 +538,7 @@ mod tests {
     use bea_core::access::{AccessConstraint, AccessSchema};
     use bea_core::plan::{lower_plan_with, LowerOptions, PlanBuilder, Predicate};
     use bea_core::value::Value;
-    use bea_storage::Database;
+    use bea_storage::{Database, IndexedDatabase};
 
     fn setup() -> IndexedDatabase {
         let mut c = bea_core::schema::Catalog::new();
@@ -584,8 +598,10 @@ mod tests {
         assert!(dag.len() >= 4, "expected one pipeline per branch + output");
         assert!(dag.parallel_width() >= 3);
 
-        let (seq_table, seq_stats, seq_ledger) = execute_inner(&phys, &idb, 1).unwrap();
-        let (par_table, par_stats, par_ledger) = execute_inner(&phys, &idb, 4).unwrap();
+        let (seq_table, seq_stats, seq_ledger) =
+            execute_inner(&phys, Store::Indexed(&idb), 1).unwrap();
+        let (par_table, par_stats, par_ledger) =
+            execute_inner(&phys, Store::Indexed(&idb), 4).unwrap();
 
         // Identical output — rows *and* their order are schedule-independent.
         assert_eq!(seq_table.columns(), par_table.columns());
@@ -632,8 +648,9 @@ mod tests {
         let phys = bea_core::plan::lower_plan(&plan).unwrap();
         assert!(phys.pipeline_dag().len() >= 3);
 
-        let (seq_table, seq_stats, _) = execute_inner(&phys, &idb, 1).unwrap();
-        let (par_table, par_stats, par_ledger) = execute_inner(&phys, &idb, 4).unwrap();
+        let (seq_table, seq_stats, _) = execute_inner(&phys, Store::Indexed(&idb), 1).unwrap();
+        let (par_table, par_stats, par_ledger) =
+            execute_inner(&phys, Store::Indexed(&idb), 4).unwrap();
         assert_eq!(seq_table.rows(), par_table.rows());
         assert!(seq_stats.same_data_access(&par_stats));
         assert_eq!(par_ledger.resident(), 0);
@@ -667,7 +684,7 @@ mod tests {
             .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
 
         for threads in [1, 4] {
-            let (table, _, ledger) = execute_inner(&phys, &idb, threads).unwrap();
+            let (table, _, ledger) = execute_inner(&phys, Store::Indexed(&idb), threads).unwrap();
             assert!(table.is_empty());
             assert_eq!(
                 ledger.resident(),
@@ -706,7 +723,7 @@ mod tests {
             .iter()
             .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
         for threads in [1, 4] {
-            let (table, _, ledger) = execute_inner(&phys, &idb, threads).unwrap();
+            let (table, _, ledger) = execute_inner(&phys, Store::Indexed(&idb), threads).unwrap();
             assert!(table.is_empty());
             assert_eq!(ledger.resident(), 0);
         }
@@ -797,6 +814,99 @@ mod tests {
         let plan = b.finish("Q", f).unwrap();
         assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::new()).is_err());
         assert!(execute_plan_with_options(&plan, &idb, &ExecOptions::materialized()).is_err());
+    }
+
+    #[test]
+    fn sharded_execution_is_invariant_and_accounts_per_shard() {
+        use bea_storage::ShardedDatabase;
+
+        let idb = setup();
+        let plan = union_of_lookups(&[1, 2, 3]);
+        let baseline = {
+            let phys = bea_core::plan::lower_plan(&plan).unwrap();
+            execute_inner(&phys, Store::Indexed(&idb), 1).unwrap()
+        };
+        let (base_table, base_stats, _) = &baseline;
+
+        for shards in [1u32, 2, 4] {
+            let sdb = ShardedDatabase::shard(&idb, shards).unwrap();
+            let phys =
+                lower_plan_with(&plan, &LowerOptions::new().with_shard_fanout(shards)).unwrap();
+            if shards >= 2 {
+                // One shard-local pipeline per shard and branch: real parallel width.
+                assert!(
+                    phys.pipeline_dag().parallel_width() >= shards as usize,
+                    "width {} below shard count {shards}",
+                    phys.pipeline_dag().parallel_width()
+                );
+            }
+            for threads in [1usize, 4] {
+                let (table, stats, ledger) =
+                    execute_inner(&phys, Store::Sharded(&sdb), threads).unwrap();
+                assert_eq!(
+                    table.row_set(),
+                    base_table.row_set(),
+                    "answers changed at {shards} shards / {threads} threads"
+                );
+                assert!(
+                    stats.same_data_access(base_stats),
+                    "data access changed at {shards} shards: {stats} vs {base_stats}"
+                );
+                assert_eq!(
+                    stats.values_cloned, base_stats.values_cloned,
+                    "copy traffic changed at {shards} shards / {threads} threads"
+                );
+                // Boundedness per shard: the partitions serve exactly the total.
+                assert_eq!(
+                    stats.rows_fetched_by_shard.values().sum::<u64>(),
+                    stats.tuples_fetched
+                );
+                assert!(stats
+                    .rows_fetched_by_shard
+                    .keys()
+                    .all(|&shard| shard < shards));
+                assert_eq!(ledger.resident(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_branches_tag_their_batches() {
+        use bea_storage::ShardedDatabase;
+
+        // Drive one shard branch directly: every batch it emits must carry its shard.
+        let idb = setup();
+        let sdb = ShardedDatabase::shard(&idb, 2).unwrap();
+        for shard in 0..2u32 {
+            let keys =
+                Batch::from_rows(1, (1..=3).map(|k| vec![Value::int(k)]).collect::<Vec<_>>());
+            struct OneBatch(Option<Batch>);
+            impl Operator for OneBatch {
+                fn next_batch(&mut self) -> Result<Option<Batch>> {
+                    Ok(self.0.take())
+                }
+            }
+            let ledger = Arc::new(ResidencyLedger::default());
+            let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+            let mut op = fetch::FetchOp::new(
+                Box::new(OneBatch(Some(keys))),
+                vec![0],
+                "R".into(),
+                vec![0, 1],
+                0,
+                Some(bea_core::plan::ShardRoute { shard, of: 2 }),
+                Store::Sharded(&sdb),
+                state,
+            );
+            let mut rows = 0;
+            while let Some(batch) = op.next_batch().unwrap() {
+                assert_eq!(batch.origin_shard(), Some(shard));
+                rows += batch.len();
+            }
+            assert!(rows <= 4, "a branch sees only its shard's keys");
+            drop(op);
+            assert_eq!(ledger.resident(), 0);
+        }
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! overlapping residency windows; the *exact* concurrent peak is read off the ledger by
 //! the caller.
 //!
+//! # Shard affinity
+//!
+//! Pipelines carry the shard their region probes ([`bea_core::plan::Pipeline::shard`],
+//! set on the per-shard branches of a sharded lowering). A worker that just completed
+//! shard `k`'s pipeline prefers the next ready pipeline tagged `k` ([`pick_ready`]):
+//! consecutive probes of the same index partition stay on the same worker, which keeps
+//! that partition's buckets warm in the worker's cache (and is the policy hook for
+//! pinning shards to NUMA nodes once placement is physical). Affinity only reorders
+//! the ready queue — which pipelines run, and what they compute, is unchanged.
+//!
 //! Scheduling affects only timing: every pipeline computes a function of its completed
 //! sources, so the output table, and every data-access counter, are identical at any
 //! thread count and under any interleaving.
@@ -19,7 +29,7 @@ use super::{run_pipeline, ExecState, MatSlots, ResidencyLedger, SharedState};
 use crate::stats::AccessStats;
 use bea_core::error::{Error, Result};
 use bea_core::plan::{PhysicalPlan, PipelineDag};
-use bea_storage::IndexedDatabase;
+use bea_storage::Store;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -39,13 +49,27 @@ struct Sched {
     stats: AccessStats,
 }
 
+/// Pop the next job for a worker whose previous pipeline probed shard `last`: the
+/// first ready pipeline tagged with the same shard when there is one, the queue front
+/// otherwise. Pure queue reordering — every ready pipeline still runs exactly once.
+fn pick_ready(
+    ready: &mut VecDeque<usize>,
+    shards: &[Option<u32>],
+    last: Option<u32>,
+) -> Option<usize> {
+    let position = last
+        .and_then(|shard| ready.iter().position(|&job| shards[job] == Some(shard)))
+        .unwrap_or(0);
+    ready.remove(position)
+}
+
 /// Execute every pipeline of `dag` on up to `threads` scoped worker threads, in
 /// dependency order. Returns the merged access statistics (whose
 /// `peak_rows_resident` the caller overwrites with the ledger's exact peak).
 pub(crate) fn run_parallel(
     plan: &PhysicalPlan,
     dag: &PipelineDag,
-    database: &IndexedDatabase,
+    store: Store<'_>,
     ledger: &Arc<ResidencyLedger>,
     mats: &MatSlots,
     threads: usize,
@@ -53,6 +77,7 @@ pub(crate) fn run_parallel(
     let n = dag.len();
     let deps_left: Vec<usize> = (0..n).map(|i| dag.dependencies(i).len()).collect();
     let ready: VecDeque<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+    let shards: Vec<Option<u32>> = dag.pipelines().iter().map(|p| p.shard).collect();
     let sched = Mutex::new(Sched {
         ready,
         deps_left,
@@ -65,47 +90,52 @@ pub(crate) fn run_parallel(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = {
+            scope.spawn(|| {
+                // The shard of the pipeline this worker ran last — its affinity.
+                let mut last_shard: Option<u32> = None;
+                loop {
+                    let job = {
+                        let mut guard = sched.lock().expect("scheduler lock");
+                        loop {
+                            if guard.error.is_some() || guard.completed == n {
+                                return;
+                            }
+                            if let Some(job) = pick_ready(&mut guard.ready, &shards, last_shard) {
+                                break job;
+                            }
+                            guard = work_available.wait(guard).expect("scheduler lock");
+                        }
+                    };
+                    last_shard = shards[job];
+                    // A fresh per-pipeline state: counters stay private to this worker,
+                    // residency goes through the shared ledger.
+                    let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+                    let result = run_pipeline(plan, dag.pipelines()[job].sink, store, &state, mats);
+                    let stats = Rc::try_unwrap(state)
+                        .expect("pipeline operators are dropped before their stats are read")
+                        .into_inner()
+                        .stats;
                     let mut guard = sched.lock().expect("scheduler lock");
-                    loop {
-                        if guard.error.is_some() || guard.completed == n {
-                            return;
-                        }
-                        if let Some(job) = guard.ready.pop_front() {
-                            break job;
-                        }
-                        guard = work_available.wait(guard).expect("scheduler lock");
-                    }
-                };
-                // A fresh per-pipeline state: counters stay private to this worker,
-                // residency goes through the shared ledger.
-                let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
-                let result = run_pipeline(plan, dag.pipelines()[job].sink, database, &state, mats);
-                let stats = Rc::try_unwrap(state)
-                    .expect("pipeline operators are dropped before their stats are read")
-                    .into_inner()
-                    .stats;
-                let mut guard = sched.lock().expect("scheduler lock");
-                match result {
-                    Ok(()) => {
-                        guard.stats.merge_concurrent(stats);
-                        guard.completed += 1;
-                        for &dependent in dag.dependents(job) {
-                            guard.deps_left[dependent] -= 1;
-                            if guard.deps_left[dependent] == 0 {
-                                guard.ready.push_back(dependent);
+                    match result {
+                        Ok(()) => {
+                            guard.stats.merge_concurrent(stats);
+                            guard.completed += 1;
+                            for &dependent in dag.dependents(job) {
+                                guard.deps_left[dependent] -= 1;
+                                if guard.deps_left[dependent] == 0 {
+                                    guard.ready.push_back(dependent);
+                                }
                             }
                         }
+                        Err(error) => {
+                            // First failure wins; in-flight pipelines finish, waiting
+                            // workers exit.
+                            guard.error.get_or_insert(error);
+                        }
                     }
-                    Err(error) => {
-                        // First failure wins; in-flight pipelines finish, waiting
-                        // workers exit.
-                        guard.error.get_or_insert(error);
-                    }
+                    drop(guard);
+                    work_available.notify_all();
                 }
-                drop(guard);
-                work_available.notify_all();
             });
         }
     });
@@ -114,5 +144,34 @@ pub(crate) fn run_parallel(
     match sched.error {
         Some(error) => Err(error),
         None => Ok(sched.stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_ready_prefers_the_affine_shard() {
+        let shards = [Some(0), Some(1), Some(1), None];
+        let mut ready: VecDeque<usize> = [0, 1, 2, 3].into_iter().collect();
+        // A worker fresh off shard 1 jumps the queue to pipeline 1.
+        assert_eq!(pick_ready(&mut ready, &shards, Some(1)), Some(1));
+        // Same worker again: the other shard-1 pipeline.
+        assert_eq!(pick_ready(&mut ready, &shards, Some(1)), Some(2));
+        // No shard-1 work left: fall back to the queue front.
+        assert_eq!(pick_ready(&mut ready, &shards, Some(1)), Some(0));
+        // No affinity at all: plain FIFO.
+        assert_eq!(pick_ready(&mut ready, &shards, None), Some(3));
+        assert_eq!(pick_ready(&mut ready, &shards, None), None);
+    }
+
+    #[test]
+    fn pick_ready_ignores_untagged_pipelines_for_affinity() {
+        let shards = [None, Some(2)];
+        let mut ready: VecDeque<usize> = [0, 1].into_iter().collect();
+        // Affinity to shard 7 matches nothing; the front (untagged) pipeline runs.
+        assert_eq!(pick_ready(&mut ready, &shards, Some(7)), Some(0));
+        assert_eq!(pick_ready(&mut ready, &shards, Some(2)), Some(1));
     }
 }

@@ -49,6 +49,14 @@ pub struct AccessStats {
     /// Tuples fetched through index lookups, per relation. Lets experiments attribute
     /// the access cost of a plan to the constraints that served it.
     pub rows_fetched_by_relation: BTreeMap<String, u64>,
+    /// Tuples fetched per index-partition shard (shard 0 holds everything on an
+    /// unsharded store). The per-shard counts always sum to
+    /// [`AccessStats::tuples_fetched`], which is what makes boundedness assertable
+    /// *per shard*: partitioning redistributes the bounded fetch volume, it never adds
+    /// to it. Like residency, the distribution is a placement artifact — the same plan
+    /// run at different shard counts spreads the identical total differently — so it
+    /// is excluded from [`AccessStats::same_data_access`].
+    pub rows_fetched_by_shard: BTreeMap<u32, u64>,
 }
 
 impl AccessStats {
@@ -57,9 +65,16 @@ impl AccessStats {
         self.tuples_fetched + self.tuples_scanned
     }
 
-    /// Record `tuples` fetched from `relation` (updates both the global and the
-    /// per-relation counter).
+    /// Record `tuples` fetched from `relation` by (unsharded) shard 0; see
+    /// [`AccessStats::record_fetched_sharded`].
     pub fn record_fetched(&mut self, relation: &str, tuples: u64) {
+        self.record_fetched_sharded(relation, 0, tuples);
+    }
+
+    /// Record `tuples` fetched from `relation` through the index partition `shard`
+    /// (updates the global, per-relation and per-shard counters together, so their
+    /// sums can never drift apart).
+    pub fn record_fetched_sharded(&mut self, relation: &str, shard: u32, tuples: u64) {
         self.tuples_fetched += tuples;
         if let Some(count) = self.rows_fetched_by_relation.get_mut(relation) {
             *count += tuples;
@@ -67,11 +82,14 @@ impl AccessStats {
             self.rows_fetched_by_relation
                 .insert(relation.to_owned(), tuples);
         }
+        *self.rows_fetched_by_shard.entry(shard).or_insert(0) += tuples;
     }
 
     /// True when both executions read the same amount of data the same way — the
     /// boundedness-preservation check of the streaming/materialized ablation. Residency
-    /// and product materialization are execution-strategy artifacts and excluded.
+    /// and product materialization are execution-strategy artifacts and excluded; so is
+    /// the per-shard fetch distribution, which depends on the store's shard count while
+    /// the totals it sums to do not.
     pub fn same_data_access(&self, other: &AccessStats) -> bool {
         self.tuples_fetched == other.tuples_fetched
             && self.index_lookups == other.index_lookups
@@ -93,6 +111,9 @@ impl AccessStats {
         self.values_cloned += rhs.values_cloned;
         for (relation, tuples) in rhs.rows_fetched_by_relation {
             *self.rows_fetched_by_relation.entry(relation).or_insert(0) += tuples;
+        }
+        for (shard, tuples) in rhs.rows_fetched_by_shard {
+            *self.rows_fetched_by_shard.entry(shard).or_insert(0) += tuples;
         }
     }
 
@@ -158,6 +179,7 @@ mod tests {
             peak_rows_resident: 7,
             values_cloned: 20,
             rows_fetched_by_relation: [("R".to_owned(), 10)].into_iter().collect(),
+            rows_fetched_by_shard: [(0, 10)].into_iter().collect(),
         };
         a += AccessStats {
             tuples_fetched: 5,
@@ -170,6 +192,7 @@ mod tests {
             rows_fetched_by_relation: [("R".to_owned(), 2), ("S".to_owned(), 3)]
                 .into_iter()
                 .collect(),
+            rows_fetched_by_shard: [(0, 2), (1, 3)].into_iter().collect(),
         };
         assert_eq!(a.tuples_fetched, 15);
         assert_eq!(a.index_lookups, 3);
@@ -180,6 +203,8 @@ mod tests {
         assert_eq!(a.total_tuples_read(), 115);
         assert_eq!(a.rows_fetched_by_relation["R"], 12);
         assert_eq!(a.rows_fetched_by_relation["S"], 3);
+        assert_eq!(a.rows_fetched_by_shard[&0], 12);
+        assert_eq!(a.rows_fetched_by_shard[&1], 3);
         assert!(a.to_string().contains("fetched 15 tuples"));
         assert!(a.to_string().contains("peak 7 rows resident"));
     }
@@ -197,6 +222,7 @@ mod tests {
             peak_rows_resident: peak,
             values_cloned: 12,
             rows_fetched_by_relation: [("R".to_owned(), 6)].into_iter().collect(),
+            rows_fetched_by_shard: [(1, 6)].into_iter().collect(),
         };
 
         let mut sequential = run(6);
@@ -224,6 +250,29 @@ mod tests {
         assert_eq!(s.tuples_fetched, 7);
         assert_eq!(s.rows_fetched_by_relation["Accident"], 6);
         assert_eq!(s.rows_fetched_by_relation["Vehicle"], 1);
+        // The unsharded entry point attributes everything to shard 0.
+        assert_eq!(s.rows_fetched_by_shard[&0], 7);
+    }
+
+    #[test]
+    fn per_shard_counts_sum_to_the_total() {
+        let mut s = AccessStats::default();
+        s.record_fetched_sharded("Accident", 2, 4);
+        s.record_fetched_sharded("Accident", 0, 3);
+        s.record_fetched_sharded("Vehicle", 2, 1);
+        assert_eq!(s.tuples_fetched, 8);
+        assert_eq!(s.rows_fetched_by_shard[&0], 3);
+        assert_eq!(s.rows_fetched_by_shard[&2], 5);
+        assert_eq!(
+            s.rows_fetched_by_shard.values().sum::<u64>(),
+            s.tuples_fetched
+        );
+        // The distribution is a placement artifact: two runs spreading the same total
+        // over different shards still count as the same data access.
+        let mut t = AccessStats::default();
+        t.record_fetched_sharded("Accident", 1, 7);
+        t.record_fetched_sharded("Vehicle", 1, 1);
+        assert!(s.same_data_access(&t));
     }
 
     #[test]

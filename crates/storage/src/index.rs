@@ -31,6 +31,13 @@ impl HashIndex {
         }
     }
 
+    /// Wrap pre-routed buckets as an index — the constructor the sharded store uses
+    /// after splitting a relation's postings by key hash. Each bucket must hold the
+    /// *full* posting list of its key (a key never spans buckets of different indexes).
+    pub(crate) fn from_buckets(key_attrs: Vec<usize>, buckets: HashMap<Row, Vec<u32>>) -> Self {
+        Self { key_attrs, buckets }
+    }
+
     /// The attribute positions forming the key.
     pub fn key_attrs(&self) -> &[usize] {
         &self.key_attrs

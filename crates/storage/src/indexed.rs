@@ -126,19 +126,11 @@ impl IndexedDatabase {
         positions: &[usize],
         out: &mut [Vec<Value>],
     ) -> Result<u64> {
-        debug_assert_eq!(
-            positions.len(),
-            out.len(),
-            "one output column per projected position"
-        );
-        let mut appended = 0u64;
-        for tuple in self.fetch_iter(constraint_index, key)? {
-            for (column, &position) in out.iter_mut().zip(positions) {
-                column.push(tuple[position].clone());
-            }
-            appended += 1;
-        }
-        Ok(appended)
+        Ok(append_projected(
+            self.fetch_iter(constraint_index, key)?,
+            positions,
+            out,
+        ))
     }
 
     /// Check the cardinality part of every constraint: does `D ⊨ A` hold?
@@ -154,26 +146,15 @@ impl IndexedDatabase {
                 Err(_) => continue,
             };
             for (key, offsets) in self.indexes[ci].buckets() {
-                // Count distinct Y-projections in the bucket.
-                let mut ys: Vec<Row> = offsets
-                    .iter()
-                    .map(|&o| {
-                        crate::relation::Relation::project(
-                            &relation.rows()[o as usize],
-                            constraint.y(),
-                        )
-                    })
-                    .collect();
-                ys.sort();
-                ys.dedup();
-                if ys.len() as u64 > allowed {
-                    violations.push(ConstraintViolation {
-                        constraint_index: ci,
-                        key: key.clone(),
-                        observed: ys.len() as u64,
-                        allowed,
-                    });
-                }
+                check_bucket(
+                    relation.rows(),
+                    constraint.y(),
+                    ci,
+                    allowed,
+                    key,
+                    offsets,
+                    &mut violations,
+                );
             }
         }
         violations
@@ -190,12 +171,74 @@ impl IndexedDatabase {
     }
 }
 
+/// Append, for every tuple of `iter`, the values at `positions` into the
+/// corresponding output columns, returning how many tuples were appended — the
+/// columnar fetch kernel shared by [`IndexedDatabase::fetch_into_columns`] and its
+/// sharded counterpart, so the two stores can never drift on the append semantics.
+pub(crate) fn append_projected(
+    iter: FetchIter<'_>,
+    positions: &[usize],
+    out: &mut [Vec<Value>],
+) -> u64 {
+    debug_assert_eq!(
+        positions.len(),
+        out.len(),
+        "one output column per projected position"
+    );
+    let mut appended = 0u64;
+    for tuple in iter {
+        for (column, &position) in out.iter_mut().zip(positions) {
+            column.push(tuple[position].clone());
+        }
+        appended += 1;
+    }
+    appended
+}
+
+/// Check one index bucket against its constraint's cardinality bound: count the
+/// distinct `Y`-projections among the bucket's rows and record a
+/// [`ConstraintViolation`] if they exceed `allowed`. Shared by the unsharded and
+/// sharded validators — a key's full bucket lives in exactly one index either way, so
+/// both see every key exactly once.
+pub(crate) fn check_bucket(
+    rows: &[Row],
+    y_attrs: &[usize],
+    constraint_index: usize,
+    allowed: u64,
+    key: &Row,
+    offsets: &[u32],
+    violations: &mut Vec<ConstraintViolation>,
+) {
+    let mut ys: Vec<Row> = offsets
+        .iter()
+        .map(|&o| crate::relation::Relation::project(&rows[o as usize], y_attrs))
+        .collect();
+    ys.sort();
+    ys.dedup();
+    if ys.len() as u64 > allowed {
+        violations.push(ConstraintViolation {
+            constraint_index,
+            key: key.clone(),
+            observed: ys.len() as u64,
+            allowed,
+        });
+    }
+}
+
 /// Borrowing iterator over the tuples an index lookup matched; see
 /// [`IndexedDatabase::fetch_iter`].
 #[derive(Debug, Clone)]
 pub struct FetchIter<'a> {
     rows: &'a [Row],
     offsets: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> FetchIter<'a> {
+    /// Wrap a relation's rows and an index posting list — shared with the sharded
+    /// store, whose per-shard indexes produce the same iterators.
+    pub(crate) fn new(rows: &'a [Row], offsets: std::slice::Iter<'a, u32>) -> Self {
+        Self { rows, offsets }
+    }
 }
 
 impl<'a> Iterator for FetchIter<'a> {

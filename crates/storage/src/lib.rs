@@ -10,6 +10,12 @@
 //! * [`index`] — hash indexes keyed on attribute subsets.
 //! * [`indexed`] — [`indexed::IndexedDatabase`]: a database plus the indexes mandated by
 //!   an access schema, with constraint validation (`D ⊨ A`).
+//! * [`sharded`] — [`sharded::ShardedDatabase`]: the same indexes partitioned into
+//!   shards by a deterministic hash of the constraint key ([`sharded::shard_of`]), so a
+//!   fetch probes only the shard owning its key and boundedness survives partitioning;
+//!   [`sharded::Store`] is the executor-facing handle over either flavor. Shard layout:
+//!   a key's full posting list lives in exactly one shard, per-key results are
+//!   identical to the unsharded store, and `shard_count = 1` *is* the unsharded store.
 //! * [`discovery`] — mining access constraints from data (the paper notes that the
 //!   constraints of Example 1.1 "are discovered by simple aggregate queries on D₀").
 //! * [`io`] — minimal tab-separated import/export, for persisting generated workloads.
@@ -20,8 +26,10 @@ pub mod index;
 pub mod indexed;
 pub mod io;
 pub mod relation;
+pub mod sharded;
 
 pub use database::Database;
 pub use discovery::{discover_constraints, measure_cardinality, DiscoveryOptions};
 pub use indexed::{ConstraintViolation, FetchIter, IndexedDatabase};
 pub use relation::Relation;
+pub use sharded::{shard_of, shards_from_env, ShardedDatabase, Store, SHARDS_ENV};

@@ -15,10 +15,13 @@ use bea::core::plan::{
 use bea::core::reason::{instance::eval_cq as eval_cq_small, instance::SmallInstance};
 use bea::core::specialize::{generic_template, instantiate, specialize_cq, SpecializeConfig};
 use bea::engine::{
-    eval_cq, eval_ucq, execute_physical_with_options, execute_plan, execute_plan_with_options,
-    ExecOptions,
+    eval_cq, eval_ucq, execute_physical_with_options, execute_plan, execute_plan_on,
+    execute_plan_with_options, ExecOptions,
 };
-use bea::storage::{discover_constraints, DiscoveryOptions, IndexedDatabase};
+use bea::storage::{
+    discover_constraints, shards_from_env, DiscoveryOptions, IndexedDatabase, ShardedDatabase,
+    Store,
+};
 use bea::workload::{accidents, ecommerce, graph, querygen};
 use bea_core::access::AccessSchema;
 use bea_core::query::cq::ConjunctiveQuery;
@@ -77,19 +80,25 @@ fn accidents_fixture(seed: u64, days: u32) -> (bea::storage::Database, AccessSch
 /// The core differential property shared by the three scenario families: for every
 /// covered query of a random workload over `db`, the **streaming** bounded executor
 /// (forced single-threaded), the **parallel** streaming executor (4 worker threads),
-/// the **materialized** bounded executor and the **naive** baseline compute exactly the
-/// same answer; the three bounded strategies read exactly the same data (boundedness is
-/// a property of the plan — not of the execution strategy, and not of the thread
-/// count); nothing fetches more than the statically derived bound (Theorem 3.11,
-/// constructive direction); and the streaming pipeline's peak row residency never
-/// exceeds the materialized executor's.
+/// the **materialized** bounded executor, the **sharded** streaming executor (the same
+/// plan fanned out over a partitioned store — `BEA_SHARDS` shards, at least 2) and the
+/// **naive** baseline compute exactly the same answer; the bounded strategies read
+/// exactly the same data (boundedness is a property of the plan — not of the execution
+/// strategy, the thread count, or the shard count); nothing fetches more than the
+/// statically derived bound (Theorem 3.11, constructive direction); and the streaming
+/// pipeline's peak row residency never exceeds the materialized executor's.
 fn assert_bounded_plans_agree_with_naive(
     schema: &AccessSchema,
     db: bea::storage::Database,
     workload: &[ConjunctiveQuery],
 ) -> usize {
+    // At least 2 shards so the sharded leg always exercises real fan-out; the CI
+    // matrix raises it through BEA_SHARDS.
+    let shards = shards_from_env().max(2);
+    let sharded = ShardedDatabase::build(db.clone(), schema.clone(), shards).unwrap();
     let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
     assert!(indexed.satisfies_schema());
+    assert!(sharded.satisfies_schema());
 
     let mut exercised = 0;
     for query in workload {
@@ -108,12 +117,36 @@ fn assert_bounded_plans_agree_with_naive(
                 .unwrap();
         let (materialized, materialized_stats) =
             execute_plan_with_options(&plan, &indexed, &ExecOptions::materialized()).unwrap();
+        let (sharded_out, sharded_stats) = execute_plan_on(
+            &plan,
+            Store::Sharded(&sharded),
+            &ExecOptions::new().with_threads(1),
+        )
+        .unwrap();
         let (naive, _) = eval_cq(query, indexed.database()).unwrap();
         assert!(bounded.same_rows(&naive), "mismatch for {query}");
         assert!(parallel.same_rows(&naive), "parallel mismatch for {query}");
         assert!(
             materialized.same_rows(&naive),
             "materialized mismatch for {query}"
+        );
+        assert!(
+            sharded_out.same_rows(&naive),
+            "sharded mismatch for {query} at {shards} shards"
+        );
+        assert!(
+            stats.same_data_access(&sharded_stats),
+            "shard count changed the data access for {query}: {stats} vs {sharded_stats}"
+        );
+        assert_eq!(
+            stats.values_cloned, sharded_stats.values_cloned,
+            "shard count changed the copy traffic for {query}"
+        );
+        // Boundedness per shard: the partitions serve exactly the plan's fetch total.
+        assert_eq!(
+            sharded_stats.rows_fetched_by_shard.values().sum::<u64>(),
+            sharded_stats.tuples_fetched,
+            "per-shard fetch counts drifted from the total for {query}"
         );
         assert!(
             stats.same_data_access(&materialized_stats),
@@ -305,6 +338,91 @@ fn columnar_pipeline_halves_copy_traffic_on_target_scenarios() {
             );
         }
     }
+}
+
+/// Shard-count invariance: the same covered queries executed against partitioned
+/// stores with shards ∈ {1, 2, 8}, at threads ∈ {1, 4}, produce identical rows,
+/// identical data access (`same_data_access`) and identical copy traffic
+/// (`values_cloned`) — partitioning the constraint indexes relocates the bounded work
+/// across shards (the per-shard counts always sum to the unchanged total) without
+/// altering what is computed, read or moved. Shards = 1 is additionally pinned to the
+/// unsharded `IndexedDatabase` baseline, closing the "shard 1 ≡ today's store" loop.
+#[test]
+fn sharded_execution_is_invariant_across_shard_counts() {
+    run_cases_counting(
+        "sharded_execution_is_invariant_across_shard_counts",
+        0x5AAD,
+        |rng| {
+            let seed = rng.gen_range(0u64..1_000);
+            let qseed = rng.gen_range(0u64..1_000);
+            let (db, schema) = accidents_fixture(seed, 2);
+            let catalog = accidents::catalog();
+            let workload = querygen::random_workload_from_db(
+                &catalog,
+                Some(&schema),
+                &db,
+                8,
+                &querygen::QueryGenConfig {
+                    seed: qseed,
+                    ..querygen::QueryGenConfig::default()
+                },
+            )
+            .unwrap();
+            let stores: Vec<ShardedDatabase> = [1u32, 2, 8]
+                .into_iter()
+                .map(|shards| ShardedDatabase::build(db.clone(), schema.clone(), shards).unwrap())
+                .collect();
+            let indexed = IndexedDatabase::build(db, schema.clone()).unwrap();
+
+            let mut exercised = 0;
+            for query in &workload {
+                if !cover::is_covered(query, &schema) {
+                    continue;
+                }
+                exercised += 1;
+                let plan = bounded_plan(query, &schema).unwrap();
+                let (baseline, baseline_stats) =
+                    execute_plan_with_options(&plan, &indexed, &ExecOptions::new().with_threads(1))
+                        .unwrap();
+                for sharded in &stores {
+                    for threads in [1usize, 4] {
+                        let (table, stats) = execute_plan_on(
+                            &plan,
+                            Store::Sharded(sharded),
+                            &ExecOptions::new().with_threads(threads),
+                        )
+                        .unwrap();
+                        let shards = sharded.shard_count();
+                        assert!(
+                            table.same_rows(&baseline),
+                            "rows changed at {shards} shards / {threads} threads for {query}"
+                        );
+                        assert!(
+                            stats.same_data_access(&baseline_stats),
+                            "data access changed at {shards} shards / {threads} threads \
+                             for {query}: {stats} vs {baseline_stats}"
+                        );
+                        assert_eq!(
+                            stats.values_cloned, baseline_stats.values_cloned,
+                            "copy traffic changed at {shards} shards / {threads} threads \
+                             for {query}"
+                        );
+                        assert_eq!(
+                            stats.rows_fetched_by_shard.values().sum::<u64>(),
+                            stats.tuples_fetched,
+                            "per-shard counts drifted from the total at {shards} shards \
+                             for {query}"
+                        );
+                        assert!(stats
+                            .rows_fetched_by_shard
+                            .keys()
+                            .all(|&shard| shard < shards));
+                    }
+                }
+            }
+            exercised
+        },
+    );
 }
 
 /// Parallel pipeline execution is deterministic: on a genuinely multi-pipeline plan (a
