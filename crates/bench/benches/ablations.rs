@@ -157,8 +157,9 @@ fn bench_execution_strategies(c: &mut Criterion) {
 
     // Maintain the machine-readable perf record alongside the printed table. Bench
     // binaries run with the package directory as cwd, so resolve the workspace root
-    // explicitly; and refresh only the deterministic fields — the ns_per_op figures
-    // belong to exp_table1's timed runs and must survive a bench run unchanged.
+    // explicitly; and refresh only the deterministic fields — the ns_p50/ns_p99
+    // figures belong to exp_table1's timed runs and must survive a bench run
+    // unchanged.
     let mut report = pipeline_bench_report(0).expect("scenarios build");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     if let Ok(baseline) = std::fs::read_to_string(path)
@@ -167,7 +168,8 @@ fn bench_execution_strategies(c: &mut Criterion) {
     {
         for (name, entry) in report.scenarios.iter_mut() {
             if let Some(base) = baseline.scenarios.get(name) {
-                entry.ns_per_op = base.ns_per_op;
+                entry.ns_p50 = base.ns_p50;
+                entry.ns_p99 = base.ns_p99;
             }
         }
     }
@@ -232,6 +234,12 @@ fn bench_parallel_pipelines(c: &mut Criterion) {
     assert_eq!(
         single_stats.values_cloned, parallel_stats.values_cloned,
         "thread count changed the copy traffic"
+    );
+    // So is the probe-path buffer demand: which keys miss which lookup caches depends
+    // on the operators, not on which worker runs them.
+    assert_eq!(
+        single_stats.allocs_per_probe, parallel_stats.allocs_per_probe,
+        "thread count changed the probe-path buffer demand"
     );
 
     let mut table = TextTable::new([
@@ -306,6 +314,10 @@ fn bench_sharded_execution(c: &mut Criterion) {
         "shard count changed the copy traffic"
     );
     assert_eq!(
+        sharded_stats.allocs_per_probe, base_stats.allocs_per_probe,
+        "shard count changed the probe-path buffer demand"
+    );
+    assert_eq!(
         sharded_stats.rows_fetched_by_shard.values().sum::<u64>(),
         sharded_stats.tuples_fetched,
         "per-shard counts must sum to the fetch total"
@@ -322,6 +334,7 @@ fn bench_sharded_execution(c: &mut Criterion) {
         "parallel width",
         "tuples fetched",
         "values cloned",
+        "probe allocs",
     ]);
     for (scenario, stats) in [(&unsharded, &base_stats), (&sharded, &sharded_stats)] {
         let dag = scenario.physical.pipeline_dag();
@@ -332,6 +345,7 @@ fn bench_sharded_execution(c: &mut Criterion) {
             dag.parallel_width().to_string(),
             stats.tuples_fetched.to_string(),
             stats.values_cloned.to_string(),
+            stats.allocs_per_probe.to_string(),
         ]);
     }
     println!("\nsharded execution, identical data access at every shard count:\n");

@@ -13,11 +13,17 @@
 //! Besides the printed report, the binary maintains the machine-readable perf record:
 //!
 //! * `exp_table1` — full run; also writes `BENCH_pipeline.json` (scenario →
-//!   rows_fetched / peak_rows_resident / values_cloned / ns_per_op) to the working
-//!   directory, the committed baseline of the streaming pipeline's copy traffic.
+//!   rows_fetched / peak_rows_resident / values_cloned / allocs_per_probe /
+//!   ns_p50 / ns_p99) to the working directory, the committed baseline of the
+//!   streaming pipeline's copy traffic, probe-path buffer demand, and latency
+//!   distribution.
 //! * `exp_table1 --check <baseline.json>` — perf-smoke mode (used by CI): rebuild the
-//!   deterministic fields and fail (exit 1) if `values_cloned` regressed more than 10%
-//!   above the committed baseline on any scenario.
+//!   record and fail (exit 1) if any deterministic counter (`values_cloned`,
+//!   `allocs_per_probe`) regressed more than 10% above the committed baseline, if the
+//!   scenario set drifted from the committed record in either direction, or if any
+//!   scenario's fresh p99 blew the tail-latency budget
+//!   `max(50 ms, baseline p99 × 25)` — loose enough for machine-to-machine variance,
+//!   tight enough to catch order-of-magnitude tail blowups.
 
 use bea_bench::families;
 use bea_bench::report::{fmt_ms, time_ms, PipelineBenchReport, TextTable};
@@ -36,8 +42,24 @@ use bea_engine::{
 };
 use bea_storage::Store;
 
-/// Tolerated `values_cloned` growth over the committed baseline, in percent.
+/// Tolerated growth of the deterministic counters (`values_cloned`,
+/// `allocs_per_probe`) over the committed baseline, in percent. A zero baseline
+/// tolerates exactly zero — the anchored fast path's zero-allocation guarantee gets
+/// no slack.
 const CLONE_REGRESSION_TOLERANCE_PERCENT: u64 = 10;
+
+/// Tail-latency budget: a fresh p99 may exceed the committed baseline p99 by this
+/// factor before `--check` fails. Deliberately loose — the baseline was recorded on a
+/// different machine; the gate is for order-of-magnitude blowups, not jitter.
+const P99_BUDGET_FACTOR: u64 = 25;
+
+/// Absolute floor of the tail budget in nanoseconds (50 ms): scenarios whose baseline
+/// p99 is tiny would otherwise fail on scheduler noise alone.
+const P99_FLOOR_NS: u64 = 50_000_000;
+
+/// Timed iterations per scenario in `--check` mode — enough samples for a meaningful
+/// nearest-rank p99 while keeping the CI perf-smoke fast.
+const CHECK_TIMING_ITERS: u32 = 20;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The machine-readable perf record, committed as the regression baseline.
     println!("\n## BENCH_pipeline.json — pipeline perf record\n");
-    let report = pipeline_bench_report(10)?;
+    let report = pipeline_bench_report(CHECK_TIMING_ITERS)?;
     let json = report.to_json();
     std::fs::write("BENCH_pipeline.json", &json)?;
     print!("{json}");
@@ -63,10 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Perf-smoke mode: recompute the deterministic pipeline numbers and compare
-/// `values_cloned` against the committed baseline. A missing or malformed baseline is
-/// an operator error, reported as a plain one-line message (never a panic or an opaque
-/// `Err` debug dump) with the fix spelled out.
+/// Perf-smoke mode: recompute the pipeline record and gate on the deterministic
+/// counters (`values_cloned`, `allocs_per_probe`, exact scenario-set match) plus the
+/// p99 tail-latency budget. A missing or malformed baseline is an operator error,
+/// reported as a plain one-line message (never a panic or an opaque `Err` debug dump)
+/// with the fix spelled out.
 fn check_against_baseline(baseline_path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(text) => text,
@@ -93,22 +116,38 @@ fn check_against_baseline(baseline_path: &str) -> Result<(), Box<dyn std::error:
             std::process::exit(1);
         }
     };
-    let fresh = pipeline_bench_report(0)?;
-    let violations = fresh.regressions_against(&baseline, CLONE_REGRESSION_TOLERANCE_PERCENT);
+    let fresh = pipeline_bench_report(CHECK_TIMING_ITERS)?;
+    let mut violations = fresh.regressions_against(&baseline, CLONE_REGRESSION_TOLERANCE_PERCENT);
+    violations.extend(fresh.tail_latency_regressions(&baseline, P99_BUDGET_FACTOR, P99_FLOOR_NS));
     for (name, entry) in &fresh.scenarios {
-        let base = baseline
-            .scenarios
-            .get(name)
-            .map_or_else(|| "-".to_owned(), |b| b.values_cloned.to_string());
+        let (base_cloned, base_allocs, base_p99) = baseline.scenarios.get(name).map_or_else(
+            || ("-".to_owned(), "-".to_owned(), "-".to_owned()),
+            |b| {
+                (
+                    b.values_cloned.to_string(),
+                    b.allocs_per_probe.to_string(),
+                    b.ns_p99.to_string(),
+                )
+            },
+        );
         println!(
-            "{name}: values_cloned {} (baseline {base}), rows_fetched {}, peak resident {}",
-            entry.values_cloned, entry.rows_fetched, entry.peak_rows_resident
+            "{name}: values_cloned {} (baseline {base_cloned}), allocs_per_probe {} \
+             (baseline {base_allocs}), p50 {} ns, p99 {} ns (baseline p99 {base_p99}), \
+             rows_fetched {}, peak resident {}",
+            entry.values_cloned,
+            entry.allocs_per_probe,
+            entry.ns_p50,
+            entry.ns_p99,
+            entry.rows_fetched,
+            entry.peak_rows_resident
         );
     }
     if violations.is_empty() {
         println!(
-            "perf-smoke OK: values_cloned within {CLONE_REGRESSION_TOLERANCE_PERCENT}% of \
-             the baseline on every scenario"
+            "perf-smoke OK: values_cloned and allocs_per_probe within \
+             {CLONE_REGRESSION_TOLERANCE_PERCENT}% of the baseline, scenario set \
+             unchanged, and p99 within max({P99_FLOOR_NS} ns, baseline × \
+             {P99_BUDGET_FACTOR}) on every scenario"
         );
         Ok(())
     } else {
@@ -265,6 +304,7 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
         "values cloned (materialized)",
         "values cloned (streaming)",
         "clone ratio",
+        "probe allocs (streaming)",
     ]);
     let cases = [
         ("accidents Q0", &accidents.plan, &accidents.indexed),
@@ -307,6 +347,7 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
             materialized.values_cloned.to_string(),
             streaming.values_cloned.to_string(),
             clone_ratio,
+            streaming.allocs_per_probe.to_string(),
         ]);
         let per_relation: Vec<String> = streaming
             .rows_fetched_by_relation
@@ -341,6 +382,7 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
         "tuples fetched",
         "index lookups",
         "peak rows resident",
+        "probe allocs",
         "wall time",
     ]);
     let mut single_threaded: Option<bea_engine::AccessStats> = None;
@@ -354,6 +396,10 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
                 baseline.same_data_access(&stats),
                 "thread count changed the data access"
             );
+            assert_eq!(
+                baseline.allocs_per_probe, stats.allocs_per_probe,
+                "thread count changed the probe-path buffer demand"
+            );
             assert!(stats.peak_rows_resident >= baseline.peak_rows_resident);
         }
         parallel_table.row([
@@ -361,6 +407,7 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
             stats.tuples_fetched.to_string(),
             stats.index_lookups.to_string(),
             stats.peak_rows_resident.to_string(),
+            stats.allocs_per_probe.to_string(),
             fmt_ms(ms),
         ]);
         single_threaded.get_or_insert(stats);
@@ -385,6 +432,7 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
         "tuples fetched",
         "fetched per shard",
         "values cloned",
+        "probe allocs",
         "wall time",
     ]);
     let mut unsharded: Option<bea_engine::AccessStats> = None;
@@ -404,6 +452,10 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
                 baseline.values_cloned, stats.values_cloned,
                 "shard count changed the copy traffic"
             );
+            assert_eq!(
+                baseline.allocs_per_probe, stats.allocs_per_probe,
+                "shard count changed the probe-path buffer demand"
+            );
         }
         let per_shard: Vec<String> = stats
             .rows_fetched_by_shard
@@ -417,6 +469,7 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
             stats.tuples_fetched.to_string(),
             per_shard.join(", "),
             stats.values_cloned.to_string(),
+            stats.allocs_per_probe.to_string(),
             fmt_ms(ms),
         ]);
         unsharded.get_or_insert(stats);

@@ -77,7 +77,8 @@ impl TextTable {
 }
 
 /// One scenario's entry in the pipeline perf record: how much data the plan touched,
-/// its residency high-water mark, the executor's copy traffic, and a wall-clock figure.
+/// its residency high-water mark, the executor's copy traffic, its probe-path buffer
+/// demand, and a latency distribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Tuples fetched through index lookups (`AccessStats::tuples_fetched`).
@@ -88,9 +89,17 @@ pub struct BenchEntry {
     /// (`AccessStats::values_cloned`) — deterministic for a given plan and database,
     /// which is what makes it CI-checkable.
     pub values_cloned: u64,
-    /// Nanoseconds per execution, measured on the emitting machine (machine-dependent;
-    /// recorded for trend reading, never compared by CI).
-    pub ns_per_op: u64,
+    /// Probe-path buffer-demand events (`AccessStats::allocs_per_probe`) —
+    /// deterministic like `values_cloned`, and zero on the steady-state anchored
+    /// fast path, so CI can hold the zero-allocation property.
+    pub allocs_per_probe: u64,
+    /// Median nanoseconds per execution on the emitting machine (machine-dependent;
+    /// recorded for trend reading, never compared exactly by CI).
+    pub ns_p50: u64,
+    /// 99th-percentile nanoseconds per execution — the tail figure `--check` guards
+    /// with a generous multiplicative budget (machines differ; order-of-magnitude
+    /// blowups don't).
+    pub ns_p99: u64,
 }
 
 /// The `BENCH_pipeline.json` perf record: scenario name → [`BenchEntry`]. Written by
@@ -117,8 +126,14 @@ impl PipelineBenchReport {
             .map(|(name, e)| {
                 format!(
                     "    \"{name}\": {{\"rows_fetched\": {}, \"peak_rows_resident\": {}, \
-                     \"values_cloned\": {}, \"ns_per_op\": {}}}",
-                    e.rows_fetched, e.peak_rows_resident, e.values_cloned, e.ns_per_op
+                     \"values_cloned\": {}, \"allocs_per_probe\": {}, \"ns_p50\": {}, \
+                     \"ns_p99\": {}}}",
+                    e.rows_fetched,
+                    e.peak_rows_resident,
+                    e.values_cloned,
+                    e.allocs_per_probe,
+                    e.ns_p50,
+                    e.ns_p99
                 )
             })
             .collect();
@@ -163,7 +178,9 @@ impl PipelineBenchReport {
                     rows_fetched: field("rows_fetched")?,
                     peak_rows_resident: field("peak_rows_resident")?,
                     values_cloned: field("values_cloned")?,
-                    ns_per_op: field("ns_per_op")?,
+                    allocs_per_probe: field("allocs_per_probe")?,
+                    ns_p50: field("ns_p50")?,
+                    ns_p99: field("ns_p99")?,
                 },
             );
         }
@@ -173,30 +190,93 @@ impl PipelineBenchReport {
         Ok(report)
     }
 
-    /// Compare this (fresh) report against a committed baseline: every baseline
-    /// scenario must still exist, and its `values_cloned` must not exceed the baseline
-    /// by more than `tolerance_percent`. Returns the list of violations (empty = pass).
-    /// Only `values_cloned` is compared — it is deterministic; timing is not.
+    /// Compare this (fresh) report against a committed baseline on the deterministic
+    /// counters: the scenario sets must match exactly (a scenario that disappeared
+    /// *or* appeared without a committed baseline is a hard error — the record and
+    /// the harness must never drift apart silently), and neither `values_cloned` nor
+    /// `allocs_per_probe` may exceed its baseline by more than `tolerance_percent`.
+    /// Returns the list of violations (empty = pass). Timing fields are never
+    /// compared here — see [`PipelineBenchReport::tail_latency_regressions`].
     pub fn regressions_against(
         &self,
         baseline: &PipelineBenchReport,
         tolerance_percent: u64,
     ) -> Vec<String> {
+        // The allowance a baseline of `base` grants. A zero baseline must allow
+        // exactly zero: `0 + 0 * tol / 100 == 0`, so any fresh value above it is a
+        // regression. Percentage slack that rounds up (or a `max(base, 1)` fudge)
+        // would silently waive the zero-allocation guarantee the anchored fast path
+        // is checked for — keep the rule integer-exact.
+        let allowed = |base: u64| base + base * tolerance_percent / 100;
         let mut violations = Vec::new();
         for (name, base) in &baseline.scenarios {
             match self.scenarios.get(name) {
                 None => violations.push(format!("scenario `{name}` disappeared from the report")),
                 Some(fresh) => {
-                    let allowed = base.values_cloned + base.values_cloned * tolerance_percent / 100;
-                    if fresh.values_cloned > allowed {
-                        violations.push(format!(
-                            "scenario `{name}`: field `values_cloned` regressed — fresh {} \
-                             exceeds the committed baseline {} by more than \
-                             {tolerance_percent}% (allowed up to {allowed})",
-                            fresh.values_cloned, base.values_cloned
-                        ));
+                    for (field, fresh_value, base_value) in [
+                        ("values_cloned", fresh.values_cloned, base.values_cloned),
+                        (
+                            "allocs_per_probe",
+                            fresh.allocs_per_probe,
+                            base.allocs_per_probe,
+                        ),
+                    ] {
+                        if fresh_value > allowed(base_value) {
+                            violations.push(format!(
+                                "scenario `{name}`: field `{field}` regressed — fresh \
+                                 {fresh_value} exceeds the committed baseline {base_value} by \
+                                 more than {tolerance_percent}% (allowed up to {})",
+                                allowed(base_value)
+                            ));
+                        }
                     }
                 }
+            }
+        }
+        // Symmetric drift: a scenario the harness now produces but the committed
+        // record has never seen is unguarded — fail loudly instead of green-lighting
+        // whatever numbers it happens to emit.
+        for name in self.scenarios.keys() {
+            if !baseline.scenarios.contains_key(name) {
+                violations.push(format!(
+                    "scenario `{name}` is missing from the committed baseline — \
+                     regenerate and commit the perf record"
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Gate the fresh report's tail latency against the committed baseline: scenario
+    /// `s` fails when `fresh.ns_p99 > max(floor_ns, base.ns_p99 * budget_factor)`.
+    /// The multiplicative budget absorbs machine-to-machine variance (the baseline
+    /// was recorded elsewhere); the absolute floor keeps scenarios whose baseline
+    /// p99 is tiny from failing on scheduler noise. Baselines with `ns_p99 == 0`
+    /// (emitted by zero-iteration determinism-only runs) are skipped. Kept separate
+    /// from [`PipelineBenchReport::regressions_against`] because timing is advisory
+    /// on every field except this one budgeted tail check.
+    pub fn tail_latency_regressions(
+        &self,
+        baseline: &PipelineBenchReport,
+        budget_factor: u64,
+        floor_ns: u64,
+    ) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (name, base) in &baseline.scenarios {
+            if base.ns_p99 == 0 {
+                continue;
+            }
+            let Some(fresh) = self.scenarios.get(name) else {
+                continue; // the set-drift check in `regressions_against` owns this
+            };
+            let budget = floor_ns.max(base.ns_p99.saturating_mul(budget_factor));
+            if fresh.ns_p99 > budget {
+                violations.push(format!(
+                    "scenario `{name}`: tail latency blew the budget — fresh p99 {} ns \
+                     exceeds max(floor {floor_ns} ns, baseline p99 {} ns × {budget_factor}) \
+                     = {budget} ns",
+                    fresh.ns_p99, base.ns_p99
+                ));
             }
         }
         violations
@@ -238,27 +318,22 @@ mod tests {
         assert!(md.lines().count() == 4);
     }
 
+    fn entry(values_cloned: u64, allocs_per_probe: u64) -> BenchEntry {
+        BenchEntry {
+            rows_fetched: 100,
+            peak_rows_resident: 40,
+            values_cloned,
+            allocs_per_probe,
+            ns_p50: 123_456,
+            ns_p99: 234_567,
+        }
+    }
+
     #[test]
     fn bench_report_round_trips_and_checks_regressions() {
         let mut report = PipelineBenchReport::default();
-        report.insert(
-            "accidents_q0",
-            BenchEntry {
-                rows_fetched: 100,
-                peak_rows_resident: 40,
-                values_cloned: 2_000,
-                ns_per_op: 123_456,
-            },
-        );
-        report.insert(
-            "parallel_q0_batch_6",
-            BenchEntry {
-                rows_fetched: 600,
-                peak_rows_resident: 90,
-                values_cloned: 16_000,
-                ns_per_op: 999,
-            },
-        );
+        report.insert("accidents_q0", entry(2_000, 12));
+        report.insert("parallel_q0_batch_6", entry(16_000, 48));
         let json = report.to_json();
         let parsed = PipelineBenchReport::parse_json(&json).unwrap();
         assert_eq!(parsed, report);
@@ -284,15 +359,104 @@ mod tests {
         assert!(violations[0].contains("`values_cloned`"));
         assert!(violations[0].contains("2201"));
         assert!(violations[0].contains("2000"));
+        // `allocs_per_probe` is guarded with the same tolerance.
+        let mut allocs = report.clone();
+        allocs
+            .scenarios
+            .get_mut("parallel_q0_batch_6")
+            .unwrap()
+            .allocs_per_probe = 60;
+        let violations = allocs.regressions_against(&report, 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("`allocs_per_probe`"));
         // A disappeared scenario is a violation too; timing changes never are.
         let mut shrunk = report.clone();
         shrunk.scenarios.remove("parallel_q0_batch_6");
-        shrunk.scenarios.get_mut("accidents_q0").unwrap().ns_per_op = 1;
+        shrunk.scenarios.get_mut("accidents_q0").unwrap().ns_p50 = 1;
+        shrunk.scenarios.get_mut("accidents_q0").unwrap().ns_p99 = 1;
         assert_eq!(shrunk.regressions_against(&report, 10).len(), 1);
 
         assert!(PipelineBenchReport::parse_json("{}").is_err());
         assert!(
             PipelineBenchReport::parse_json("{\"scenarios\": {\"x\": {\"nope\": 1}}}").is_err()
+        );
+    }
+
+    #[test]
+    fn zero_baseline_allows_no_regression() {
+        // The anchored fast path commits `allocs_per_probe: 0`; percentage tolerance
+        // must grant a zero baseline zero slack, so baseline 0 → fresh 1 regresses.
+        let mut baseline = PipelineBenchReport::default();
+        baseline.insert("anchored_probe", entry(500, 0));
+        let mut fresh = baseline.clone();
+        assert!(fresh.regressions_against(&baseline, 10).is_empty());
+        fresh
+            .scenarios
+            .get_mut("anchored_probe")
+            .unwrap()
+            .allocs_per_probe = 1;
+        let violations = fresh.regressions_against(&baseline, 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("`allocs_per_probe`"));
+        assert!(violations[0].contains("allowed up to 0"));
+    }
+
+    #[test]
+    fn scenario_set_drift_is_flagged_in_both_directions() {
+        // A fresh scenario with no committed baseline is as much drift as a
+        // disappeared one — both mean the record and the harness no longer agree.
+        let mut baseline = PipelineBenchReport::default();
+        baseline.insert("old_scenario", entry(100, 0));
+        let mut fresh = PipelineBenchReport::default();
+        fresh.insert("old_scenario", entry(100, 0));
+        fresh.insert("brand_new_scenario", entry(7, 3));
+        let violations = fresh.regressions_against(&baseline, 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("brand_new_scenario"));
+        assert!(violations[0].contains("missing from the committed baseline"));
+        // And the reverse direction still fires.
+        let empty = PipelineBenchReport::default();
+        let violations = empty.regressions_against(&baseline, 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("disappeared"));
+    }
+
+    #[test]
+    fn tail_latency_budget_gates_p99() {
+        let mut baseline = PipelineBenchReport::default();
+        let mut base_entry = entry(100, 0);
+        base_entry.ns_p99 = 1_000_000; // 1 ms baseline tail
+        baseline.insert("q", base_entry);
+        // Untimed baseline entries (determinism-only runs emit ns_p99 = 0) are skipped.
+        baseline.insert("untimed", entry(1, 0));
+        baseline.scenarios.get_mut("untimed").unwrap().ns_p99 = 0;
+
+        let mut fresh = baseline.clone();
+        // Within budget: 25× of 1 ms with a 50 ms floor allows up to 50 ms.
+        fresh.scenarios.get_mut("q").unwrap().ns_p99 = 40_000_000;
+        assert!(fresh
+            .tail_latency_regressions(&baseline, 25, 50_000_000)
+            .is_empty());
+        // The untimed entry never fails, however slow it measures now.
+        fresh.scenarios.get_mut("untimed").unwrap().ns_p99 = u64::MAX;
+        assert!(fresh
+            .tail_latency_regressions(&baseline, 25, 50_000_000)
+            .is_empty());
+        // Over the budget: flagged with the arithmetic spelled out.
+        fresh.scenarios.get_mut("q").unwrap().ns_p99 = 50_000_001;
+        let violations = fresh.tail_latency_regressions(&baseline, 25, 50_000_000);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("`q`"));
+        assert!(violations[0].contains("blew the budget"));
+        // When the multiplied baseline exceeds the floor, it sets the budget.
+        fresh.scenarios.get_mut("q").unwrap().ns_p99 = 24_000_000;
+        assert!(fresh
+            .tail_latency_regressions(&baseline, 25, 1_000)
+            .is_empty());
+        fresh.scenarios.get_mut("q").unwrap().ns_p99 = 25_000_001;
+        assert_eq!(
+            fresh.tail_latency_regressions(&baseline, 25, 1_000).len(),
+            1
         );
     }
 

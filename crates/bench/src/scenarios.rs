@@ -273,9 +273,11 @@ impl ShardedScenario {
 pub const BENCH_REPORT_SEED: u64 = 42;
 
 /// Build the `BENCH_pipeline.json` record: run the streaming pipeline once per
-/// scenario for the access/residency/copy-traffic numbers (all deterministic), then
-/// `timing_iters` more times for the wall-clock figure. `timing_iters = 0` records
-/// `ns_per_op = 0` (used by smoke runs that only care about the deterministic fields).
+/// scenario for the access/residency/copy-traffic/probe-allocation numbers (all
+/// deterministic), then `timing_iters` more times for the latency distribution
+/// (`ns_p50`/`ns_p99`, nearest-rank over the per-iteration samples). `timing_iters = 0`
+/// records zero for both timing fields (used by smoke runs that only care about the
+/// deterministic fields; the `--check` tail gate skips zero baselines).
 pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
     let accidents = AccidentsScenario::with_total_tuples(20_000, BENCH_REPORT_SEED)?;
     let graph = GraphScenario::with_persons(500, BENCH_REPORT_SEED)?;
@@ -292,7 +294,7 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
     ];
     for (name, plan, indexed) in cases {
         let (_, stats) = execute_plan_with_options(plan, indexed, &single)?;
-        let ns = time_ns_per_op(timing_iters, || {
+        let (ns_p50, ns_p99) = time_percentiles(timing_iters, || {
             execute_plan_with_options(plan, indexed, &single).map(|_| ())
         })?;
         report.insert(
@@ -301,7 +303,9 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
                 rows_fetched: stats.tuples_fetched,
                 peak_rows_resident: stats.peak_rows_resident,
                 values_cloned: stats.values_cloned,
-                ns_per_op: ns,
+                allocs_per_probe: stats.allocs_per_probe,
+                ns_p50,
+                ns_p99,
             },
         );
     }
@@ -312,7 +316,7 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
     // the wall-clock figure is taken at 4 workers, the scenario's target shape.
     let (_, stats) = execute_physical_with_options(&batch.physical, &batch.indexed, &single)?;
     let parallel = ExecOptions::new().with_threads(4);
-    let ns = time_ns_per_op(timing_iters, || {
+    let (ns_p50, ns_p99) = time_percentiles(timing_iters, || {
         execute_physical_with_options(&batch.physical, &batch.indexed, &parallel).map(|_| ())
     })?;
     report.insert(
@@ -321,7 +325,9 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
             rows_fetched: stats.tuples_fetched,
             peak_rows_resident: stats.peak_rows_resident,
             values_cloned: stats.values_cloned,
-            ns_per_op: ns,
+            allocs_per_probe: stats.allocs_per_probe,
+            ns_p50,
+            ns_p99,
         },
     );
     // The sharded scenario follows the same recording convention: deterministic
@@ -331,7 +337,7 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
     // the scenario exists to exercise.
     let sharded_store = Store::Sharded(&sharded.sharded);
     let (_, stats) = execute_physical_on(&sharded.physical, sharded_store, &single)?;
-    let ns = time_ns_per_op(timing_iters, || {
+    let (ns_p50, ns_p99) = time_percentiles(timing_iters, || {
         execute_physical_on(&sharded.physical, sharded_store, &parallel).map(|_| ())
     })?;
     report.insert(
@@ -340,22 +346,34 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
             rows_fetched: stats.tuples_fetched,
             peak_rows_resident: stats.peak_rows_resident,
             values_cloned: stats.values_cloned,
-            ns_per_op: ns,
+            allocs_per_probe: stats.allocs_per_probe,
+            ns_p50,
+            ns_p99,
         },
     );
     Ok(report)
 }
 
-/// Mean nanoseconds per call of `op` over `iters` calls (0 → no measurement, 0 ns).
-fn time_ns_per_op(iters: u32, mut op: impl FnMut() -> Result<()>) -> Result<u64> {
+/// `(p50, p99)` nanoseconds per call of `op` over `iters` individually timed calls
+/// (0 → no measurement, `(0, 0)`). Nearest-rank percentiles over the sorted samples:
+/// p50 is `samples[len / 2]`, p99 is `samples[ceil(0.99 · len) - 1]` — at small `iters`
+/// the p99 is simply the slowest sample, which is exactly the figure a tail-latency
+/// budget should gate on.
+fn time_percentiles(iters: u32, mut op: impl FnMut() -> Result<()>) -> Result<(u64, u64)> {
     if iters == 0 {
-        return Ok(0);
+        return Ok((0, 0));
     }
-    let start = std::time::Instant::now();
+    let mut samples = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
+        let start = std::time::Instant::now();
         op()?;
+        samples.push(start.elapsed().as_nanos() as u64);
     }
-    Ok((start.elapsed().as_nanos() / u128::from(iters)) as u64)
+    samples.sort_unstable();
+    let p50 = samples[samples.len() / 2];
+    let p99_rank = (samples.len() * 99).div_ceil(100);
+    let p99 = samples[p99_rank - 1];
+    Ok((p50, p99))
 }
 
 #[cfg(test)]
@@ -382,7 +400,11 @@ mod tests {
             assert!(entry.rows_fetched > 0, "{scenario} fetched nothing");
             assert!(entry.values_cloned > 0, "{scenario} cloned nothing");
             assert!(entry.peak_rows_resident > 0);
-            assert_eq!(entry.ns_per_op, 0, "timing_iters = 0 records no timing");
+            // Cold single-shot executions pay their cache misses; only the warmed
+            // anchored fast path is zero-allocation (asserted in the property tests).
+            assert!(entry.allocs_per_probe > 0, "{scenario} demanded no buffers");
+            assert_eq!(entry.ns_p50, 0, "timing_iters = 0 records no timing");
+            assert_eq!(entry.ns_p99, 0, "timing_iters = 0 records no timing");
         }
         let again = pipeline_bench_report(0).unwrap();
         assert_eq!(report, again, "the deterministic fields must reproduce");

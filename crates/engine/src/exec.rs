@@ -106,21 +106,46 @@ impl ExecOptions {
 
     /// The effective worker-thread count: the explicit [`ExecOptions::threads`] if
     /// nonzero, else the [`THREADS_ENV`] environment variable, else the machine's
-    /// available parallelism (1 if unknown).
+    /// available parallelism (1 if unknown). A set-but-invalid variable
+    /// (`BEA_THREADS=four`) panics with the rejection reason instead of silently
+    /// falling back to automatic — a CI matrix typo must fail the job, not quietly
+    /// test the wrong thread count. `BEA_THREADS=0` and the empty string mean
+    /// "automatic", mirroring [`ExecOptions::threads`].
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
-        if let Some(threads) = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|value| value.parse::<usize>().ok())
-            .filter(|&threads| threads > 0)
-        {
+        let from_env = match std::env::var(THREADS_ENV) {
+            Err(std::env::VarError::NotPresent) => None,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("{THREADS_ENV} is set to a non-unicode value; expected an integer")
+            }
+            Ok(value) => parse_threads(&value)
+                .unwrap_or_else(|reason| panic!("invalid {THREADS_ENV}={value:?}: {reason}")),
+        };
+        if let Some(threads) = from_env {
             return threads;
         }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    }
+}
+
+/// Parse a [`THREADS_ENV`] value. `Ok(Some(n))` is an explicit worker count;
+/// `Ok(None)` means "automatic" (`0`, or the empty string — the `BEA_THREADS= cmd`
+/// shell idiom); anything unparsable is an error naming the reason. Split out of
+/// [`ExecOptions::resolved_threads`] so the rejection rules are testable without
+/// mutating the process environment (which would race parallel tests).
+pub fn parse_threads(value: &str) -> std::result::Result<Option<usize>, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(threads) => Ok(Some(threads)),
+        Err(_) => Err(format!("expected a non-negative integer, got {trimmed:?}")),
     }
 }
 
@@ -549,6 +574,32 @@ mod tests {
         .unwrap();
         let idb = IndexedDatabase::build(db, schema.clone()).unwrap();
         (c, schema, idb)
+    }
+
+    #[test]
+    fn thread_env_values_are_validated() {
+        assert_eq!(parse_threads("4").unwrap(), Some(4));
+        assert_eq!(parse_threads(" 2 ").unwrap(), Some(2));
+        assert_eq!(parse_threads("0").unwrap(), None, "0 means automatic");
+        assert_eq!(parse_threads("").unwrap(), None, "empty means unset");
+        // The silent-fallback bug: `BEA_THREADS=four` used to mean "automatic"
+        // without a word. Every malformed value must now carry a rejection reason.
+        assert!(parse_threads("four").unwrap_err().contains("integer"));
+        assert!(parse_threads("-1").is_err());
+        assert!(parse_threads("2 threads").is_err());
+        // The resolved count honors whatever the CI matrix set for this process (the
+        // panic path cannot be exercised here without racing parallel tests on the
+        // process environment — hence the pure parser above).
+        let resolved = ExecOptions::new().resolved_threads();
+        match std::env::var(THREADS_ENV) {
+            Ok(value) => match parse_threads(&value).unwrap() {
+                Some(threads) => assert_eq!(resolved, threads),
+                None => assert!(resolved >= 1),
+            },
+            Err(_) => assert!(resolved >= 1),
+        }
+        // An explicit thread count always beats the environment.
+        assert_eq!(ExecOptions::new().with_threads(3).resolved_threads(), 3);
     }
 
     #[test]

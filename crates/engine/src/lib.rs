@@ -38,6 +38,27 @@
 //! buffers — deterministic for a plan at any thread count, which is what lets the
 //! perf-smoke CI step assert the pipeline's copy traffic instead of eyeballing it.
 //!
+//! # Buffer pooling and the zero-allocation probe path
+//!
+//! Steady-state anchored probes — one probe key hitting a warmed
+//! [`ops`] `KeyedLookupOp` cache with a fused projection — allocate nothing. The
+//! machinery behind the guarantee, and its ownership contract:
+//!
+//! * every [`ops`] execution state owns a **buffer pool** of recycled column and
+//!   selection-vector buffers; operators draw probe-path buffers from it and return
+//!   them when a batch or cache entry is retired. Buffers are always **cleared before
+//!   they are pooled** — the pool holds capacity, never rows, so the residency
+//!   ledger's teardown zero-assertion is unaffected;
+//! * the pool lives and dies with its executor state: it never crosses threads, and
+//!   draining it at teardown is a plain drop — recycled capacity is an optimization,
+//!   not state;
+//! * [`stats::AccessStats::allocs_per_probe`] counts probe-path *buffer-demand*
+//!   events (a pool hit still counts — the metric models demand, not the allocator),
+//!   so it is deterministic, additive, thread- and shard-invariant, and **zero for
+//!   warmed probes** — the property the test suite asserts and `BENCH_pipeline.json`
+//!   records; like the shard distribution it is excluded from
+//!   [`AccessStats::same_data_access`].
+//!
 //! # Threading model
 //!
 //! The streaming pipeline can use worker threads ([`ExecOptions::with_threads`]; the

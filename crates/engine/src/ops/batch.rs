@@ -29,9 +29,13 @@ use std::sync::Arc;
 pub(crate) type Column = Arc<Vec<Value>>;
 
 /// A columnar batch of rows; see the module docs for the layout.
+///
+/// The column list itself is behind an `Arc` too, so `Batch::clone` — the exchange
+/// protocol between pipelines, and a keyed-lookup cache hit — is purely refcount
+/// bumps: no allocation anywhere on the clone path.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Batch {
-    columns: Vec<Column>,
+    columns: Arc<Vec<Column>>,
     /// Physical rows stored in every column (the columns all have this length).
     stored: usize,
     /// Logical row `i` lives at physical position `selection[i]`; `None` = identity.
@@ -49,7 +53,7 @@ impl Batch {
     pub(crate) fn from_dense(columns: Vec<Vec<Value>>, stored: usize) -> Self {
         debug_assert!(columns.iter().all(|c| c.len() == stored));
         Self {
-            columns: columns.into_iter().map(Arc::new).collect(),
+            columns: Arc::new(columns.into_iter().map(Arc::new).collect()),
             stored,
             selection: None,
             origin_shard: None,
@@ -58,7 +62,7 @@ impl Batch {
 
     /// A batch holding exactly one row, taking ownership of its values (no clones).
     pub(crate) fn singleton(row: Row) -> Self {
-        let columns = row.into_iter().map(|v| Arc::new(vec![v])).collect();
+        let columns = Arc::new(row.into_iter().map(|v| Arc::new(vec![v])).collect());
         Self {
             columns,
             stored: 1,
@@ -133,6 +137,15 @@ impl Batch {
         cols.iter().map(|&c| self.columns[c][p].clone()).collect()
     }
 
+    /// Gather the values of logical row `i` at `cols` into `out`, clearing it first:
+    /// the reuse-a-scratch form of [`Batch::gather`] — the same `cols.len()` O(1)
+    /// clones, but no fresh allocation once the scratch has grown to capacity.
+    pub(crate) fn gather_into(&self, i: usize, cols: &[usize], out: &mut Row) {
+        let p = self.physical(i);
+        out.clear();
+        out.extend(cols.iter().map(|&c| self.columns[c][p].clone()));
+    }
+
     /// Append the values of logical row `i` to the corresponding output columns
     /// (`out[c]` receives column `c`), one O(1) clone per column.
     pub(crate) fn append_row_to(&self, i: usize, out: &mut [Vec<Value>]) {
@@ -148,7 +161,7 @@ impl Batch {
     pub(crate) fn hash_row(&self, i: usize) -> u64 {
         let p = self.physical(i);
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        for column in &self.columns {
+        for column in self.columns.iter() {
             column[p].hash(&mut hasher);
         }
         hasher.finish()
@@ -176,7 +189,7 @@ impl Batch {
             .map(|i| self.physical(i) as u32)
             .collect();
         Batch {
-            columns: self.columns.clone(),
+            columns: Arc::clone(&self.columns),
             stored: self.stored,
             selection: Some(Arc::new(selection)),
             origin_shard: self.origin_shard,
@@ -200,7 +213,7 @@ impl Batch {
     /// handles. Zero value copies.
     pub(crate) fn project(&self, cols: &[usize]) -> Batch {
         Batch {
-            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
+            columns: Arc::new(cols.iter().map(|&c| self.columns[c].clone()).collect()),
             stored: self.stored,
             selection: self.selection.clone(),
             origin_shard: self.origin_shard,
@@ -212,34 +225,52 @@ impl Batch {
     /// (zero clones); shared or selected batches gather.
     pub(crate) fn into_rows(self) -> (Vec<Row>, u64) {
         let len = self.len();
-        if self.selection.is_none() {
-            let mut owned: Vec<Vec<Value>> = Vec::with_capacity(self.columns.len());
-            let mut all_unique = true;
-            for column in &self.columns {
-                if Arc::strong_count(column) != 1 {
-                    all_unique = false;
-                    break;
-                }
-            }
-            if all_unique {
-                for column in self.columns {
-                    owned.push(Arc::try_unwrap(column).expect("strong count checked above"));
-                }
-                let mut iters: Vec<_> = owned.into_iter().map(Vec::into_iter).collect();
-                let rows = (0..len)
-                    .map(|_| {
-                        iters
-                            .iter_mut()
-                            .map(|it| it.next().expect("columns have `stored` values"))
-                            .collect()
-                    })
-                    .collect();
-                return (rows, 0);
-            }
+        if self.selection.is_none()
+            && Arc::strong_count(&self.columns) == 1
+            && self.columns.iter().all(|c| Arc::strong_count(c) == 1)
+        {
+            let columns = Arc::try_unwrap(self.columns).expect("strong count checked above");
+            let mut iters: Vec<_> = columns
+                .into_iter()
+                .map(|c| {
+                    Arc::try_unwrap(c)
+                        .expect("strong count checked above")
+                        .into_iter()
+                })
+                .collect();
+            let rows = (0..len)
+                .map(|_| {
+                    iters
+                        .iter_mut()
+                        .map(|it| it.next().expect("columns have `stored` values"))
+                        .collect()
+                })
+                .collect();
+            return (rows, 0);
         }
         let clones = (len * self.arity()) as u64;
         let rows = (0..len).map(|i| self.row(i)).collect();
         (rows, clones)
+    }
+
+    /// Hand the batch's uniquely-owned buffers back to `pool` for reuse. Buffers a
+    /// downstream consumer still shares are left to their remaining owners —
+    /// recycling is best-effort, never a transfer of live data. Called on
+    /// keyed-lookup cache teardown so steady-state probe buffers cycle through the
+    /// pool instead of the allocator.
+    pub(crate) fn recycle_into(self, pool: &mut super::BufferPool) {
+        if let Some(selection) = self.selection {
+            if let Ok(selection) = Arc::try_unwrap(selection) {
+                pool.put_indices(selection);
+            }
+        }
+        if let Ok(columns) = Arc::try_unwrap(self.columns) {
+            for column in columns {
+                if let Ok(column) = Arc::try_unwrap(column) {
+                    pool.put_values(column);
+                }
+            }
+        }
     }
 }
 

@@ -7,6 +7,18 @@
 //! appended column range (see [`super::batch::hash_row_at`]) and masks duplicates with
 //! a selection vector — no value is cloned to decide freshness.
 //!
+//! # The probe path's allocation budget
+//!
+//! Output columns, selection vectors and probe-key scratch are drawn from the
+//! worker's [`super::BufferPool`] and recycled on operator teardown, and every
+//! allocation event the probe path *demands* (pool hit or not) is counted in
+//! [`crate::stats::AccessStats::allocs_per_probe`]: one per source row gathered into
+//! a fetch's key set, and `positions + 2` per keyed-lookup cache miss. A cache hit
+//! counts — and performs — none: the steady-state anchored probe (single key, warm
+//! cache, fused projection) emits the pre-projected cached batch by pure refcount
+//! bumps, which is what makes `allocs_per_probe == 0` assertable for the serving
+//! loop.
+//!
 //! # Shard routing
 //!
 //! A per-shard branch of a sharded lowering carries a
@@ -26,7 +38,6 @@ use bea_core::error::Result;
 use bea_core::plan::{Predicate, ShardRoute};
 use bea_core::value::{Row, Value};
 use bea_storage::{shard_of, Store};
-use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
@@ -101,6 +112,8 @@ pub(crate) struct FetchOp<'db> {
     state: SharedState,
     keys: std::collections::btree_set::IntoIter<Row>,
     num_keys: u64,
+    /// Per-key dedup scratch, reused across batches (cleared per key by the kernel).
+    dedup: HashMap<u64, Vec<u32>>,
     done: bool,
 }
 
@@ -127,6 +140,7 @@ impl<'db> FetchOp<'db> {
             state,
             keys: BTreeSet::new().into_iter(),
             num_keys: 0,
+            dedup: HashMap::new(),
             done: false,
         }
     }
@@ -134,35 +148,47 @@ impl<'db> FetchOp<'db> {
 
 impl Operator for FetchOp<'_> {
     fn next_batch(&mut self) -> Result<Option<Batch>> {
+        #[cfg(test)]
+        if self.relation == super::PANIC_RELATION {
+            panic!("injected operator panic");
+        }
         if let Some(mut input) = self.input.take() {
             // Distinct keys only: fetching the same key twice reads the same data.
             let mut keys: BTreeSet<Row> = BTreeSet::new();
             let mut key_values = 0u64;
+            let mut key_allocs = 0u64;
             while let Some(batch) = input.next_batch()? {
                 // Every candidate key projection this branch owns is physically
                 // gathered (the set discards duplicates after the fact), so every one
-                // counts. Rows routed to other shards are skipped by an in-place hash
+                // counts — as a clone per key column and as one key-row allocation.
+                // Rows routed to other shards are skipped by an in-place hash
                 // — no clone — so the branches together gather each row exactly once.
                 for i in 0..batch.len() {
                     if !owns_row(&batch, i, &self.key_cols, self.route) {
                         continue;
                     }
                     key_values += self.key_cols.len() as u64;
+                    key_allocs += 1;
                     keys.insert(batch.gather(i, &self.key_cols));
                 }
             }
             self.num_keys = keys.len() as u64;
             let mut state = self.state.borrow_mut();
             state.stats.values_cloned += key_values;
+            state.stats.allocs_per_probe += key_allocs;
             state.acquire(self.num_keys);
             self.keys = keys.into_iter();
         }
         if self.done {
             return Ok(None);
         }
-        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); self.positions.len()];
-        let mut selection: Vec<u32> = Vec::new();
-        let mut dedup: HashMap<u64, Vec<u32>> = HashMap::new();
+        let (mut cols, mut selection) = {
+            let mut state = self.state.borrow_mut();
+            let cols: Vec<Vec<Value>> = (0..self.positions.len())
+                .map(|_| state.pool.get_values())
+                .collect();
+            (cols, state.pool.get_indices())
+        };
         while selection.len() < BATCH_SIZE {
             let Some(key) = self.keys.next() else {
                 self.done = true;
@@ -186,7 +212,7 @@ impl Operator for FetchOp<'_> {
                 &self.positions,
                 &mut cols,
                 &mut selection,
-                &mut dedup,
+                &mut self.dedup,
             )?;
             let mut state = self.state.borrow_mut();
             state
@@ -195,6 +221,12 @@ impl Operator for FetchOp<'_> {
             state.stats.values_cloned += fetched * self.positions.len() as u64;
         }
         if selection.is_empty() && self.done {
+            // Nothing was emitted: the pooled buffers go straight back.
+            let mut state = self.state.borrow_mut();
+            for col in cols {
+                state.pool.put_values(col);
+            }
+            state.pool.put_indices(selection);
             Ok(None)
         } else {
             let stored = cols.first().map_or(selection.len(), Vec::len);
@@ -225,11 +257,14 @@ impl Drop for FetchOp<'_> {
 /// every match into output columns, and applies the residual predicates.
 ///
 /// Durable state is the per-key cache of projected postings — `Rc<Batch>` values
-/// looked up through the `entry` API, so a cache hit costs a refcount bump and a
-/// single hash, and nothing is re-cloned or re-hashed on insert. The cache is bounded
-/// by the fetch's access-schema bound times the number of distinct keys; it is
-/// released on exhaustion (or on drop if a consumer short-circuits). Neither the cross
-/// product nor the fetched table is ever materialized.
+/// probed with a reusable key scratch, so a cache hit costs a single hash and a
+/// refcount bump: no allocation, no clone. Only a miss builds buffers (drawn from the
+/// worker's pool, counted in `allocs_per_probe`), and when the projection is fused
+/// and residual-free the miss stores the batch *pre-projected*, so hits have nothing
+/// left to permute. The cache is bounded by the fetch's access-schema bound times the
+/// number of distinct keys; it is drained back into the buffer pool on exhaustion
+/// (released on drop if a consumer short-circuits). Neither the cross product nor the
+/// fetched table is ever materialized.
 pub(crate) struct KeyedLookupOp<'db> {
     input: BoxOp<'db>,
     key_cols: Vec<usize>,
@@ -250,6 +285,18 @@ pub(crate) struct KeyedLookupOp<'db> {
     state: SharedState,
     cache: HashMap<Row, Rc<Batch>>,
     cached_rows: u64,
+    /// Reusable probe-key buffer: every probe gathers into it (no allocation once
+    /// grown); a miss *moves* it into the cache as the owned key and lets the next
+    /// gather regrow it — which is the one key allocation a miss is charged for.
+    key_scratch: Row,
+    /// Per-key dedup scratch, reused across misses (cleared per key by the kernel).
+    dedup: HashMap<u64, Vec<u32>>,
+    /// `Some(mapped)` when cache entries are stored pre-projected: no residual
+    /// predicates and a fused projection keeping only fetched columns, `mapped` being
+    /// those columns rebased to the fetch result. Decided once — input arity is fixed
+    /// by the plan — by [`KeyedLookupOp::ensure_fused_emit`].
+    fused_emit: Option<Vec<usize>>,
+    fused_checked: bool,
     done: bool,
 }
 
@@ -280,46 +327,84 @@ impl<'db> KeyedLookupOp<'db> {
             state,
             cache: HashMap::new(),
             cached_rows: 0,
+            key_scratch: Row::new(),
+            dedup: HashMap::new(),
+            fused_emit: None,
+            fused_checked: false,
             done: false,
         }
     }
 }
 
 impl KeyedLookupOp<'_> {
-    /// The (projected, per-key deduplicated) fetch result for `key`, from the cache
-    /// when present. One hash of the key serves both the hit and the miss path
-    /// (`entry` API); on a hit the stored batch is shared by refcount — nothing is
-    /// copied or re-hashed.
-    fn lookup(&mut self, key: Row) -> Result<Rc<Batch>> {
-        match self.cache.entry(key) {
-            Entry::Occupied(entry) => Ok(entry.get().clone()),
-            Entry::Vacant(entry) => {
-                let mut cols: Vec<Vec<Value>> = vec![Vec::new(); self.positions.len()];
-                let mut selection: Vec<u32> = Vec::new();
-                let mut dedup: HashMap<u64, Vec<u32>> = HashMap::new();
-                self.state.borrow_mut().stats.index_lookups += 1;
-                let (fetched, shard) = fetch_key_into(
-                    self.store,
-                    self.constraint_index,
-                    entry.key(),
-                    &self.positions,
-                    &mut cols,
-                    &mut selection,
-                    &mut dedup,
-                )?;
-                let stored = cols.first().map_or(selection.len(), Vec::len);
-                let cached = Batch::from_dense(cols, stored).keep_physical(selection);
-                let mut state = self.state.borrow_mut();
-                state
-                    .stats
-                    .record_fetched_sharded(&self.relation, shard, fetched);
-                state.stats.values_cloned += fetched * self.positions.len() as u64;
-                state.acquire(cached.len() as u64);
-                drop(state);
-                self.cached_rows += cached.len() as u64;
-                Ok(entry.insert(Rc::new(cached)).clone())
+    /// Decide once whether cache entries can be stored pre-projected; see
+    /// [`KeyedLookupOp::fused_emit`]. Input arity is plan-fixed, so the first batch
+    /// settles it for the operator's lifetime.
+    fn ensure_fused_emit(&mut self, left_arity: usize) {
+        if self.fused_checked {
+            return;
+        }
+        self.fused_checked = true;
+        if !self.residual.is_empty() {
+            return;
+        }
+        if let Some(cols) = &self.out_cols {
+            if cols.iter().all(|&c| c >= left_arity) {
+                self.fused_emit = Some(cols.iter().map(|&c| c - left_arity).collect());
             }
         }
+    }
+
+    /// The (projected, per-key deduplicated) fetch result for the key currently in
+    /// `key_scratch`, from the cache when present. A hit is one hash over the scratch
+    /// and a refcount bump — no allocation of any kind, which is the steady state the
+    /// anchored serving loop relies on. Only a miss builds fresh buffers (drawn from
+    /// the worker's pool) and is charged `positions + 2` in `allocs_per_probe`: the
+    /// key row, one buffer per fetched position, and the selection vector.
+    fn lookup(&mut self) -> Result<Rc<Batch>> {
+        if let Some(hit) = self.cache.get(&self.key_scratch) {
+            return Ok(hit.clone());
+        }
+        // Move the scratch in as the owned cache key — no value is re-cloned; the
+        // next probe's gather regrows the scratch, which is the key allocation this
+        // miss is charged for.
+        let key: Row = std::mem::take(&mut self.key_scratch);
+        let (mut cols, mut selection) = {
+            let mut state = self.state.borrow_mut();
+            state.stats.index_lookups += 1;
+            state.stats.allocs_per_probe += self.positions.len() as u64 + 2;
+            let cols: Vec<Vec<Value>> = (0..self.positions.len())
+                .map(|_| state.pool.get_values())
+                .collect();
+            (cols, state.pool.get_indices())
+        };
+        let (fetched, shard) = fetch_key_into(
+            self.store,
+            self.constraint_index,
+            &key,
+            &self.positions,
+            &mut cols,
+            &mut selection,
+            &mut self.dedup,
+        )?;
+        let stored = cols.first().map_or(selection.len(), Vec::len);
+        let mut cached = Batch::from_dense(cols, stored).keep_physical(selection);
+        if let Some(mapped) = &self.fused_emit {
+            // Store the batch pre-projected: every hit then emits the cached batch
+            // itself, with nothing left to permute per probe.
+            cached = cached.project(mapped);
+        }
+        let mut state = self.state.borrow_mut();
+        state
+            .stats
+            .record_fetched_sharded(&self.relation, shard, fetched);
+        state.stats.values_cloned += fetched * self.positions.len() as u64;
+        state.acquire(cached.len() as u64);
+        drop(state);
+        self.cached_rows += cached.len() as u64;
+        let cached = Rc::new(cached);
+        self.cache.insert(key, Rc::clone(&cached));
+        Ok(cached)
     }
 }
 
@@ -338,35 +423,44 @@ impl Operator for KeyedLookupOp<'_> {
             }
             state.release(self.cached_rows);
             self.cached_rows = 0;
-            self.cache.clear();
+            // Drain the cache through the buffer pool: uniquely-owned key rows and
+            // batch buffers come back cleared for the next probe loop; anything a
+            // downstream consumer still shares stays with that consumer.
+            for (key, cached) in self.cache.drain() {
+                state.pool.put_values(key);
+                if let Ok(batch) = Rc::try_unwrap(cached) {
+                    batch.recycle_into(&mut state.pool);
+                }
+            }
+            state.pool.put_values(std::mem::take(&mut self.key_scratch));
             return Ok(None);
         };
         let left_arity = batch.arity();
         let origin = self.route.map(|r| r.shard);
+        self.ensure_fused_emit(left_arity);
         // Anchor fast path: a single source row (owned by this branch), no residual,
-        // and a fused projection that keeps only fetched columns — the output *is* the
-        // cached batch under a column permutation, emitted by handle sharing with zero
-        // value clones. This is the first lookup of every anchored plan, where the
-        // fan-out (and hence the row-pipeline's copy bill) is largest.
+        // and a fused projection that keeps only fetched columns — the output *is*
+        // the pre-projected cached batch, emitted by refcount bumps with zero value
+        // clones and, on a warm cache, zero allocations. This is the first lookup of
+        // every anchored plan, where the fan-out (and hence the row-pipeline's copy
+        // bill) is largest — and the whole body of the steady-state serving loop.
         if batch.len() == 1
-            && self.residual.is_empty()
+            && self.fused_emit.is_some()
             && owns_row(&batch, 0, &self.key_cols, self.route)
         {
-            if let Some(cols) = &self.out_cols {
-                if cols.iter().all(|&c| c >= left_arity) {
-                    let mapped: Vec<usize> = cols.iter().map(|&c| c - left_arity).collect();
-                    let key: Row = batch.gather(0, &self.key_cols);
-                    self.state.borrow_mut().stats.values_cloned += self.key_cols.len() as u64;
-                    let fetched = self.lookup(key)?;
-                    return Ok(Some(fetched.project(&mapped).with_origin_shard(origin)));
-                }
-            }
+            batch.gather_into(0, &self.key_cols, &mut self.key_scratch);
+            self.state.borrow_mut().stats.values_cloned += self.key_cols.len() as u64;
+            let fetched = self.lookup()?;
+            return Ok(Some((*fetched).clone().with_origin_shard(origin)));
         }
         let out_arity = self
             .out_cols
             .as_ref()
             .map_or(left_arity + self.positions.len(), Vec::len);
-        let mut out: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
+        let mut out: Vec<Vec<Value>> = {
+            let mut state = self.state.borrow_mut();
+            (0..out_arity).map(|_| state.pool.get_values()).collect()
+        };
         let mut out_rows = 0usize;
         let mut probed_rows = 0u64;
         for i in 0..batch.len() {
@@ -376,8 +470,17 @@ impl Operator for KeyedLookupOp<'_> {
                 continue;
             }
             probed_rows += 1;
-            let key: Row = batch.gather(i, &self.key_cols);
-            let fetched = self.lookup(key)?;
+            batch.gather_into(i, &self.key_cols, &mut self.key_scratch);
+            let fetched = self.lookup()?;
+            if self.fused_emit.is_some() {
+                // Cache entries are pre-projected (and there is no residual): the
+                // emission is a straight per-row append of the cached columns.
+                for j in 0..fetched.len() {
+                    fetched.append_row_to(j, &mut out);
+                    out_rows += 1;
+                }
+                continue;
+            }
             for j in 0..fetched.len() {
                 if !passes_pair(&batch, i, &fetched, j, &self.residual) {
                     continue;

@@ -61,7 +61,7 @@ use crate::table::Table;
 use batch::Batch;
 use bea_core::error::{Error, Result};
 use bea_core::plan::{PhysOp, PhysicalPlan};
-use bea_core::value::Row;
+use bea_core::value::{Row, Value};
 use bea_storage::Store;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -71,6 +71,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Rows per pulled batch. Large enough to amortize dispatch, small enough that batch
 /// buffers stay negligible next to any real intermediate result.
 pub(crate) const BATCH_SIZE: usize = 1024;
+
+/// Relation name that makes a streaming fetch panic on its first pull — the
+/// worker-panic injection hook for the scheduler's panic-safety tests (test builds
+/// only; release builds carry no such check).
+#[cfg(test)]
+pub(crate) const PANIC_RELATION: &str = "__panic__";
 
 /// The residency ledger shared by every worker of one execution: a resident-row counter
 /// plus its high-water mark, both atomic so that concurrent pipelines account their
@@ -110,15 +116,66 @@ impl ResidencyLedger {
     }
 }
 
-/// Mutable state owned by one worker: its share of the access statistics plus a handle
-/// to the execution-wide [`ResidencyLedger`]. Sequential execution uses a single
-/// `ExecState`; parallel execution gives each pipeline its own and combines the counter
-/// parts with [`AccessStats::merge_concurrent`], while residency peaks always come from
-/// the shared ledger.
+/// Freelists of cleared executor buffers, recycled across probes so the steady-state
+/// anchored serving loop stops asking the allocator for anything.
+///
+/// The contract: a buffer in the pool is always *empty* (cleared before `put_*`), so
+/// the pool holds capacity, never rows — the [`ResidencyLedger`]'s drained-to-zero
+/// assertion is unaffected by pooling. Operators draw per-batch gather columns,
+/// selection vectors and probe-key scratch from here and hand uniquely-owned buffers
+/// back on teardown (keyed-lookup cache drains, exhausted scratch); buffers still
+/// shared downstream simply stay with their owners. The pool lives on [`ExecState`]
+/// and is dropped with it, so everything pooled is freed at executor teardown.
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool {
+    values: Vec<Vec<Value>>,
+    indices: Vec<Vec<u32>>,
+}
+
+impl BufferPool {
+    /// Freelist cap per buffer kind, so one wide plan cannot pin unbounded capacity.
+    const MAX_POOLED: usize = 64;
+
+    /// A cleared value buffer — recycled capacity when available, fresh otherwise.
+    pub(crate) fn get_values(&mut self) -> Vec<Value> {
+        self.values.pop().unwrap_or_default()
+    }
+
+    /// A cleared index buffer — recycled capacity when available, fresh otherwise.
+    pub(crate) fn get_indices(&mut self) -> Vec<u32> {
+        self.indices.pop().unwrap_or_default()
+    }
+
+    /// Return a value buffer to the freelist (cleared; dropped if the list is full
+    /// or the buffer never grew any capacity worth keeping).
+    pub(crate) fn put_values(&mut self, mut buffer: Vec<Value>) {
+        buffer.clear();
+        if buffer.capacity() > 0 && self.values.len() < Self::MAX_POOLED {
+            self.values.push(buffer);
+        }
+    }
+
+    /// Return an index buffer to the freelist (cleared; dropped if full/zero-cap).
+    pub(crate) fn put_indices(&mut self, mut buffer: Vec<u32>) {
+        buffer.clear();
+        if buffer.capacity() > 0 && self.indices.len() < Self::MAX_POOLED {
+            self.indices.push(buffer);
+        }
+    }
+}
+
+/// Mutable state owned by one worker: its share of the access statistics, a handle
+/// to the execution-wide [`ResidencyLedger`], and the worker's [`BufferPool`].
+/// Sequential execution uses a single `ExecState`; parallel execution gives each
+/// pipeline its own and combines the counter parts with
+/// [`AccessStats::merge_concurrent`], while residency peaks always come from the
+/// shared ledger. The pool is per-state on purpose: buffers never cross threads.
 #[derive(Debug)]
 pub(crate) struct ExecState {
     /// Access statistics accumulated by this worker's operators.
     pub stats: AccessStats,
+    /// Recycled gather/selection/key buffers; see [`BufferPool`].
+    pub(crate) pool: BufferPool,
     ledger: Arc<ResidencyLedger>,
 }
 
@@ -126,6 +183,7 @@ impl ExecState {
     pub(crate) fn new(ledger: Arc<ResidencyLedger>) -> Self {
         Self {
             stats: AccessStats::default(),
+            pool: BufferPool::default(),
             ledger,
         }
     }
@@ -307,7 +365,7 @@ pub(crate) fn execute_inner(
             .get()
             .expect("lowering marks the output step as a materialization point")
             .lock()
-            .expect("materialization lock");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let batches = node
             .batches
             .take()

@@ -30,10 +30,12 @@ use crate::stats::AccessStats;
 use bea_core::error::{Error, Result};
 use bea_core::plan::{PhysicalPlan, PipelineDag};
 use bea_storage::Store;
+use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Shared scheduler state, guarded by one mutex.
 struct Sched {
@@ -45,6 +47,12 @@ struct Sched {
     completed: usize,
     /// First error raised by a worker; set once, ends the run.
     error: Option<Error>,
+    /// First *panic* payload raised by a worker; set once, ends the run. Panics are
+    /// caught on the worker (not left to kill the scoped thread, which would strand
+    /// the others waiting on the condvar) and re-raised on the caller by
+    /// [`run_parallel`], so the original panic message survives instead of a
+    /// poisoned-mutex secondary panic.
+    panic: Option<Box<dyn Any + Send>>,
     /// Concurrent merge of the per-pipeline access counters.
     stats: AccessStats,
 }
@@ -83,10 +91,16 @@ pub(crate) fn run_parallel(
         deps_left,
         completed: 0,
         error: None,
+        panic: None,
         stats: AccessStats::default(),
     });
     let work_available = Condvar::new();
     let workers = threads.min(n).max(1);
+    // The scheduler mutex is only ever held around plain bookkeeping, but a panicking
+    // worker may still have poisoned it between our catch and the next lock — the
+    // bookkeeping it guards is never left half-done, so waiting workers just take the
+    // guard and proceed to the shutdown check.
+    let lock_sched = || sched.lock().unwrap_or_else(PoisonError::into_inner);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -95,29 +109,45 @@ pub(crate) fn run_parallel(
                 let mut last_shard: Option<u32> = None;
                 loop {
                     let job = {
-                        let mut guard = sched.lock().expect("scheduler lock");
+                        let mut guard = lock_sched();
                         loop {
-                            if guard.error.is_some() || guard.completed == n {
+                            if guard.error.is_some()
+                                || guard.panic.is_some()
+                                || guard.completed == n
+                            {
                                 return;
                             }
                             if let Some(job) = pick_ready(&mut guard.ready, &shards, last_shard) {
                                 break job;
                             }
-                            guard = work_available.wait(guard).expect("scheduler lock");
+                            guard = work_available
+                                .wait(guard)
+                                .unwrap_or_else(PoisonError::into_inner);
                         }
                     };
                     last_shard = shards[job];
-                    // A fresh per-pipeline state: counters stay private to this worker,
-                    // residency goes through the shared ledger.
-                    let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
-                    let result = run_pipeline(plan, dag.pipelines()[job].sink, store, &state, mats);
-                    let stats = Rc::try_unwrap(state)
-                        .expect("pipeline operators are dropped before their stats are read")
-                        .into_inner()
-                        .stats;
-                    let mut guard = sched.lock().expect("scheduler lock");
-                    match result {
-                        Ok(()) => {
+                    // Catch panics on the worker: an uncaught panic would kill this
+                    // scoped thread without a `notify_all`, deadlocking the workers
+                    // still waiting on the condvar, and poison any `MatNode` lock it
+                    // held — turning one bad operator into an opaque secondary panic
+                    // elsewhere. The unwind still runs the operator drops inside the
+                    // catch, so residency is released before the payload is recorded.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        // A fresh per-pipeline state: counters stay private to this
+                        // worker, residency goes through the shared ledger.
+                        let state: SharedState =
+                            Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+                        let result =
+                            run_pipeline(plan, dag.pipelines()[job].sink, store, &state, mats);
+                        let stats = Rc::try_unwrap(state)
+                            .expect("pipeline operators are dropped before their stats are read")
+                            .into_inner()
+                            .stats;
+                        (result, stats)
+                    }));
+                    let mut guard = lock_sched();
+                    match outcome {
+                        Ok((Ok(()), stats)) => {
                             guard.stats.merge_concurrent(stats);
                             guard.completed += 1;
                             for &dependent in dag.dependents(job) {
@@ -127,10 +157,15 @@ pub(crate) fn run_parallel(
                                 }
                             }
                         }
-                        Err(error) => {
+                        Ok((Err(error), _)) => {
                             // First failure wins; in-flight pipelines finish, waiting
                             // workers exit.
                             guard.error.get_or_insert(error);
+                        }
+                        Err(payload) => {
+                            // First panic wins, same shutdown protocol as an error;
+                            // the caller re-raises the original payload.
+                            guard.panic.get_or_insert(payload);
                         }
                     }
                     drop(guard);
@@ -140,7 +175,10 @@ pub(crate) fn run_parallel(
         }
     });
 
-    let sched = sched.into_inner().expect("scheduler lock");
+    let sched = sched.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(payload) = sched.panic {
+        resume_unwind(payload);
+    }
     match sched.error {
         Some(error) => Err(error),
         None => Ok(sched.stats),
@@ -150,6 +188,79 @@ pub(crate) fn run_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_panic_propagates_cleanly_instead_of_deadlocking() {
+        use crate::ops::{execute_inner, PANIC_RELATION};
+        use bea_core::access::{AccessConstraint, AccessSchema};
+        use bea_core::plan::{lower_plan_with, LowerOptions, PlanBuilder};
+        use bea_core::value::Value;
+        use bea_storage::{Database, IndexedDatabase};
+
+        let mut c = bea_core::schema::Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare(PANIC_RELATION, ["a", "b"]).unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 10).unwrap(),
+            AccessConstraint::new(&c, PANIC_RELATION, &["a"], &["b"], 10).unwrap(),
+        ]);
+        let mut db = Database::new(c);
+        db.extend("R", [vec![Value::int(1), Value::int(10)]])
+            .unwrap();
+        db.extend(PANIC_RELATION, [vec![Value::int(1), Value::int(10)]])
+            .unwrap();
+        let idb = IndexedDatabase::build(db, schema).unwrap();
+
+        // Two independent branches, so several workers are live at once: a healthy
+        // fetch of R, and a fetch of the injection relation whose operator panics on
+        // its first pull.
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let healthy = b.fetch(
+            k1,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let k2 = b.constant(Value::int(1), "k");
+        let panicking = b.fetch(
+            k2,
+            vec![0],
+            PANIC_RELATION,
+            vec![0],
+            vec![1],
+            1,
+            vec!["a".into(), "b".into()],
+        );
+        let out = b.union(healthy, panicking);
+        let plan = b.finish("Q", out).unwrap();
+        let phys =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        assert!(phys.pipeline_dag().len() >= 3);
+
+        // Before the fix this deadlocked: the panicking worker died without a
+        // `notify_all`, stranding the other workers in the condvar wait, and any
+        // `MatNode` lock it poisoned resurfaced as an unrelated "materialization
+        // lock" panic on whichever worker touched it next. Now the original payload
+        // must reach the caller.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_inner(&phys, bea_storage::Store::Indexed(&idb), 4)
+        }));
+        let payload = outcome.expect_err("the injected panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("injected operator panic"),
+            "expected the original panic payload, got: {message:?}"
+        );
+    }
 
     #[test]
     fn pick_ready_prefers_the_affine_shard() {

@@ -4,6 +4,7 @@ use super::batch::Batch;
 use super::{Operator, SharedMat, SharedState};
 use bea_core::error::Result;
 use bea_core::value::Row;
+use std::sync::PoisonError;
 
 /// Emits a single row once (constants and the unit table).
 pub(crate) struct SingletonOp {
@@ -61,7 +62,11 @@ impl ScanOp {
             return;
         }
         self.finished = true;
-        let mut node = self.node.lock().expect("materialization lock");
+        // Tolerate a lock poisoned by a worker that panicked while publishing or
+        // scanning: the node's bookkeeping is never left half-done, and the panic
+        // itself is what the scheduler reports — a secondary panic here would only
+        // mask it (and leak the consumer count during this drop's cleanup).
+        let mut node = self.node.lock().unwrap_or_else(PoisonError::into_inner);
         node.remaining -= 1;
         if node.remaining == 0 && node.batches.take().is_some() {
             self.state.borrow_mut().release(node.rows);
@@ -75,7 +80,8 @@ impl Operator for ScanOp {
             return Ok(None);
         }
         let batch = {
-            let node = self.node.lock().expect("materialization lock");
+            // Poison-tolerant for the same reason as `finish`.
+            let node = self.node.lock().unwrap_or_else(PoisonError::into_inner);
             let batches = node
                 .batches
                 .as_ref()

@@ -46,6 +46,24 @@ pub struct AccessStats {
     /// execution-strategy artifact and excluded from
     /// [`AccessStats::same_data_access`]; across workers it merges additively.
     pub values_cloned: u64,
+    /// Number of probe-path buffer allocations the streaming executor performs, the
+    /// steady-state allocation model of the anchored serving loop. Two sites count:
+    /// each source row a fetch gathers into its key set (one owned key row per probed
+    /// row), and each keyed-lookup cache *miss* (the owned cache key plus one column
+    /// buffer per fetched position plus the selection vector — `positions + 2`). Cache
+    /// hits count zero, so a warmed anchored probe — single key, cached
+    /// [`KeyedLookupOp`](crate::ops), fused projection — contributes nothing: its
+    /// marginal `allocs_per_probe` is exactly 0, which the property tests assert.
+    /// Per-batch emission buffers are deliberately *excluded*: they scale with batch
+    /// boundaries (an execution-schedule artifact), are recycled through the
+    /// executor's buffer pool, and counting them would break the thread- and
+    /// shard-invariance this counter is asserted to have. The counter models the
+    /// probe path's demand for fresh buffers, not the allocator's view (a pool hit
+    /// still counts — the *miss event* is what the serving loop must avoid). It is a
+    /// streaming-pipeline metric: the materialized executor reports 0. Like
+    /// `values_cloned` it is an execution-strategy artifact, excluded from
+    /// [`AccessStats::same_data_access`], and merges additively across workers.
+    pub allocs_per_probe: u64,
     /// Tuples fetched through index lookups, per relation. Lets experiments attribute
     /// the access cost of a plan to the constraints that served it.
     pub rows_fetched_by_relation: BTreeMap<String, u64>,
@@ -109,6 +127,7 @@ impl AccessStats {
         self.tuples_scanned += rhs.tuples_scanned;
         self.product_rows_materialized += rhs.product_rows_materialized;
         self.values_cloned += rhs.values_cloned;
+        self.allocs_per_probe += rhs.allocs_per_probe;
         for (relation, tuples) in rhs.rows_fetched_by_relation {
             *self.rows_fetched_by_relation.entry(relation).or_insert(0) += tuples;
         }
@@ -152,13 +171,14 @@ impl fmt::Display for AccessStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident, {} values cloned",
+            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident, {} values cloned, {} probe allocs",
             self.tuples_fetched,
             self.index_lookups,
             self.fetch_ops,
             self.tuples_scanned,
             self.peak_rows_resident,
-            self.values_cloned
+            self.values_cloned,
+            self.allocs_per_probe
         )
     }
 }
@@ -178,6 +198,7 @@ mod tests {
             product_rows_materialized: 0,
             peak_rows_resident: 7,
             values_cloned: 20,
+            allocs_per_probe: 4,
             rows_fetched_by_relation: [("R".to_owned(), 10)].into_iter().collect(),
             rows_fetched_by_shard: [(0, 10)].into_iter().collect(),
         };
@@ -189,6 +210,7 @@ mod tests {
             product_rows_materialized: 4,
             peak_rows_resident: 3,
             values_cloned: 5,
+            allocs_per_probe: 1,
             rows_fetched_by_relation: [("R".to_owned(), 2), ("S".to_owned(), 3)]
                 .into_iter()
                 .collect(),
@@ -199,6 +221,7 @@ mod tests {
         assert_eq!(a.fetch_ops, 2);
         assert_eq!(a.product_rows_materialized, 4);
         assert_eq!(a.values_cloned, 25); // additive under every merge rule
+        assert_eq!(a.allocs_per_probe, 5); // additive too
         assert_eq!(a.peak_rows_resident, 7); // max, not sum
         assert_eq!(a.total_tuples_read(), 115);
         assert_eq!(a.rows_fetched_by_relation["R"], 12);
@@ -207,6 +230,7 @@ mod tests {
         assert_eq!(a.rows_fetched_by_shard[&1], 3);
         assert!(a.to_string().contains("fetched 15 tuples"));
         assert!(a.to_string().contains("peak 7 rows resident"));
+        assert!(a.to_string().contains("5 probe allocs"));
     }
 
     #[test]
@@ -221,6 +245,7 @@ mod tests {
             product_rows_materialized: 0,
             peak_rows_resident: peak,
             values_cloned: 12,
+            allocs_per_probe: 6,
             rows_fetched_by_relation: [("R".to_owned(), 6)].into_iter().collect(),
             rows_fetched_by_shard: [(1, 6)].into_iter().collect(),
         };
@@ -285,6 +310,7 @@ mod tests {
         b.peak_rows_resident = 99;
         b.product_rows_materialized = 42;
         b.values_cloned = 1_000;
+        b.allocs_per_probe = 77;
         assert!(a.same_data_access(&b));
         b.record_fetched("R", 1);
         assert!(!a.same_data_access(&b));

@@ -40,13 +40,35 @@ use std::collections::HashMap;
 pub const SHARDS_ENV: &str = "BEA_SHARDS";
 
 /// The shard count named by [`SHARDS_ENV`], defaulting to 1 (unsharded) when the
-/// variable is unset, unparsable or zero.
+/// variable is unset or empty. A set-but-invalid value (`BEA_SHARDS=four`,
+/// `BEA_SHARDS=0`) panics with the rejection reason instead of silently running
+/// unsharded — a CI matrix typo must fail the job, not quietly test the wrong
+/// configuration.
 pub fn shards_from_env() -> u32 {
-    std::env::var(SHARDS_ENV)
-        .ok()
-        .and_then(|value| value.parse::<u32>().ok())
-        .filter(|&shards| shards > 0)
-        .unwrap_or(1)
+    match std::env::var(SHARDS_ENV) {
+        Err(std::env::VarError::NotPresent) => 1,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("{SHARDS_ENV} is set to a non-unicode value; expected a positive integer")
+        }
+        Ok(value) => parse_shards(&value)
+            .unwrap_or_else(|reason| panic!("invalid {SHARDS_ENV}={value:?}: {reason}")),
+    }
+}
+
+/// Parse a [`SHARDS_ENV`] value: a positive integer, with surrounding whitespace
+/// tolerated and the empty string treated as unset (the `BEA_SHARDS= cmd` shell
+/// idiom). Split out of [`shards_from_env`] so the rejection rules are testable
+/// without mutating the process environment (which would race parallel tests).
+pub fn parse_shards(value: &str) -> std::result::Result<u32, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(1);
+    }
+    match trimmed.parse::<u32>() {
+        Ok(0) => Err("a sharded store needs at least 1 shard".to_owned()),
+        Ok(shards) => Ok(shards),
+        Err(_) => Err(format!("expected a positive integer, got {trimmed:?}")),
+    }
 }
 
 /// FNV-1a, written out so shard routing does not depend on the standard library's
@@ -432,6 +454,29 @@ mod tests {
             .map(|i| shard_of([Value::int(i)].iter(), 4))
             .collect();
         assert!(spread.len() >= 2, "hash routing degenerated to one shard");
+    }
+
+    #[test]
+    fn shard_env_values_are_validated() {
+        assert_eq!(parse_shards("1").unwrap(), 1);
+        assert_eq!(parse_shards(" 4 ").unwrap(), 4);
+        assert_eq!(parse_shards("").unwrap(), 1, "empty means unset");
+        assert_eq!(parse_shards("  ").unwrap(), 1, "blank means unset");
+        // The silent-fallback bug: `BEA_SHARDS=four` used to run unsharded without
+        // a word. Every malformed value must now carry a rejection reason.
+        assert!(parse_shards("four")
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse_shards("0").unwrap_err().contains("at least 1"));
+        assert!(parse_shards("-2").is_err());
+        assert!(parse_shards("4 shards").is_err());
+        // Whatever the CI matrix set for this process must itself be valid — the
+        // panic path cannot be exercised here without racing parallel tests on the
+        // process environment, which is exactly why the parser is a pure function.
+        match std::env::var(SHARDS_ENV) {
+            Err(_) => assert_eq!(shards_from_env(), 1),
+            Ok(value) => assert_eq!(shards_from_env(), parse_shards(&value).unwrap()),
+        }
     }
 
     #[test]

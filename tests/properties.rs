@@ -142,6 +142,10 @@ fn assert_bounded_plans_agree_with_naive(
             stats.values_cloned, sharded_stats.values_cloned,
             "shard count changed the copy traffic for {query}"
         );
+        assert_eq!(
+            stats.allocs_per_probe, sharded_stats.allocs_per_probe,
+            "shard count changed the probe-path buffer demand for {query}"
+        );
         // Boundedness per shard: the partitions serve exactly the plan's fetch total.
         assert_eq!(
             sharded_stats.rows_fetched_by_shard.values().sum::<u64>(),
@@ -181,6 +185,12 @@ fn assert_bounded_plans_agree_with_naive(
         assert_eq!(
             stats.values_cloned, parallel_stats.values_cloned,
             "thread count changed the copy traffic for {query}"
+        );
+        // Probe-path buffer demand is deterministic across the streaming legs too
+        // (the materialized executor is excluded: it has no probe path and reports 0).
+        assert_eq!(
+            stats.allocs_per_probe, parallel_stats.allocs_per_probe,
+            "thread count changed the probe-path buffer demand for {query}"
         );
         let cost = plan.cost(schema, indexed.size());
         assert!(
@@ -338,6 +348,128 @@ fn columnar_pipeline_halves_copy_traffic_on_target_scenarios() {
             );
         }
     }
+}
+
+/// The zero-allocation anchored fast path (PR 6): a probe loop that keeps hitting one
+/// cached `KeyedLookupOp` key must allocate nothing per probe after warm-up. The plan
+/// fetches the `m` R-rows of one anchor (all sharing join key 7), then joins each
+/// against S through the fused keyed-lookup pattern — so the lookup cache warms on the
+/// first probe and every subsequent probe must be served without demanding a single
+/// buffer. `allocs_per_probe` counts buffer-demand events deterministically, hence the
+/// assertable form: the *total* at `m = 512` equals the total at `m = 1` (zero
+/// marginal allocations per warmed probe), at threads ∈ {1, 4} × shards ∈ {1, 4}; and
+/// the pooling machinery changes neither the rows nor any data-access counter.
+#[test]
+fn warmed_anchored_probes_allocate_nothing() {
+    use bea::core::plan::{PlanBuilder, Predicate};
+    use bea_core::access::AccessConstraint;
+    use bea_core::schema::Catalog;
+
+    // R(a, b, c) with constraint a → (b, c); S(k, v) with constraint k → v.
+    let catalog = {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b", "c"]).unwrap();
+        c.declare("S", ["k", "v"]).unwrap();
+        c
+    };
+    let schema = AccessSchema::from_constraints([
+        AccessConstraint::new(&catalog, "R", &["a"], &["b", "c"], 4096).unwrap(),
+        AccessConstraint::new(&catalog, "S", &["k"], &["v"], 10).unwrap(),
+    ]);
+
+    // fetch the anchor's R-rows, then the fused product → select → project becomes
+    // one KeyedLookup on S (key = R.b) with a fused projection — the anchored probe.
+    let plan = {
+        let mut b = PlanBuilder::new();
+        let anchor = b.constant(Value::int(1), "x");
+        let r = b.fetch(
+            anchor,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1, 2],
+            0,
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let s = b.fetch(
+            r,
+            vec![1],
+            "S",
+            vec![0],
+            vec![1],
+            1,
+            vec!["k".into(), "v".into()],
+        );
+        let joined = b.product(r, s);
+        let selected = b.select(joined, vec![Predicate::ColEqCol(1, 3)]);
+        // Keep the distinct c column: the m output rows must survive set semantics.
+        let out = b.project(selected, vec![2, 4]);
+        b.finish("AnchoredProbeLoop", out).unwrap()
+    };
+
+    let database_with_rows = |m: i64| {
+        let mut db = bea::storage::Database::new(catalog.clone());
+        db.extend(
+            "R",
+            (0..m).map(|i| vec![Value::int(1), Value::int(7), Value::int(i)]),
+        )
+        .unwrap();
+        db.extend("S", [vec![Value::int(7), Value::int(100)]])
+            .unwrap();
+        db
+    };
+
+    // Every (threads, shards) corner must report the same per-size totals.
+    let mut totals: Vec<(u64, u64)> = Vec::new(); // (allocs at m = 1, allocs at m = 512)
+    for shards in [1u32, 4] {
+        for threads in [1usize, 4] {
+            let options = ExecOptions::new().with_threads(threads);
+            let mut per_size = Vec::new();
+            for m in [1i64, 512] {
+                let db = database_with_rows(m);
+                let indexed = IndexedDatabase::build(db.clone(), schema.clone()).unwrap();
+                let (table, stats) = if shards == 1 {
+                    execute_plan_with_options(&plan, &indexed, &options).unwrap()
+                } else {
+                    let sharded = ShardedDatabase::build(db, schema.clone(), shards).unwrap();
+                    execute_plan_on(&plan, Store::Sharded(&sharded), &options).unwrap()
+                };
+                // Pooling must be invisible to everything but the allocation counter:
+                // the answers and the data-access counters match the unpooled
+                // materialized executor exactly.
+                let (reference, reference_stats) =
+                    execute_plan_with_options(&plan, &indexed, &ExecOptions::materialized())
+                        .unwrap();
+                assert!(
+                    table.same_rows(&reference),
+                    "pooled probe loop changed the answers at m = {m}, \
+                     {threads} threads, {shards} shards"
+                );
+                assert_eq!(table.len() as i64, m, "one output row per R-row");
+                assert!(
+                    stats.same_data_access(&reference_stats),
+                    "pooled probe loop changed the data access at m = {m}: \
+                     {stats} vs {reference_stats}"
+                );
+                assert!(stats.allocs_per_probe > 0, "cold probes must be charged");
+                per_size.push(stats.allocs_per_probe);
+            }
+            totals.push((per_size[0], per_size[1]));
+        }
+    }
+    for (allocs_warm_start, allocs_after_512_probes) in &totals {
+        assert_eq!(
+            allocs_warm_start, allocs_after_512_probes,
+            "warmed anchored probes demanded buffers: 512-probe total {} exceeds the \
+             warm-up-only total {} — the fast path allocated per probe",
+            allocs_after_512_probes, allocs_warm_start
+        );
+    }
+    // Thread and shard counts never change the totals either.
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "allocation totals varied across the thread × shard matrix: {totals:?}"
+    );
 }
 
 /// Shard-count invariance: the same covered queries executed against partitioned
