@@ -205,6 +205,99 @@ impl ParallelScenario {
     }
 }
 
+/// The morsel-parallelism scenario: one *heavy* pipeline instead of many small ones.
+/// A single anchor key fans out to `fan_out` rows with distinct join keys, which a
+/// second hop joins through the fused keyed-lookup pattern — so the exchange-lowered
+/// plan has one morsel-splittable probe pipeline whose materialized source spans
+/// `fan_out / 1024` batches. This is the shape the jobs-of-morsels scheduler targets:
+/// at `threads = 1` the chain runs unsplit; at higher thread counts the scheduler cuts
+/// the probe stream into morsels that fill the shared lookup cache concurrently, with
+/// identical rows, data access, copy traffic and probe-path buffer demand at every
+/// morsel size (asserted in `tests/properties.rs` and below).
+pub struct MorselScenario {
+    /// The relational schema (R(a, b) fan-out, S(k, v) lookups).
+    pub catalog: Catalog,
+    /// a → b with bound `fan_out`; k → v with bound 1.
+    pub schema: AccessSchema,
+    /// The indexed database.
+    pub indexed: IndexedDatabase,
+    /// The two-hop anchored lookup chain.
+    pub plan: QueryPlan,
+    /// The plan lowered with exchange points: the heavy probe pipeline is
+    /// morsel-splittable.
+    pub physical: PhysicalPlan,
+    /// Rows the anchor fans out to (= distinct keys the second hop fills).
+    pub fan_out: u32,
+}
+
+impl MorselScenario {
+    /// Build the scenario with the given fan-out.
+    pub fn with_fan_out(fan_out: u32, seed: u64) -> Result<Self> {
+        use bea_core::access::AccessConstraint;
+        use bea_core::plan::{PlanBuilder, Predicate};
+        use bea_core::value::Value;
+
+        let catalog = {
+            let mut c = Catalog::new();
+            c.declare("R", ["a", "b"])?;
+            c.declare("S", ["k", "v"])?;
+            c
+        };
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::new(&catalog, "R", &["a"], &["b"], u64::from(fan_out))?,
+            AccessConstraint::new(&catalog, "S", &["k"], &["v"], 1u64)?,
+        ]);
+        let offset = 100_000 + (seed as i64 % 1_000);
+        let mut db = bea_storage::Database::new(catalog.clone());
+        db.extend(
+            "R",
+            (0..i64::from(fan_out)).map(|i| vec![Value::int(1), Value::int(offset + i)]),
+        )?;
+        db.extend(
+            "S",
+            (0..i64::from(fan_out)).map(|i| vec![Value::int(offset + i), Value::int(i)]),
+        )?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+
+        let plan = {
+            let mut b = PlanBuilder::new();
+            let anchor = b.constant(Value::int(1), "x");
+            let r = b.fetch(
+                anchor,
+                vec![0],
+                "R",
+                vec![0],
+                vec![1],
+                0,
+                vec!["a".into(), "b".into()],
+            );
+            let s = b.fetch(
+                r,
+                vec![1],
+                "S",
+                vec![0],
+                vec![1],
+                1,
+                vec!["k".into(), "v".into()],
+            );
+            let joined = b.product(r, s);
+            let selected = b.select(joined, vec![Predicate::ColEqCol(1, 2)]);
+            let out = b.project(selected, vec![1, 3]);
+            b.finish("MorselChain", out)?
+        };
+        let physical =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true))?;
+        Ok(Self {
+            catalog,
+            schema,
+            indexed,
+            plan,
+            physical,
+            fan_out,
+        })
+    }
+}
+
 /// The sharded-execution scenario: the anchored Q0 accidents query fanned out over `K`
 /// index-partition shards. The physical plan is lowered with a shard fan-out equal to
 /// the store's shard count, so every keyed fetch becomes one branch per shard probing
@@ -284,6 +377,7 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
     let ecommerce = EcommerceScenario::with_customers(300, BENCH_REPORT_SEED)?;
     let batch = ParallelScenario::with_branches(6, 20_000, BENCH_REPORT_SEED)?;
     let sharded = ShardedScenario::with_shards(4, 20_000, BENCH_REPORT_SEED)?;
+    let morsel = MorselScenario::with_fan_out(16_384, BENCH_REPORT_SEED)?;
 
     let mut report = PipelineBenchReport::default();
     let single = ExecOptions::new().with_threads(1);
@@ -330,6 +424,25 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
             ns_p99,
         },
     );
+    // The morsel scenario records the same way: deterministic fields from the
+    // 1-thread (unsplit) run — morsel splitting is asserted not to change any of
+    // them — and wall clock at 4 workers, where the scheduler actually cuts the
+    // heavy probe pipeline into morsels.
+    let (_, stats) = execute_physical_with_options(&morsel.physical, &morsel.indexed, &single)?;
+    let (ns_p50, ns_p99) = time_percentiles(timing_iters, || {
+        execute_physical_with_options(&morsel.physical, &morsel.indexed, &parallel).map(|_| ())
+    })?;
+    report.insert(
+        "morsel_chain_fan_16384",
+        BenchEntry {
+            rows_fetched: stats.tuples_fetched,
+            peak_rows_resident: stats.peak_rows_resident,
+            values_cloned: stats.values_cloned,
+            allocs_per_probe: stats.allocs_per_probe,
+            ns_p50,
+            ns_p99,
+        },
+    );
     // The sharded scenario follows the same recording convention: deterministic
     // fields from the sequential run (pipelines execute in step order, so the peak is
     // schedule-independent; access counters and copy traffic are shard- and
@@ -359,7 +472,7 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
 /// p50 is `samples[len / 2]`, p99 is `samples[ceil(0.99 · len) - 1]` — at small `iters`
 /// the p99 is simply the slowest sample, which is exactly the figure a tail-latency
 /// budget should gate on.
-fn time_percentiles(iters: u32, mut op: impl FnMut() -> Result<()>) -> Result<(u64, u64)> {
+pub fn time_percentiles(iters: u32, mut op: impl FnMut() -> Result<()>) -> Result<(u64, u64)> {
     if iters == 0 {
         return Ok((0, 0));
     }
@@ -391,6 +504,7 @@ mod tests {
             "graph_personalized",
             "ecommerce_orders",
             "parallel_q0_batch_6",
+            "morsel_chain_fan_16384",
             "sharded_q0_shards_4",
         ] {
             let entry = report
@@ -554,6 +668,77 @@ mod tests {
 
         let (naive, _) = eval_cq(&scenario.q0, scenario.sharded.database()).unwrap();
         assert!(sharded.same_rows(&naive));
+    }
+
+    /// The acceptance property of morsel parallelism on its target scenario: the
+    /// heavy chain genuinely lowers to a morsel-splittable pipeline with a multi-batch
+    /// source, and executing it at 4 threads with morsel sizes from one-batch-per-
+    /// morsel to never-split changes neither the rows nor any deterministic counter
+    /// relative to the 1-thread unsplit baseline.
+    #[test]
+    fn morsel_scenario_is_invariant_across_morsel_sizes() {
+        let scenario = MorselScenario::with_fan_out(4_096, BENCH_REPORT_SEED).unwrap();
+        assert!(scenario.indexed.satisfies_schema());
+        assert_eq!(scenario.catalog.len(), 2);
+        assert!(
+            scenario
+                .physical
+                .pipeline_dag()
+                .pipelines()
+                .iter()
+                .any(|p| p.morsel_source.is_some()),
+            "the chain must lower to a morsel-splittable pipeline"
+        );
+
+        let (baseline, baseline_stats) = execute_physical_with_options(
+            &scenario.physical,
+            &scenario.indexed,
+            &ExecOptions::new().with_threads(1),
+        )
+        .unwrap();
+        assert_eq!(baseline.len(), scenario.fan_out as usize);
+        let (naive, _) =
+            eval_cq(&chain_query(&scenario.catalog), scenario.indexed.database()).unwrap();
+        assert!(baseline.same_rows(&naive), "chain disagrees with naive");
+
+        for morsel_size in [1usize, 0, usize::MAX] {
+            let (table, stats) = execute_physical_with_options(
+                &scenario.physical,
+                &scenario.indexed,
+                &ExecOptions::new()
+                    .with_threads(4)
+                    .with_morsel_size(morsel_size),
+            )
+            .unwrap();
+            assert_eq!(
+                table.rows(),
+                baseline.rows(),
+                "rows (or their order) changed at morsel size {morsel_size}"
+            );
+            assert!(
+                stats.same_data_access(&baseline_stats),
+                "data access changed at morsel size {morsel_size}"
+            );
+            assert_eq!(
+                stats.values_cloned, baseline_stats.values_cloned,
+                "copy traffic changed at morsel size {morsel_size}"
+            );
+            assert_eq!(
+                stats.allocs_per_probe, baseline_stats.allocs_per_probe,
+                "probe-path buffer demand changed at morsel size {morsel_size}"
+            );
+        }
+    }
+
+    /// The scenario's chain as a conjunctive query, for the naive differential.
+    fn chain_query(catalog: &Catalog) -> bea_core::query::cq::ConjunctiveQuery {
+        bea_core::query::cq::ConjunctiveQuery::builder("MorselChainNaive")
+            .head(["b", "v"])
+            .atom("R", ["a", "b"])
+            .atom("S", ["b", "v"])
+            .eq("a", 1i64)
+            .build(catalog)
+            .unwrap()
     }
 
     /// The acceptance property of the parallel scheduler on its target scenario: the

@@ -41,7 +41,11 @@
 //!   access. This cuts the plan into more, *independent* pipelines that a parallel
 //!   scheduler can run on worker threads; it trades some residency (the exchanged
 //!   results are buffered instead of streamed) for parallelism, and never changes what
-//!   data is accessed.
+//!   data is accessed. The same option additionally cuts the plan at the source of
+//!   every keyed lookup whose source subtree performs index access: the lookup then
+//!   heads a pipeline whose probe stream is a materialized batch sequence, which the
+//!   scheduler can split into **morsels** — consecutive batch groups executed
+//!   concurrently on the worker pool (see [`Pipeline::morsel_source`]).
 //! * **Shard fan-out** (opt-in, [`LowerOptions::shard_fanout`]) — when the store's
 //!   constraint indexes are partitioned into `K` shards, every keyed fetch and keyed
 //!   lookup is rewritten into `K` per-shard branches (each tagged with a
@@ -412,7 +416,19 @@ impl PhysicalPlan {
             let mut sources: BTreeSet<PhysId> = BTreeSet::new();
             let mut shard: Option<u32> = None;
             let mut mixed = false;
-            let mut note_shard = |op: &PhysOp| {
+            // Morsel eligibility of the region: every step must be a per-batch pure
+            // map over its input — keyed lookups, filters and projections. Fetch is
+            // excluded (it deduplicates keys globally across its whole input), and so
+            // is every buffered / order-sensitive operator (dedup, joins, products,
+            // differences, unions).
+            let mut splittable = true;
+            let mut has_lookup = false;
+            let mut note_shard = |op: &PhysOp, splittable: &mut bool, has_lookup: &mut bool| {
+                match op {
+                    PhysOp::KeyedLookup { .. } => *has_lookup = true,
+                    PhysOp::Filter { .. } | PhysOp::Project { .. } => {}
+                    _ => *splittable = false,
+                }
                 let tag = match op {
                     PhysOp::Fetch { shard, .. } | PhysOp::KeyedLookup { shard, .. } => {
                         shard.map(|route| route.shard)
@@ -425,21 +441,30 @@ impl PhysicalPlan {
                     _ => {}
                 }
             };
-            note_shard(&step.op);
+            note_shard(&step.op, &mut splittable, &mut has_lookup);
             let mut stack: Vec<PhysId> = self.steps[sink].op.inputs();
             while let Some(j) = stack.pop() {
                 if self.steps[j].materialize {
                     sources.insert(j);
                 } else {
-                    note_shard(&self.steps[j].op);
+                    note_shard(&self.steps[j].op, &mut splittable, &mut has_lookup);
                     stack.extend(self.steps[j].op.inputs());
                 }
             }
             sink_to_pipeline.insert(sink, pipelines.len());
+            let sources: Vec<PhysId> = sources.into_iter().collect();
+            // A splittable region is a linear chain of per-batch maps over exactly
+            // one materialized source: its probe stream can be cut into batch groups
+            // (morsels) executed concurrently without changing any result or counter.
+            let morsel_source = match sources.as_slice() {
+                [source] if splittable && has_lookup => Some(*source),
+                _ => None,
+            };
             pipelines.push(Pipeline {
                 sink,
-                sources: sources.into_iter().collect(),
+                sources,
                 shard: if mixed { None } else { shard },
+                morsel_source,
             });
         }
         let deps: Vec<Vec<usize>> = pipelines
@@ -482,6 +507,17 @@ pub struct Pipeline {
     /// shard affinity: a worker that just ran shard `k`'s pipeline prefers the next
     /// pipeline tagged `k`.
     pub shard: Option<u32>,
+    /// The pipeline's sole materialized source, when its streaming region is
+    /// morsel-splittable: a linear chain of per-batch pure maps (keyed lookups,
+    /// filters, projections — at least one lookup) over exactly one source. Such a
+    /// region computes each output batch from one input batch independently, so the
+    /// scheduler may cut the source's batch stream into **morsels** (consecutive
+    /// batch groups) and run them concurrently: the concatenated per-morsel results,
+    /// in morsel order, equal the unsplit pipeline's output batch-for-batch, and
+    /// every data-access counter is unchanged. `None` for regions with buffered or
+    /// order-sensitive state (fetch's global key dedup, dedup, joins, products,
+    /// unions, differences) or with several sources.
+    pub morsel_source: Option<PhysId>,
 }
 
 /// The pipeline decomposition of a [`PhysicalPlan`]: pipelines in topological (step)
@@ -1139,6 +1175,51 @@ pub fn lower_plan_with(plan: &QueryPlan, options: &LowerOptions) -> Result<Physi
                 phys[j].materialize = true;
             }
         }
+        // Morsel cuts: the source of a keyed lookup becomes a materialization point
+        // when the source subtree itself performs index access. This turns a heavy
+        // straight-line chain (fetch → lookup → lookup) into lookup-over-materialized-
+        // source pipelines whose probe streams the scheduler can split into
+        // batch-sized morsels (see [`Pipeline::morsel_source`]). Like every exchange
+        // point, the cut only buffers a result that was computed anyway — the batch
+        // boundaries, data access and copy traffic are all unchanged.
+        let mut morsel_cuts: Vec<PhysId> = Vec::new();
+        for step in &phys {
+            if let PhysOp::KeyedLookup { source, .. } = &step.op {
+                if has_access[*source] {
+                    morsel_cuts.push(*source);
+                }
+            }
+        }
+        for j in morsel_cuts.drain(..) {
+            phys[j].materialize = true;
+        }
+        // A dedup that caps a lookup chain (the set-restoring step over the plan
+        // output, typically) is order-sensitive and can never be part of a morsel
+        // region — cut *below* it when doing so leaves a splittable chain behind:
+        // walking from the dedup's source through streaming filters/projections must
+        // reach a streaming keyed lookup.
+        for step in &phys {
+            let PhysOp::Dedup { source } = &step.op else {
+                continue;
+            };
+            let mut j = *source;
+            loop {
+                if phys[j].materialize {
+                    break;
+                }
+                match &phys[j].op {
+                    PhysOp::KeyedLookup { .. } => {
+                        morsel_cuts.push(*source);
+                        break;
+                    }
+                    PhysOp::Filter { source, .. } | PhysOp::Project { source, .. } => j = *source,
+                    _ => break,
+                }
+            }
+        }
+        for j in morsel_cuts {
+            phys[j].materialize = true;
+        }
     }
 
     let plan = PhysicalPlan {
@@ -1711,6 +1792,137 @@ mod tests {
         let options = LowerOptions::new().with_exchange_parallelism(true);
         assert!(options.exchange_parallelism);
         assert!(!LowerOptions::default().exchange_parallelism);
+    }
+
+    /// A two-hop lookup chain — `fetch(R, keys)` feeding `fetch(S, ·)` — the
+    /// straight-line shape the morsel cut targets.
+    fn lookup_chain_plan(project_tail: bool) -> QueryPlan {
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let k2 = b.constant(Value::int(2), "k");
+        let keys = b.union(k1, k2);
+        let f1 = b.fetch(
+            keys,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let p1 = b.product(keys, f1);
+        let s1 = b.select(p1, vec![Predicate::ColEqCol(0, 1)]); // [k, a, b]
+        let f2 = b.fetch(
+            s1,
+            vec![2],
+            "S",
+            vec![0],
+            vec![1],
+            1,
+            vec!["b".into(), "c".into()],
+        );
+        let p2 = b.product(s1, f2);
+        let s2 = b.select(p2, vec![Predicate::ColEqCol(2, 3)]); // [k, a, b, b, c]
+        let out = if project_tail {
+            b.project(s2, vec![4]) // drop the key columns: forces a dedup at the output
+        } else {
+            s2
+        };
+        b.finish("Q", out).unwrap()
+    }
+
+    #[test]
+    fn exchange_lowering_cuts_lookup_chains_into_morsel_pipelines() {
+        let plan = lookup_chain_plan(false);
+        let streaming = lower_plan(&plan).unwrap();
+        let exchanged =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        // The cut changes only materialization, never the operators.
+        let ops = |p: &PhysicalPlan| p.steps().iter().map(|s| s.op.clone()).collect::<Vec<_>>();
+        assert_eq!(ops(&streaming), ops(&exchanged));
+
+        // Streaming: one pipeline, no materialized source, so nothing to split.
+        let dag = streaming.pipeline_dag();
+        assert!(dag.pipelines().iter().all(|p| p.morsel_source.is_none()));
+
+        // Exchanged: the chain's first lookup is cut into its own pipeline, and the
+        // second lookup heads a morsel-splittable pipeline reading it.
+        let dag = exchanged.pipeline_dag();
+        let lookups: Vec<PhysId> = exchanged
+            .steps()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.op, PhysOp::KeyedLookup { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(lookups.len(), 2);
+        let (first, second) = (lookups[0], lookups[1]);
+        assert!(
+            exchanged.steps()[first].materialize,
+            "the chain must be cut at the second lookup's source"
+        );
+        let splittable: Vec<&Pipeline> = dag
+            .pipelines()
+            .iter()
+            .filter(|p| p.morsel_source.is_some())
+            .collect();
+        assert_eq!(splittable.len(), 1);
+        assert_eq!(splittable[0].sink, second);
+        assert_eq!(splittable[0].morsel_source, Some(first));
+        assert_eq!(splittable[0].sources, vec![first]);
+    }
+
+    #[test]
+    fn exchange_lowering_cuts_below_the_output_dedup() {
+        // Projecting away the key columns forces a dedup at the output; the dedup is
+        // order-sensitive, so the cut lands below it and the lookup + projection chain
+        // becomes the morsel-splittable pipeline.
+        let plan = lookup_chain_plan(true);
+        let exchanged =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        assert!(matches!(
+            exchanged.steps()[exchanged.output()].op,
+            PhysOp::Dedup { .. }
+        ));
+        let dag = exchanged.pipeline_dag();
+        let splittable: Vec<&Pipeline> = dag
+            .pipelines()
+            .iter()
+            .filter(|p| p.morsel_source.is_some())
+            .collect();
+        assert_eq!(splittable.len(), 1);
+        // The splittable pipeline's sink is the projection feeding the dedup, and its
+        // region holds the chain's second lookup.
+        assert!(matches!(
+            exchanged.steps()[splittable[0].sink].op,
+            PhysOp::Project { .. }
+        ));
+        let output_pipe = dag.pipelines().last().unwrap();
+        assert_eq!(output_pipe.sink, exchanged.output());
+        assert_eq!(output_pipe.sources, vec![splittable[0].sink]);
+        assert!(output_pipe.morsel_source.is_none());
+    }
+
+    #[test]
+    fn sharded_branches_are_morsel_splittable() {
+        // Per-shard lookup branches are single-source keyed-lookup regions: each is a
+        // morsel-splittable pipeline tagged with its shard.
+        let plan = keyed_join_plan();
+        let sharded = lower_plan_with(&plan, &LowerOptions::new().with_shard_fanout(4)).unwrap();
+        let dag = sharded.pipeline_dag();
+        let splittable: Vec<&Pipeline> = dag
+            .pipelines()
+            .iter()
+            .filter(|p| p.morsel_source.is_some())
+            .collect();
+        assert_eq!(splittable.len(), 4);
+        let mut shards: Vec<u32> = splittable.iter().map(|p| p.shard.unwrap()).collect();
+        shards.sort_unstable();
+        assert_eq!(shards, vec![0, 1, 2, 3]);
+        // All four branches read the same materialized key set.
+        let sources: BTreeSet<Option<PhysId>> =
+            splittable.iter().map(|p| p.morsel_source).collect();
+        assert_eq!(sources.len(), 1);
     }
 
     #[test]

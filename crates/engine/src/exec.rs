@@ -38,6 +38,15 @@ use std::collections::BTreeSet;
 /// [`ExecOptions::with_threads`] beats the environment.
 pub const THREADS_ENV: &str = "BEA_THREADS";
 
+/// Environment variable overriding the automatic morsel size (rows per intra-pipeline
+/// work unit; see [`ExecOptions::morsel_size`]). An explicit
+/// [`ExecOptions::with_morsel_size`] beats the environment.
+pub const MORSELS_ENV: &str = "BEA_MORSELS";
+
+/// The automatic morsel size: one full batch per morsel, the finest split that keeps
+/// batch boundaries (and therefore every per-batch counter charge) intact.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
 /// Options controlling plan execution.
 ///
 /// The struct is `#[non_exhaustive]`: construct it with [`ExecOptions::new`] (or
@@ -63,6 +72,16 @@ pub struct ExecOptions {
     /// worker threads (see `bea_core::plan::physical` and the `ops` module docs).
     /// Ignored by the materialized strategy.
     pub threads: usize,
+    /// Target rows per **morsel** — the unit in which the parallel scheduler splits a
+    /// morsel-splittable pipeline's probe stream across the worker pool (see
+    /// `bea_core::plan::Pipeline::morsel_source`). A morsel is a group of consecutive
+    /// whole source batches totaling at least this many rows; batches are never cut,
+    /// so every per-batch counter charge is identical at any morsel size. `0` (the
+    /// default) resolves automatically: the [`MORSELS_ENV`] environment variable if
+    /// set, otherwise [`DEFAULT_MORSEL_ROWS`]. `usize::MAX` forces a single morsel
+    /// (the unsplit pipeline). Only multi-threaded streaming runs split; results and
+    /// every deterministic counter are morsel-size-invariant — only wall clock moves.
+    pub morsel_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -71,6 +90,7 @@ impl Default for ExecOptions {
             streaming: true,
             defer_products: true,
             threads: 0,
+            morsel_size: 0,
         }
     }
 }
@@ -104,6 +124,12 @@ impl ExecOptions {
         self
     }
 
+    /// Set the target rows per morsel (0 = automatic, `usize::MAX` = never split).
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size;
+        self
+    }
+
     /// The effective worker-thread count: the explicit [`ExecOptions::threads`] if
     /// nonzero, else the [`THREADS_ENV`] environment variable, else the machine's
     /// available parallelism (1 if unknown). A set-but-invalid variable
@@ -130,6 +156,28 @@ impl ExecOptions {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     }
+
+    /// The effective morsel size: the explicit [`ExecOptions::morsel_size`] if
+    /// nonzero, else the [`MORSELS_ENV`] environment variable, else
+    /// [`DEFAULT_MORSEL_ROWS`]. Follows the same loud-failure contract as
+    /// [`ExecOptions::resolved_threads`]: a set-but-invalid variable
+    /// (`BEA_MORSELS=big`) panics with the rejection reason instead of silently
+    /// benchmarking the wrong split; `BEA_MORSELS=0` and the empty string mean
+    /// "automatic".
+    pub fn resolved_morsel_size(&self) -> usize {
+        if self.morsel_size > 0 {
+            return self.morsel_size;
+        }
+        let from_env = match std::env::var(MORSELS_ENV) {
+            Err(std::env::VarError::NotPresent) => None,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("{MORSELS_ENV} is set to a non-unicode value; expected an integer")
+            }
+            Ok(value) => parse_morsels(&value)
+                .unwrap_or_else(|reason| panic!("invalid {MORSELS_ENV}={value:?}: {reason}")),
+        };
+        from_env.unwrap_or(DEFAULT_MORSEL_ROWS)
+    }
 }
 
 /// Parse a [`THREADS_ENV`] value. `Ok(Some(n))` is an explicit worker count;
@@ -145,6 +193,22 @@ pub fn parse_threads(value: &str) -> std::result::Result<Option<usize>, String> 
     match trimmed.parse::<usize>() {
         Ok(0) => Ok(None),
         Ok(threads) => Ok(Some(threads)),
+        Err(_) => Err(format!("expected a non-negative integer, got {trimmed:?}")),
+    }
+}
+
+/// Parse a [`MORSELS_ENV`] value. `Ok(Some(n))` is an explicit rows-per-morsel target;
+/// `Ok(None)` means "automatic" (`0`, or the empty string); anything unparsable is an
+/// error naming the reason. Same loud-failure contract — and the same
+/// testable-without-the-environment split — as [`parse_threads`].
+pub fn parse_morsels(value: &str) -> std::result::Result<Option<usize>, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(rows) => Ok(Some(rows)),
         Err(_) => Err(format!("expected a non-negative integer, got {trimmed:?}")),
     }
 }
@@ -175,7 +239,12 @@ pub fn execute_physical_on(
     store: Store<'_>,
     options: &ExecOptions,
 ) -> Result<(Table, AccessStats)> {
-    ops::execute(plan, store, options.resolved_threads())
+    ops::execute(
+        plan,
+        store,
+        options.resolved_threads(),
+        options.resolved_morsel_size(),
+    )
 }
 
 /// Execute a plan, returning the output table and the access statistics.
@@ -217,7 +286,7 @@ pub fn execute_plan_on(
             .with_exchange_parallelism(threads > 1)
             .with_shard_fanout(store.shard_count());
         let physical = lower_plan_with(plan, &lower_options)?;
-        return ops::execute(&physical, store, threads);
+        return ops::execute(&physical, store, threads, options.resolved_morsel_size());
     }
     execute_plan_materialized(plan, store, options)
 }
@@ -603,6 +672,35 @@ mod tests {
     }
 
     #[test]
+    fn morsel_env_values_are_validated() {
+        assert_eq!(parse_morsels("512").unwrap(), Some(512));
+        assert_eq!(parse_morsels(" 64 ").unwrap(), Some(64));
+        assert_eq!(parse_morsels("0").unwrap(), None, "0 means automatic");
+        assert_eq!(parse_morsels("").unwrap(), None, "empty means unset");
+        // Same loud-failure contract as BEA_THREADS: a typo must fail the run, not
+        // silently benchmark the default split.
+        assert!(parse_morsels("big").unwrap_err().contains("integer"));
+        assert!(parse_morsels("-8").is_err());
+        assert!(parse_morsels("1k").is_err());
+        // An explicit morsel size always beats the environment; the automatic default
+        // honors whatever the environment set for this process.
+        assert_eq!(
+            ExecOptions::new()
+                .with_morsel_size(7)
+                .resolved_morsel_size(),
+            7
+        );
+        let resolved = ExecOptions::new().resolved_morsel_size();
+        match std::env::var(MORSELS_ENV) {
+            Ok(value) => match parse_morsels(&value).unwrap() {
+                Some(rows) => assert_eq!(resolved, rows),
+                None => assert_eq!(resolved, DEFAULT_MORSEL_ROWS),
+            },
+            Err(_) => assert_eq!(resolved, DEFAULT_MORSEL_ROWS),
+        }
+    }
+
+    #[test]
     fn execute_bounded_plan_for_simple_query() {
         let (c, schema, idb) = setup();
         // Q(y) :- R(x, y), x = 1.
@@ -884,6 +982,8 @@ mod tests {
         assert!(literal.with_streaming(true).streaming);
         let pinned = ExecOptions::new().with_threads(4);
         assert_eq!(pinned.threads, 4);
+        assert_eq!(default.morsel_size, 0, "0 = resolve automatically");
+        assert_eq!(ExecOptions::new().with_morsel_size(256).morsel_size, 256);
         assert_eq!(
             pinned.resolved_threads(),
             4,

@@ -51,7 +51,9 @@
 //!   ledger's teardown zero-assertion is unaffected;
 //! * the pool lives and dies with its executor state: it never crosses threads, and
 //!   draining it at teardown is a plain drop — recycled capacity is an optimization,
-//!   not state;
+//!   not state. Its freelist cap is sized from the plan's own fetch surface (the sum
+//!   of fetched positions across lookup steps, clamped to a small floor and ceiling),
+//!   so tiny plans pin a handful of buffers and wide plans cannot hoard capacity;
 //! * [`stats::AccessStats::allocs_per_probe`] counts probe-path *buffer-demand*
 //!   events (a pool hit still counts — the metric models demand, not the allocator),
 //!   so it is deterministic, additive, thread- and shard-invariant, and **zero for
@@ -73,6 +75,20 @@
 //! contrast to [`AccessStats::merge_sequential`] / `+=` (peaks max — disjoint
 //! windows). `threads = 1` reproduces the single-threaded streaming behavior exactly;
 //! every data-access counter is identical at any thread count.
+//!
+//! Parallelism also reaches *inside* a single heavy pipeline: a linear chain of
+//! per-batch operators over one materialized source is **morsel-splittable**
+//! (`bea_core::plan::Pipeline::morsel_source`), and the scheduler cuts its source
+//! batches into morsels — groups of consecutive *whole* batches of at least
+//! [`ExecOptions::morsel_size`] rows (`BEA_MORSELS`, default
+//! [`DEFAULT_MORSEL_ROWS`]) — that run as concurrent operator-chain instances.
+//! Each morsel owns its `ExecState` (stats and buffer pool stay per-worker); the
+//! only cross-morsel state is a shared per-lookup-step result cache that fills each
+//! distinct key exactly once, so the split performs the *same* data access as the
+//! unsplit pipeline. Per-morsel outputs are concatenated in morsel order, so rows,
+//! row order and every deterministic counter are identical at every morsel size —
+//! the property `tests/properties.rs` asserts across the morsel × thread × shard
+//! matrix.
 //!
 //! # Sharded execution and routing rules
 //!
@@ -110,7 +126,8 @@ pub mod table;
 
 pub use exec::{
     execute_physical, execute_physical_on, execute_physical_with_options, execute_plan,
-    execute_plan_on, execute_plan_with_options, ExecOptions, THREADS_ENV,
+    execute_plan_on, execute_plan_with_options, ExecOptions, DEFAULT_MORSEL_ROWS, MORSELS_ENV,
+    THREADS_ENV,
 };
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
 pub use stats::AccessStats;

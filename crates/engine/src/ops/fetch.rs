@@ -33,13 +33,14 @@
 //! branch emits are tagged with their origin shard ([`Batch::origin_shard`]).
 
 use super::batch::{hash_row_at, passes_pair, rows_equal_at, Batch};
+use super::morsel::{CacheProbe, SharedLookupCache};
 use super::{BoxOp, Operator, SharedState, BATCH_SIZE};
 use bea_core::error::Result;
 use bea_core::plan::{Predicate, ShardRoute};
 use bea_core::value::{Row, Value};
 use bea_storage::{shard_of, Store};
-use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Does this operator's shard branch own `batch`'s row `i`? Routing hashes the key
 /// columns in place — deciding ownership never clones a value. Route-free operators
@@ -114,6 +115,12 @@ pub(crate) struct FetchOp<'db> {
     num_keys: u64,
     /// Per-key dedup scratch, reused across batches (cleared per key by the kernel).
     dedup: HashMap<u64, Vec<u32>>,
+    /// Chunks of an oversized gather round not yet emitted. A single key can match far
+    /// more than `BATCH_SIZE` tuples; the round is then emitted as several batches
+    /// sharing the one dense gather (selection slices only — zero value copies), so
+    /// downstream consumers that reason in batches (morsel splitting above all) see
+    /// cuttable boundaries instead of one monolithic batch.
+    pending: VecDeque<Batch>,
     done: bool,
 }
 
@@ -141,6 +148,7 @@ impl<'db> FetchOp<'db> {
             keys: BTreeSet::new().into_iter(),
             num_keys: 0,
             dedup: HashMap::new(),
+            pending: VecDeque::new(),
             done: false,
         }
     }
@@ -178,6 +186,9 @@ impl Operator for FetchOp<'_> {
             state.stats.allocs_per_probe += key_allocs;
             state.acquire(self.num_keys);
             self.keys = keys.into_iter();
+        }
+        if let Some(chunk) = self.pending.pop_front() {
+            return Ok(Some(chunk));
         }
         if self.done {
             return Ok(None);
@@ -230,11 +241,20 @@ impl Operator for FetchOp<'_> {
             Ok(None)
         } else {
             let stored = cols.first().map_or(selection.len(), Vec::len);
-            Ok(Some(
-                Batch::from_dense(cols, stored)
-                    .keep_physical(selection)
-                    .with_origin_shard(self.route.map(|r| r.shard)),
-            ))
+            let batch =
+                Batch::from_dense(cols, stored).with_origin_shard(self.route.map(|r| r.shard));
+            if selection.len() <= BATCH_SIZE {
+                return Ok(Some(batch.keep_physical(selection)));
+            }
+            // Oversized round (one key matched more than a batch's worth): emit it as
+            // `BATCH_SIZE`-row slices of the shared gather, in order. Identical rows,
+            // identical counters — only the batch boundaries move.
+            let mut chunks = selection.chunks(BATCH_SIZE).map(<[u32]>::to_vec);
+            let first = batch.clone().keep_physical(chunks.next().unwrap());
+            self.pending
+                .extend(chunks.map(|chunk| batch.clone().keep_physical(chunk)));
+            self.state.borrow_mut().pool.put_indices(selection);
+            Ok(Some(first))
         }
     }
 }
@@ -256,7 +276,7 @@ impl Drop for FetchOp<'_> {
 /// standalone fetch over the deduplicated key set), gathers the concatenation with
 /// every match into output columns, and applies the residual predicates.
 ///
-/// Durable state is the per-key cache of projected postings — `Rc<Batch>` values
+/// Durable state is the per-key cache of projected postings — `Arc<Batch>` values
 /// probed with a reusable key scratch, so a cache hit costs a single hash and a
 /// refcount bump: no allocation, no clone. Only a miss builds buffers (drawn from the
 /// worker's pool, counted in `allocs_per_probe`), and when the projection is fused
@@ -265,6 +285,12 @@ impl Drop for FetchOp<'_> {
 /// number of distinct keys; it is drained back into the buffer pool on exhaustion
 /// (released on drop if a consumer short-circuits). Neither the cross product nor the
 /// fetched table is ever materialized.
+///
+/// On a morsel of a split pipeline ([`KeyedLookupOp::for_morsel`]) the local cache is
+/// replaced by the split's [`SharedLookupCache`]: a key any morsel filled is a warm
+/// hit for every other, so the split fetches each distinct key exactly once — fills
+/// charge the identical miss costs, and the shared rows are released by the scheduler
+/// when the split's last morsel finalizes instead of at operator exhaustion.
 pub(crate) struct KeyedLookupOp<'db> {
     input: BoxOp<'db>,
     key_cols: Vec<usize>,
@@ -283,8 +309,15 @@ pub(crate) struct KeyedLookupOp<'db> {
     route: Option<ShardRoute>,
     store: Store<'db>,
     state: SharedState,
-    cache: HashMap<Row, Rc<Batch>>,
+    cache: HashMap<Row, Arc<Batch>>,
     cached_rows: u64,
+    /// The split's shared cache when this instance serves one morsel of a split
+    /// pipeline; `None` runs the private cache above.
+    shared: Option<Arc<SharedLookupCache>>,
+    /// Whether this instance reports the once-per-pipeline `fetch_ops` on
+    /// exhaustion. Only a split's first morsel does — the split is one logical fetch
+    /// operation, composing with the shard-0 convention for sharded branches.
+    report_fetch_ops: bool,
     /// Reusable probe-key buffer: every probe gathers into it (no allocation once
     /// grown); a miss *moves* it into the cache as the owned key and lets the next
     /// gather regrow it — which is the one key allocation a miss is charged for.
@@ -327,12 +360,27 @@ impl<'db> KeyedLookupOp<'db> {
             state,
             cache: HashMap::new(),
             cached_rows: 0,
+            shared: None,
+            report_fetch_ops: true,
             key_scratch: Row::new(),
             dedup: HashMap::new(),
             fused_emit: None,
             fused_checked: false,
             done: false,
         }
+    }
+
+    /// Configure this instance to serve one morsel of a split pipeline: probe the
+    /// split's shared cache (when the builder registered one for this step), and
+    /// report once-per-pipeline counters only on the first morsel.
+    pub(crate) fn for_morsel(
+        mut self,
+        shared: Option<Arc<SharedLookupCache>>,
+        report_fetch_ops: bool,
+    ) -> Self {
+        self.shared = shared;
+        self.report_fetch_ops = report_fetch_ops;
+        self
     }
 }
 
@@ -361,7 +409,32 @@ impl KeyedLookupOp<'_> {
     /// anchored serving loop relies on. Only a miss builds fresh buffers (drawn from
     /// the worker's pool) and is charged `positions + 2` in `allocs_per_probe`: the
     /// key row, one buffer per fetched position, and the selection vector.
-    fn lookup(&mut self) -> Result<Rc<Batch>> {
+    fn lookup(&mut self) -> Result<Arc<Batch>> {
+        if let Some(shared) = self.shared.clone() {
+            // Morsel mode: the split's shared cache replaces the private one. A probe
+            // that wins the fill claim performs — and is charged — exactly the local
+            // miss below; every other morsel then hits warm. The scratch is lent out
+            // and restored, so the hit path's no-allocation property is unchanged.
+            return match shared.probe(&self.key_scratch) {
+                CacheProbe::Hit(batch) => Ok(batch),
+                CacheProbe::Fill => {
+                    let key: Row = std::mem::take(&mut self.key_scratch);
+                    let filled = self.fill(&key);
+                    self.key_scratch = key;
+                    match filled {
+                        Ok(cached) => {
+                            let cached = Arc::new(cached);
+                            shared.complete(&self.key_scratch, Arc::clone(&cached));
+                            Ok(cached)
+                        }
+                        Err(error) => {
+                            shared.abort(&self.key_scratch);
+                            Err(error)
+                        }
+                    }
+                }
+            };
+        }
         if let Some(hit) = self.cache.get(&self.key_scratch) {
             return Ok(hit.clone());
         }
@@ -369,6 +442,18 @@ impl KeyedLookupOp<'_> {
         // next probe's gather regrows the scratch, which is the key allocation this
         // miss is charged for.
         let key: Row = std::mem::take(&mut self.key_scratch);
+        let cached = self.fill(&key)?;
+        self.cached_rows += cached.len() as u64;
+        let cached = Arc::new(cached);
+        self.cache.insert(key, Arc::clone(&cached));
+        Ok(cached)
+    }
+
+    /// The miss body shared by the private and morsel cache paths: fetch, project and
+    /// per-key-dedup the postings for `key`, charging the miss costs —
+    /// `index_lookups`, `allocs_per_probe` (`positions + 2`), the fetch accounting,
+    /// and the residency acquire for the rows the cache will hold.
+    fn fill(&mut self, key: &Row) -> Result<Batch> {
         let (mut cols, mut selection) = {
             let mut state = self.state.borrow_mut();
             state.stats.index_lookups += 1;
@@ -381,7 +466,7 @@ impl KeyedLookupOp<'_> {
         let (fetched, shard) = fetch_key_into(
             self.store,
             self.constraint_index,
-            &key,
+            key,
             &self.positions,
             &mut cols,
             &mut selection,
@@ -400,10 +485,6 @@ impl KeyedLookupOp<'_> {
             .record_fetched_sharded(&self.relation, shard, fetched);
         state.stats.values_cloned += fetched * self.positions.len() as u64;
         state.acquire(cached.len() as u64);
-        drop(state);
-        self.cached_rows += cached.len() as u64;
-        let cached = Rc::new(cached);
-        self.cache.insert(key, Rc::clone(&cached));
         Ok(cached)
     }
 }
@@ -417,18 +498,21 @@ impl Operator for KeyedLookupOp<'_> {
             self.done = true;
             let mut state = self.state.borrow_mut();
             // As for `FetchOp`: a sharded lookup's branches are one logical fetch
-            // operation, reported once by the shard-0 branch.
-            if self.route.is_none_or(|r| r.shard == 0) {
+            // operation, reported once by the shard-0 branch — and a split
+            // pipeline's morsels likewise, reported once by the first morsel.
+            if self.report_fetch_ops && self.route.is_none_or(|r| r.shard == 0) {
                 state.stats.fetch_ops += 1;
             }
             state.release(self.cached_rows);
             self.cached_rows = 0;
-            // Drain the cache through the buffer pool: uniquely-owned key rows and
-            // batch buffers come back cleared for the next probe loop; anything a
-            // downstream consumer still shares stays with that consumer.
+            // Drain the private cache through the buffer pool: uniquely-owned key
+            // rows and batch buffers come back cleared for the next probe loop;
+            // anything a downstream consumer still shares stays with that consumer.
+            // (In morsel mode the private cache is empty — the shared cache outlives
+            // this instance and is released at split finalize.)
             for (key, cached) in self.cache.drain() {
                 state.pool.put_values(key);
-                if let Ok(batch) = Rc::try_unwrap(cached) {
+                if let Ok(batch) = Arc::try_unwrap(cached) {
                     batch.recycle_into(&mut state.pool);
                 }
             }

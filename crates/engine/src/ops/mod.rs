@@ -33,7 +33,13 @@
 //!   materialization ([`source::ScanOp`]) is the exchange protocol. Each worker
 //!   executes a pipeline with its *own* [`ExecState`] (operators stay single-threaded
 //!   and `Rc`-based), and the per-pipeline counters are combined with
-//!   [`AccessStats::merge_concurrent`].
+//!   [`AccessStats::merge_concurrent`]. A **morsel-splittable** pipeline
+//!   (`bea_core::plan::Pipeline::morsel_source`) is additionally cut *within*: its
+//!   source batches are grouped into morsels of whole batches ([`morsel`]) and each
+//!   morsel runs the chain as its own job with its own `ExecState`, sharing only the
+//!   per-lookup [`morsel::SharedLookupCache`]s; the scheduler concatenates the
+//!   per-morsel outputs in morsel order, so rows, row order and every deterministic
+//!   counter are identical at any morsel size.
 //!
 //! Residency is accounted in a [`ResidencyLedger`] *shared by all workers*: every
 //! durable row acquisition and release goes through one pair of atomics, so
@@ -52,6 +58,7 @@
 pub(crate) mod batch;
 pub(crate) mod fetch;
 pub(crate) mod join;
+pub(crate) mod morsel;
 pub(crate) mod relational;
 pub(crate) mod sched;
 pub(crate) mod source;
@@ -126,15 +133,50 @@ impl ResidencyLedger {
 /// back on teardown (keyed-lookup cache drains, exhausted scratch); buffers still
 /// shared downstream simply stay with their owners. The pool lives on [`ExecState`]
 /// and is dropped with it, so everything pooled is freed at executor teardown.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct BufferPool {
     values: Vec<Vec<Value>>,
     indices: Vec<Vec<u32>>,
+    cap: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::with_cap(Self::DEFAULT_CAP)
+    }
 }
 
 impl BufferPool {
-    /// Freelist cap per buffer kind, so one wide plan cannot pin unbounded capacity.
-    const MAX_POOLED: usize = 64;
+    /// Freelist cap per buffer kind when no plan is in sight (bare `ExecState`s in
+    /// tests); executions size the cap from the plan via [`pool_cap_for`].
+    pub(crate) const DEFAULT_CAP: usize = 64;
+    /// Floor for the plan-derived cap: even a single-fetch plan keeps a few buffers
+    /// warm across cache drains.
+    pub(crate) const MIN_CAP: usize = 8;
+    /// Ceiling for the plan-derived cap, so one very wide plan cannot pin unbounded
+    /// capacity.
+    pub(crate) const MAX_CAP: usize = 256;
+
+    /// An empty pool that retains at most `cap` buffers per kind.
+    pub(crate) fn with_cap(cap: usize) -> Self {
+        Self {
+            values: Vec::new(),
+            indices: Vec::new(),
+            cap,
+        }
+    }
+
+    /// The freelist cap per buffer kind.
+    #[cfg(test)]
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Buffers currently pooled (both kinds), for sizing tests.
+    #[cfg(test)]
+    pub(crate) fn pooled(&self) -> usize {
+        self.values.len() + self.indices.len()
+    }
 
     /// A cleared value buffer — recycled capacity when available, fresh otherwise.
     pub(crate) fn get_values(&mut self) -> Vec<Value> {
@@ -150,7 +192,7 @@ impl BufferPool {
     /// or the buffer never grew any capacity worth keeping).
     pub(crate) fn put_values(&mut self, mut buffer: Vec<Value>) {
         buffer.clear();
-        if buffer.capacity() > 0 && self.values.len() < Self::MAX_POOLED {
+        if buffer.capacity() > 0 && self.values.len() < self.cap {
             self.values.push(buffer);
         }
     }
@@ -158,10 +200,30 @@ impl BufferPool {
     /// Return an index buffer to the freelist (cleared; dropped if full/zero-cap).
     pub(crate) fn put_indices(&mut self, mut buffer: Vec<u32>) {
         buffer.clear();
-        if buffer.capacity() > 0 && self.indices.len() < Self::MAX_POOLED {
+        if buffer.capacity() > 0 && self.indices.len() < self.cap {
             self.indices.push(buffer);
         }
     }
+}
+
+/// The buffer-pool freelist cap for executions of `plan`: the probe path's worst-case
+/// simultaneous buffer demand — one value buffer per fetched position plus the key row
+/// and the selection vector for every fetch-shaped step — clamped to
+/// [`BufferPool::MIN_CAP`]`..=`[`BufferPool::MAX_CAP`]. Tiny plans pool a handful of
+/// buffers instead of pinning 64 per kind; wide plans get enough headroom that cache
+/// drains don't thrash the freelist.
+pub(crate) fn pool_cap_for(plan: &PhysicalPlan) -> usize {
+    let demand: usize = plan
+        .steps()
+        .iter()
+        .map(|step| match &step.op {
+            PhysOp::Fetch { positions, .. } | PhysOp::KeyedLookup { positions, .. } => {
+                positions.len() + 2
+            }
+            _ => 0,
+        })
+        .sum();
+    demand.clamp(BufferPool::MIN_CAP, BufferPool::MAX_CAP)
 }
 
 /// Mutable state owned by one worker: its share of the access statistics, a handle
@@ -180,10 +242,18 @@ pub(crate) struct ExecState {
 }
 
 impl ExecState {
+    /// A state with the default pool cap, for tests that have no plan in hand.
+    #[cfg(test)]
     pub(crate) fn new(ledger: Arc<ResidencyLedger>) -> Self {
+        Self::with_pool_cap(ledger, BufferPool::DEFAULT_CAP)
+    }
+
+    /// A state whose buffer pool retains at most `pool_cap` buffers per kind —
+    /// executions derive the cap from the plan with [`pool_cap_for`].
+    pub(crate) fn with_pool_cap(ledger: Arc<ResidencyLedger>, pool_cap: usize) -> Self {
         Self {
             stats: AccessStats::default(),
-            pool: BufferPool::default(),
+            pool: BufferPool::with_cap(pool_cap),
             ledger,
         }
     }
@@ -330,14 +400,16 @@ fn validate_for(plan: &PhysicalPlan, store: Store<'_>) -> Result<()> {
     Ok(())
 }
 
-/// Execute a physical plan with `threads` worker threads (1 = sequential), returning
-/// the output table and the access/residency statistics.
+/// Execute a physical plan with `threads` worker threads (1 = sequential) and
+/// `morsel_rows` as the intra-pipeline morsel size, returning the output table and
+/// the access/residency statistics.
 pub(crate) fn execute(
     plan: &PhysicalPlan,
     store: Store<'_>,
     threads: usize,
+    morsel_rows: usize,
 ) -> Result<(Table, AccessStats)> {
-    let (table, stats, _ledger) = execute_inner(plan, store, threads)?;
+    let (table, stats, _ledger) = execute_inner(plan, store, threads, morsel_rows)?;
     Ok((table, stats))
 }
 
@@ -347,16 +419,27 @@ pub(crate) fn execute_inner(
     plan: &PhysicalPlan,
     store: Store<'_>,
     threads: usize,
+    morsel_rows: usize,
 ) -> Result<(Table, AccessStats, Arc<ResidencyLedger>)> {
     validate_for(plan, store)?;
     let dag = plan.pipeline_dag();
     let ledger = Arc::new(ResidencyLedger::default());
     let mats: Vec<OnceLock<SharedMat>> = (0..plan.len()).map(|_| OnceLock::new()).collect();
+    let pool_cap = pool_cap_for(plan);
 
     let mut stats = if threads <= 1 || dag.len() <= 1 {
-        run_sequential(plan, &dag, store, &ledger, &mats)?
+        run_sequential(plan, &dag, store, &ledger, &mats, pool_cap)?
     } else {
-        sched::run_parallel(plan, &dag, store, &ledger, &mats, threads)?
+        sched::run_parallel(
+            plan,
+            &dag,
+            store,
+            &ledger,
+            &mats,
+            threads,
+            morsel_rows,
+            pool_cap,
+        )?
     };
 
     let output = plan.output();
@@ -400,8 +483,12 @@ fn run_sequential(
     store: Store<'_>,
     ledger: &Arc<ResidencyLedger>,
     mats: &MatSlots,
+    pool_cap: usize,
 ) -> Result<AccessStats> {
-    let state: SharedState = Rc::new(RefCell::new(ExecState::new(ledger.clone())));
+    let state: SharedState = Rc::new(RefCell::new(ExecState::with_pool_cap(
+        ledger.clone(),
+        pool_cap,
+    )));
     for pipeline in dag.pipelines() {
         run_pipeline(plan, pipeline.sink, store, &state, mats)?;
     }
@@ -420,7 +507,7 @@ pub(crate) fn run_pipeline(
     state: &SharedState,
     mats: &MatSlots,
 ) -> Result<()> {
-    let mut op = build_op(plan, sink, store, state, mats)?;
+    let mut op = build_op(plan, sink, store, state, mats, None)?;
     let mut batches: Vec<Batch> = Vec::new();
     let mut rows: u64 = 0;
     while let Some(batch) = op.next_batch()? {
@@ -442,23 +529,69 @@ pub(crate) fn run_pipeline(
     Ok(())
 }
 
+/// Execute one morsel of a split pipeline: the operator chain rooted at `sink`,
+/// instantiated over this morsel's range of the source batches, pulled to
+/// exhaustion. The emitted batches are acquired against the ledger exactly as
+/// [`run_pipeline`] acquires them; the scheduler concatenates the per-morsel results
+/// in morsel order and publishes the materialization when the split's last morsel
+/// lands, so the published batch list is identical to the unsplit pipeline's.
+pub(crate) fn run_morsel(
+    plan: &PhysicalPlan,
+    sink: usize,
+    store: Store<'_>,
+    state: &SharedState,
+    mats: &MatSlots,
+    ctx: &morsel::MorselCtx,
+) -> Result<(Vec<Batch>, u64)> {
+    let mut op = build_op(plan, sink, store, state, mats, Some(ctx))?;
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut rows: u64 = 0;
+    while let Some(batch) = op.next_batch()? {
+        state.borrow_mut().acquire(batch.len() as u64);
+        rows += batch.len() as u64;
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+    }
+    Ok((batches, rows))
+}
+
 /// Build the operator for step `node`, recursing into non-materialized inputs and
-/// scanning materialized ones.
+/// scanning materialized ones. With a [`morsel::MorselCtx`] the chain is instantiated
+/// for one morsel: the morsel source replays its batch range instead of a full scan,
+/// and keyed lookups attach the split's shared caches.
 fn build_op<'db>(
     plan: &PhysicalPlan,
     node: usize,
     store: Store<'db>,
     state: &SharedState,
     mats: &MatSlots,
+    morsel: Option<&morsel::MorselCtx>,
 ) -> Result<BoxOp<'db>> {
     let input = |j: usize| -> Result<BoxOp<'db>> {
+        if let Some(ctx) = morsel {
+            if j == ctx.source {
+                return Ok(Box::new(morsel::MorselScanOp::new(
+                    ctx.batches.clone(),
+                    ctx.range,
+                )));
+            }
+        }
         if plan.steps()[j].materialize {
             let mat = mats[j]
                 .get()
                 .expect("the scheduler completes a pipeline's sources before starting it");
             Ok(Box::new(source::ScanOp::new(mat.clone(), state.clone())))
         } else {
-            build_op(plan, j, store, state, mats)
+            build_op(plan, j, store, state, mats, morsel)
+        }
+    };
+    // A keyed lookup built inside a morsel shares the split's cache for its step and
+    // reports once-per-run counters only on the split's first morsel.
+    let morselize = |op: fetch::KeyedLookupOp<'db>, step: usize| -> fetch::KeyedLookupOp<'db> {
+        match morsel {
+            Some(ctx) => op.for_morsel(ctx.caches.get(&step).cloned(), ctx.report),
+            None => op,
         }
     };
     let op: BoxOp<'db> = match &plan.steps()[node].op {
@@ -493,17 +626,20 @@ fn build_op<'db>(
             shard,
             emit,
             ..
-        } => Box::new(fetch::KeyedLookupOp::new(
-            input(*source)?,
-            key_cols.clone(),
-            relation.clone(),
-            positions.clone(),
-            *constraint_index,
-            residual.clone(),
-            emit.clone(),
-            *shard,
-            store,
-            state.clone(),
+        } => Box::new(morselize(
+            fetch::KeyedLookupOp::new(
+                input(*source)?,
+                key_cols.clone(),
+                relation.clone(),
+                positions.clone(),
+                *constraint_index,
+                residual.clone(),
+                emit.clone(),
+                *shard,
+                store,
+                state.clone(),
+            ),
+            node,
         )),
         PhysOp::HashJoin {
             left,
@@ -553,17 +689,20 @@ fn build_op<'db>(
                     // (A lookup that already carries a lowering-level `emit` — a
                     // sharded branch — never reaches here: its projection was absorbed
                     // during fan-out and the branch is materialized anyway.)
-                    return Ok(Box::new(fetch::KeyedLookupOp::new(
-                        input(*klu_source)?,
-                        key_cols.clone(),
-                        relation.clone(),
-                        positions.clone(),
-                        *constraint_index,
-                        residual.clone(),
-                        Some(cols.clone()),
-                        *shard,
-                        store,
-                        state.clone(),
+                    return Ok(Box::new(morselize(
+                        fetch::KeyedLookupOp::new(
+                            input(*klu_source)?,
+                            key_cols.clone(),
+                            relation.clone(),
+                            positions.clone(),
+                            *constraint_index,
+                            residual.clone(),
+                            Some(cols.clone()),
+                            *shard,
+                            store,
+                            state.clone(),
+                        ),
+                        *source,
                     )));
                 }
             }
@@ -656,10 +795,20 @@ mod tests {
         assert!(dag.len() >= 4, "expected one pipeline per branch + output");
         assert!(dag.parallel_width() >= 3);
 
-        let (seq_table, seq_stats, seq_ledger) =
-            execute_inner(&phys, Store::Indexed(&idb), 1).unwrap();
-        let (par_table, par_stats, par_ledger) =
-            execute_inner(&phys, Store::Indexed(&idb), 4).unwrap();
+        let (seq_table, seq_stats, seq_ledger) = execute_inner(
+            &phys,
+            Store::Indexed(&idb),
+            1,
+            crate::exec::DEFAULT_MORSEL_ROWS,
+        )
+        .unwrap();
+        let (par_table, par_stats, par_ledger) = execute_inner(
+            &phys,
+            Store::Indexed(&idb),
+            4,
+            crate::exec::DEFAULT_MORSEL_ROWS,
+        )
+        .unwrap();
 
         // Identical output — rows *and* their order are schedule-independent.
         assert_eq!(seq_table.columns(), par_table.columns());
@@ -706,9 +855,20 @@ mod tests {
         let phys = bea_core::plan::lower_plan(&plan).unwrap();
         assert!(phys.pipeline_dag().len() >= 3);
 
-        let (seq_table, seq_stats, _) = execute_inner(&phys, Store::Indexed(&idb), 1).unwrap();
-        let (par_table, par_stats, par_ledger) =
-            execute_inner(&phys, Store::Indexed(&idb), 4).unwrap();
+        let (seq_table, seq_stats, _) = execute_inner(
+            &phys,
+            Store::Indexed(&idb),
+            1,
+            crate::exec::DEFAULT_MORSEL_ROWS,
+        )
+        .unwrap();
+        let (par_table, par_stats, par_ledger) = execute_inner(
+            &phys,
+            Store::Indexed(&idb),
+            4,
+            crate::exec::DEFAULT_MORSEL_ROWS,
+        )
+        .unwrap();
         assert_eq!(seq_table.rows(), par_table.rows());
         assert!(seq_stats.same_data_access(&par_stats));
         assert_eq!(par_ledger.resident(), 0);
@@ -742,7 +902,13 @@ mod tests {
             .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
 
         for threads in [1, 4] {
-            let (table, _, ledger) = execute_inner(&phys, Store::Indexed(&idb), threads).unwrap();
+            let (table, _, ledger) = execute_inner(
+                &phys,
+                Store::Indexed(&idb),
+                threads,
+                crate::exec::DEFAULT_MORSEL_ROWS,
+            )
+            .unwrap();
             assert!(table.is_empty());
             assert_eq!(
                 ledger.resident(),
@@ -781,7 +947,13 @@ mod tests {
             .iter()
             .any(|s| matches!(s.op, PhysOp::HashJoin { .. })));
         for threads in [1, 4] {
-            let (table, _, ledger) = execute_inner(&phys, Store::Indexed(&idb), threads).unwrap();
+            let (table, _, ledger) = execute_inner(
+                &phys,
+                Store::Indexed(&idb),
+                threads,
+                crate::exec::DEFAULT_MORSEL_ROWS,
+            )
+            .unwrap();
             assert!(table.is_empty());
             assert_eq!(ledger.resident(), 0);
         }
@@ -882,7 +1054,13 @@ mod tests {
         let plan = union_of_lookups(&[1, 2, 3]);
         let baseline = {
             let phys = bea_core::plan::lower_plan(&plan).unwrap();
-            execute_inner(&phys, Store::Indexed(&idb), 1).unwrap()
+            execute_inner(
+                &phys,
+                Store::Indexed(&idb),
+                1,
+                crate::exec::DEFAULT_MORSEL_ROWS,
+            )
+            .unwrap()
         };
         let (base_table, base_stats, _) = &baseline;
 
@@ -899,8 +1077,13 @@ mod tests {
                 );
             }
             for threads in [1usize, 4] {
-                let (table, stats, ledger) =
-                    execute_inner(&phys, Store::Sharded(&sdb), threads).unwrap();
+                let (table, stats, ledger) = execute_inner(
+                    &phys,
+                    Store::Sharded(&sdb),
+                    threads,
+                    crate::exec::DEFAULT_MORSEL_ROWS,
+                )
+                .unwrap();
                 assert_eq!(
                     table.row_set(),
                     base_table.row_set(),
@@ -964,6 +1147,146 @@ mod tests {
             assert!(rows <= 4, "a branch sees only its shard's keys");
             drop(op);
             assert_eq!(ledger.resident(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_cap_follows_the_plan_fetch_bound() {
+        // Tiny plan: one branch, one fetched position — demand 3, clamped up to the
+        // floor so a single-fetch plan still keeps a few buffers warm.
+        let tiny = bea_core::plan::lower_plan(&union_of_lookups(&[1])).unwrap();
+        assert_eq!(pool_cap_for(&tiny), BufferPool::MIN_CAP);
+
+        // Huge plan: 100 branches — demand 300, clamped down to the ceiling so one
+        // wide plan cannot pin unbounded capacity.
+        let keys: Vec<i64> = (1..=100).collect();
+        let huge = bea_core::plan::lower_plan(&union_of_lookups(&keys)).unwrap();
+        assert_eq!(pool_cap_for(&huge), BufferPool::MAX_CAP);
+
+        // In between, the cap is the demand itself: 3 branches × (2 positions + 2) —
+        // each branch lowers to one keyed lookup carrying both fetched columns.
+        let mid = bea_core::plan::lower_plan(&union_of_lookups(&[1, 2, 3])).unwrap();
+        assert_eq!(pool_cap_for(&mid), 12);
+    }
+
+    #[test]
+    fn buffer_pool_respects_its_cap() {
+        let mut pool = BufferPool::with_cap(2);
+        assert_eq!(pool.cap(), 2);
+        for _ in 0..5 {
+            pool.put_values(Vec::with_capacity(4));
+            pool.put_indices(Vec::with_capacity(4));
+        }
+        // At most `cap` buffers per kind are retained; the rest are dropped.
+        assert_eq!(pool.pooled(), 4);
+    }
+
+    /// A two-hop lookup chain whose first hop fans out wide enough that its
+    /// materialization spans several batches — the shape whose second hop the
+    /// scheduler splits into morsels. `R` maps two anchor keys to `per_key` rows
+    /// each; `S` maps every `b` value back to one row.
+    fn morsel_chain_setup(per_key: i64) -> (IndexedDatabase, bea_core::plan::QueryPlan) {
+        let mut c = bea_core::schema::Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare("S", ["b", "c"]).unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], per_key as u64).unwrap(),
+            AccessConstraint::new(&c, "S", &["b"], &["c"], 1).unwrap(),
+        ]);
+        let mut db = Database::new(c);
+        let mut r_rows = Vec::new();
+        let mut s_rows = Vec::new();
+        for key in [1i64, 2] {
+            for i in 0..per_key {
+                let b = key * 10_000 + i;
+                r_rows.push(vec![Value::int(key), Value::int(b)]);
+                s_rows.push(vec![Value::int(b), Value::int(b + 1)]);
+            }
+        }
+        db.extend("R", r_rows).unwrap();
+        db.extend("S", s_rows).unwrap();
+        let idb = IndexedDatabase::build(db, schema).unwrap();
+
+        let mut b = PlanBuilder::new();
+        let k1 = b.constant(Value::int(1), "k");
+        let k2 = b.constant(Value::int(2), "k");
+        let keys = b.union(k1, k2);
+        let f1 = b.fetch(
+            keys,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let p1 = b.product(keys, f1);
+        let s1 = b.select(p1, vec![Predicate::ColEqCol(0, 1)]); // [k, a, b]
+        let f2 = b.fetch(
+            s1,
+            vec![2],
+            "S",
+            vec![0],
+            vec![1],
+            1,
+            vec!["b".into(), "c".into()],
+        );
+        let p2 = b.product(s1, f2);
+        let s2 = b.select(p2, vec![Predicate::ColEqCol(2, 3)]);
+        let out = b.project(s2, vec![4]);
+        (idb, b.finish("Q", out).unwrap())
+    }
+
+    #[test]
+    fn morsel_split_matches_unsplit_execution_exactly() {
+        // 700 rows per anchor key → the first hop materializes 1400 rows in two
+        // batches, so `morsel_rows = 1` splits the second hop into two morsels.
+        let (idb, plan) = morsel_chain_setup(700);
+        let phys = bea_core::plan::lower_plan_with(
+            &plan,
+            &LowerOptions::new().with_exchange_parallelism(true),
+        )
+        .unwrap();
+        assert!(
+            phys.pipeline_dag()
+                .pipelines()
+                .iter()
+                .any(|p| p.morsel_source.is_some()),
+            "the chain must lower to a morsel-splittable pipeline"
+        );
+
+        let (base_table, base_stats, base_ledger) =
+            execute_inner(&phys, Store::Indexed(&idb), 1, 1).unwrap();
+        assert_eq!(base_table.rows().len(), 1400);
+        assert_eq!(base_ledger.resident(), 0);
+
+        for morsel_rows in [1usize, crate::exec::DEFAULT_MORSEL_ROWS, usize::MAX] {
+            let (table, stats, ledger) =
+                execute_inner(&phys, Store::Indexed(&idb), 4, morsel_rows).unwrap();
+            // Identical rows *and row order* — per-morsel outputs are concatenated
+            // in morsel order, reproducing the unsplit batch sequence exactly.
+            assert_eq!(
+                table.rows(),
+                base_table.rows(),
+                "output changed at morsel size {morsel_rows}"
+            );
+            assert!(
+                stats.same_data_access(&base_stats),
+                "data access changed at morsel size {morsel_rows}: {stats} vs {base_stats}"
+            );
+            assert_eq!(
+                stats.values_cloned, base_stats.values_cloned,
+                "copy traffic changed at morsel size {morsel_rows}"
+            );
+            assert_eq!(
+                stats.allocs_per_probe, base_stats.allocs_per_probe,
+                "allocation demand changed at morsel size {morsel_rows}"
+            );
+            assert_eq!(
+                ledger.resident(),
+                0,
+                "residency leaked at morsel size {morsel_rows}"
+            );
         }
     }
 

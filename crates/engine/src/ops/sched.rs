@@ -1,48 +1,120 @@
-//! The parallel pipeline scheduler: runs independent pipelines of a physical plan on
-//! scoped worker threads.
+//! The parallel pipeline scheduler: runs independent pipelines — and, within a
+//! splittable pipeline, independent **morsels** — on scoped worker threads.
 //!
-//! The unit of work is one [`bea_core::plan::Pipeline`] — a materialization point plus
-//! the streaming region feeding it. A pipeline is *ready* when every pipeline it scans
-//! (its exchange edges) has completed; ready pipelines are handed to a pool of
-//! `threads` scoped workers. Each worker executes its pipeline with a private
-//! [`ExecState`] (operator trees never cross threads) against the shared
-//! [`ResidencyLedger`], then merges its counters into the run's totals with
-//! [`AccessStats::merge_concurrent`] — the merge whose peak rule is safe under
-//! overlapping residency windows; the *exact* concurrent peak is read off the ledger by
-//! the caller.
+//! The unit of work is a [`Job`]: either one [`bea_core::plan::Pipeline`] (a
+//! materialization point plus the streaming region feeding it) or one morsel of a
+//! split pipeline. A pipeline is *ready* when every pipeline it scans (its exchange
+//! edges) has completed; ready jobs are handed to a pool of `threads` scoped workers.
+//! Each worker executes its job with a private [`ExecState`] (operator trees never
+//! cross threads) against the shared [`ResidencyLedger`], then merges its counters
+//! into the run's totals with [`AccessStats::merge_concurrent`] — the merge whose
+//! peak rule is safe under overlapping residency windows; the *exact* concurrent peak
+//! is read off the ledger by the caller.
 //!
-//! # Shard affinity
+//! # Morsel splitting
+//!
+//! When a worker claims a pipeline whose region is morsel-splittable
+//! ([`bea_core::plan::Pipeline::morsel_source`]), it first tries to cut the source
+//! materialization into morsels — groups of consecutive whole batches totalling at
+//! least the configured morsel size (see [`super::morsel`]). If more than one morsel
+//! results, the worker registers the split, enqueues the other morsels (waking one
+//! worker per extra job), and runs the first morsel itself. Each morsel re-instantiates
+//! the pipeline's operator chain over its batch range; the split's keyed lookups share
+//! per-step [`SharedLookupCache`]s so every distinct key is fetched exactly once. The
+//! worker whose morsel completes the split *finalizes* it: the per-morsel outputs are
+//! concatenated in morsel order (making the published materialization batch-for-batch
+//! identical to the unsplit pipeline's), the shared caches' rows are released, and the
+//! split's single consumer claim on the source materialization is retired — mirroring
+//! [`super::source::ScanOp`]'s last-consumer protocol.
+//!
+//! # Shard affinity and wakeups
 //!
 //! Pipelines carry the shard their region probes ([`bea_core::plan::Pipeline::shard`],
-//! set on the per-shard branches of a sharded lowering). A worker that just completed
-//! shard `k`'s pipeline prefers the next ready pipeline tagged `k` ([`pick_ready`]):
-//! consecutive probes of the same index partition stay on the same worker, which keeps
-//! that partition's buckets warm in the worker's cache (and is the policy hook for
-//! pinning shards to NUMA nodes once placement is physical). Affinity only reorders
-//! the ready queue — which pipelines run, and what they compute, is unchanged.
+//! set on the per-shard branches of a sharded lowering). [`pick_ready`] gives a worker
+//! first a morsel of the pipeline it just worked on (its warmed split), then a job of
+//! its last shard, then the queue front: morsel stealing respects shard affinity
+//! before stealing cross-shard. Affinity only reorders the ready queue — which jobs
+//! run, and what they compute, is unchanged.
+//!
+//! Completion wakeups are counted, not broadcast: a completion that readies `k` jobs
+//! wakes `k - 1` waiters with `notify_one` (the completing worker loops around and
+//! claims one itself); the broadcast `notify_all` is reserved for the shutdown paths
+//! (error, panic, all pipelines complete), which must wake *every* waiter so it can
+//! exit. Every state change that adds jobs or ends the run emits its wakeups before
+//! the mutex is re-taken, so no worker is stranded in the condvar wait.
 //!
 //! Scheduling affects only timing: every pipeline computes a function of its completed
 //! sources, so the output table, and every data-access counter, are identical at any
-//! thread count and under any interleaving.
+//! thread count, morsel size and interleaving.
 
-use super::{run_pipeline, ExecState, MatSlots, ResidencyLedger, SharedState};
+use super::batch::Batch;
+use super::morsel::{lookup_steps_in_region, morsel_ranges, MorselCtx, SharedLookupCache};
+use super::{run_morsel, run_pipeline, ExecState, MatNode, MatSlots, ResidencyLedger, SharedState};
 use crate::stats::AccessStats;
 use bea_core::error::{Error, Result};
 use bea_core::plan::{PhysicalPlan, PipelineDag};
 use bea_storage::Store;
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
+/// The immutable description of one split pipeline, shared by its morsel jobs.
+struct MorselWork {
+    /// The pipeline's index in the DAG.
+    pipeline: usize,
+    /// The materialized source step whose batches the morsels replay.
+    source: usize,
+    /// Snapshot of the source's batches. Morsels are ranges of *whole* batches, so
+    /// every per-batch charge the chain makes is identical under any grouping.
+    batches: Arc<Vec<Batch>>,
+    /// Disjoint `[start, end)` ranges over `batches`, one per morsel.
+    ranges: Vec<(usize, usize)>,
+    /// Per-lookup-step caches shared by all morsels of this split.
+    caches: Arc<BTreeMap<usize, Arc<SharedLookupCache>>>,
+}
+
+/// Completion state of one split, guarded by the scheduler mutex.
+struct SplitState {
+    /// Per-morsel output batches, filled in as morsels land and concatenated in
+    /// morsel order at finalize.
+    results: Vec<Option<Vec<Batch>>>,
+    /// Total output rows across the landed morsels.
+    rows: u64,
+    /// Morsels still in flight.
+    remaining: usize,
+}
+
+/// One unit of work for a worker.
+enum Job {
+    /// A whole pipeline, run unsplit.
+    Pipeline(usize),
+    /// One morsel of a split pipeline; `split` indexes `Sched::splits`.
+    Morsel {
+        work: Arc<MorselWork>,
+        split: usize,
+        index: usize,
+    },
+}
+
+/// The pipeline a job belongs to — the unit affinity reasons about.
+fn job_pipeline(job: &Job) -> usize {
+    match job {
+        Job::Pipeline(pipeline) => *pipeline,
+        Job::Morsel { work, .. } => work.pipeline,
+    }
+}
+
 /// Shared scheduler state, guarded by one mutex.
 struct Sched {
-    /// Pipelines whose dependencies are all complete, awaiting a worker.
-    ready: VecDeque<usize>,
+    /// Jobs whose dependencies are all complete, awaiting a worker.
+    ready: VecDeque<Job>,
     /// Remaining incomplete dependencies per pipeline.
     deps_left: Vec<usize>,
+    /// Completion state per registered split.
+    splits: Vec<SplitState>,
     /// Number of completed pipelines.
     completed: usize,
     /// First error raised by a worker; set once, ends the run.
@@ -53,27 +125,144 @@ struct Sched {
     /// [`run_parallel`], so the original panic message survives instead of a
     /// poisoned-mutex secondary panic.
     panic: Option<Box<dyn Any + Send>>,
-    /// Concurrent merge of the per-pipeline access counters.
+    /// Concurrent merge of the per-job access counters.
     stats: AccessStats,
 }
 
-/// Pop the next job for a worker whose previous pipeline probed shard `last`: the
-/// first ready pipeline tagged with the same shard when there is one, the queue front
-/// otherwise. Pure queue reordering — every ready pipeline still runs exactly once.
+/// Pop the next job for a worker whose previous job belonged to pipeline
+/// `last_pipeline` on shard `last_shard`: first a morsel of the same pipeline (the
+/// split whose cache and batches this worker has warm), then the first job tagged
+/// with the same shard, then the queue front — morsel stealing respects shard
+/// affinity before stealing cross-shard. Pure queue reordering — every ready job
+/// still runs exactly once.
 fn pick_ready(
-    ready: &mut VecDeque<usize>,
+    ready: &mut VecDeque<Job>,
     shards: &[Option<u32>],
-    last: Option<u32>,
-) -> Option<usize> {
-    let position = last
-        .and_then(|shard| ready.iter().position(|&job| shards[job] == Some(shard)))
+    last_pipeline: Option<usize>,
+    last_shard: Option<u32>,
+) -> Option<Job> {
+    let position = last_pipeline
+        .and_then(|pipeline| ready.iter().position(|job| job_pipeline(job) == pipeline))
+        .or_else(|| {
+            last_shard.and_then(|shard| {
+                ready
+                    .iter()
+                    .position(|job| shards[job_pipeline(job)] == Some(shard))
+            })
+        })
         .unwrap_or(0);
     ready.remove(position)
 }
 
+/// Cut pipeline `p`'s source materialization into morsels, when it is splittable and
+/// worth it. Returns `None` — run the pipeline unsplit — when the pipeline has no
+/// morsel source, splitting is disabled (`morsel_rows == usize::MAX`), or the source
+/// holds at most one morsel's worth of batches.
+fn try_split(
+    plan: &PhysicalPlan,
+    dag: &PipelineDag,
+    p: usize,
+    mats: &MatSlots,
+    morsel_rows: usize,
+) -> Option<MorselWork> {
+    let pipeline = &dag.pipelines()[p];
+    let source = pipeline.morsel_source?;
+    if morsel_rows == usize::MAX {
+        return None;
+    }
+    let batches: Vec<Batch> = {
+        let node = mats[source]
+            .get()
+            .expect("the scheduler completes a pipeline's sources before starting it")
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        node.batches
+            .as_ref()
+            .expect("a source stays materialized while consumers remain")
+            .clone()
+    };
+    let ranges = morsel_ranges(&batches, morsel_rows);
+    if ranges.len() <= 1 {
+        return None;
+    }
+    let caches: BTreeMap<usize, Arc<SharedLookupCache>> =
+        lookup_steps_in_region(plan, pipeline.sink)
+            .into_iter()
+            .map(|step| (step, Arc::new(SharedLookupCache::new())))
+            .collect();
+    Some(MorselWork {
+        pipeline: p,
+        source,
+        batches: Arc::new(batches),
+        ranges,
+        caches: Arc::new(caches),
+    })
+}
+
+/// Decrement the dependency counts of `pipeline`'s dependents, enqueueing the ones
+/// that became ready. Returns how many jobs were added.
+fn unlock_dependents(guard: &mut Sched, dag: &PipelineDag, pipeline: usize) -> usize {
+    let mut added = 0;
+    for &dependent in dag.dependents(pipeline) {
+        guard.deps_left[dependent] -= 1;
+        if guard.deps_left[dependent] == 0 {
+            guard.ready.push_back(Job::Pipeline(dependent));
+            added += 1;
+        }
+    }
+    added
+}
+
+/// The split's last morsel landed: publish the concatenated result as the pipeline's
+/// materialization, release the shared caches' rows, and retire the split's single
+/// consumer claim on the source materialization — exactly once for the whole split,
+/// mirroring [`super::source::ScanOp`]'s last-consumer protocol.
+fn finalize_split(
+    plan: &PhysicalPlan,
+    state: &mut SplitState,
+    work: &MorselWork,
+    sink: usize,
+    mats: &MatSlots,
+    ledger: &ResidencyLedger,
+) {
+    let mut batches: Vec<Batch> = Vec::new();
+    for result in state.results.iter_mut() {
+        batches.append(
+            &mut result
+                .take()
+                .expect("every morsel stores its result before the split finalizes"),
+        );
+    }
+    let node = Arc::new(Mutex::new(MatNode {
+        batches: Some(batches),
+        rows: state.rows,
+        remaining: plan.steps()[sink].consumers,
+    }));
+    if mats[sink].set(node).is_err() {
+        unreachable!("each pipeline is executed exactly once");
+    }
+    // The shared caches die with the split: their fills acquired these rows.
+    for cache in work.caches.values() {
+        ledger.release(cache.rows());
+    }
+    let mut source = mats[work.source]
+        .get()
+        .expect("the split's source completed before the split started")
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    source.remaining -= 1;
+    if source.remaining == 0 {
+        source.batches = None;
+        ledger.release(source.rows);
+    }
+}
+
 /// Execute every pipeline of `dag` on up to `threads` scoped worker threads, in
-/// dependency order. Returns the merged access statistics (whose
-/// `peak_rows_resident` the caller overwrites with the ledger's exact peak).
+/// dependency order, splitting morsel-splittable pipelines into morsels of
+/// `morsel_rows` rows (`usize::MAX` disables splitting). Returns the merged access
+/// statistics (whose `peak_rows_resident` the caller overwrites with the ledger's
+/// exact peak).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel(
     plan: &PhysicalPlan,
     dag: &PipelineDag,
@@ -81,21 +270,32 @@ pub(crate) fn run_parallel(
     ledger: &Arc<ResidencyLedger>,
     mats: &MatSlots,
     threads: usize,
+    morsel_rows: usize,
+    pool_cap: usize,
 ) -> Result<AccessStats> {
     let n = dag.len();
     let deps_left: Vec<usize> = (0..n).map(|i| dag.dependencies(i).len()).collect();
-    let ready: VecDeque<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+    let ready: VecDeque<Job> = (0..n)
+        .filter(|&i| deps_left[i] == 0)
+        .map(Job::Pipeline)
+        .collect();
     let shards: Vec<Option<u32>> = dag.pipelines().iter().map(|p| p.shard).collect();
     let sched = Mutex::new(Sched {
         ready,
         deps_left,
+        splits: Vec::new(),
         completed: 0,
         error: None,
         panic: None,
         stats: AccessStats::default(),
     });
     let work_available = Condvar::new();
-    let workers = threads.min(n).max(1);
+    // One worker per pipeline is enough when nothing can split, but a splittable
+    // pipeline fans out into more jobs than the DAG has nodes — give it the full
+    // thread budget so its morsels actually run side by side.
+    let splittable =
+        morsel_rows != usize::MAX && dag.pipelines().iter().any(|p| p.morsel_source.is_some());
+    let workers = if splittable { threads } else { threads.min(n) }.max(1);
     // The scheduler mutex is only ever held around plain bookkeeping, but a panicking
     // worker may still have poisoned it between our catch and the next lock — the
     // bookkeeping it guards is never left half-done, so waiting workers just take the
@@ -105,7 +305,8 @@ pub(crate) fn run_parallel(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                // The shard of the pipeline this worker ran last — its affinity.
+                // The pipeline and shard of this worker's previous job — its affinity.
+                let mut last_pipeline: Option<usize> = None;
                 let mut last_shard: Option<u32> = None;
                 loop {
                     let job = {
@@ -117,7 +318,9 @@ pub(crate) fn run_parallel(
                             {
                                 return;
                             }
-                            if let Some(job) = pick_ready(&mut guard.ready, &shards, last_shard) {
+                            if let Some(job) =
+                                pick_ready(&mut guard.ready, &shards, last_pipeline, last_shard)
+                            {
                                 break job;
                             }
                             guard = work_available
@@ -125,20 +328,83 @@ pub(crate) fn run_parallel(
                                 .unwrap_or_else(PoisonError::into_inner);
                         }
                     };
-                    last_shard = shards[job];
+                    last_pipeline = Some(job_pipeline(&job));
+                    last_shard = shards[job_pipeline(&job)];
+                    // A freshly claimed pipeline may be splittable: cut it, enqueue
+                    // the other morsels (waking one worker per extra job), and run
+                    // the first morsel in this claim's place.
+                    let job = match job {
+                        Job::Pipeline(p) => match try_split(plan, dag, p, mats, morsel_rows) {
+                            Some(work) => {
+                                let work = Arc::new(work);
+                                let morsels = work.ranges.len();
+                                let split = {
+                                    let mut guard = lock_sched();
+                                    let split = guard.splits.len();
+                                    guard.splits.push(SplitState {
+                                        results: (0..morsels).map(|_| None).collect(),
+                                        rows: 0,
+                                        remaining: morsels,
+                                    });
+                                    for index in 1..morsels {
+                                        guard.ready.push_back(Job::Morsel {
+                                            work: Arc::clone(&work),
+                                            split,
+                                            index,
+                                        });
+                                    }
+                                    split
+                                };
+                                for _ in 1..morsels {
+                                    work_available.notify_one();
+                                }
+                                Job::Morsel {
+                                    work,
+                                    split,
+                                    index: 0,
+                                }
+                            }
+                            None => Job::Pipeline(p),
+                        },
+                        morsel => morsel,
+                    };
                     // Catch panics on the worker: an uncaught panic would kill this
-                    // scoped thread without a `notify_all`, deadlocking the workers
-                    // still waiting on the condvar, and poison any `MatNode` lock it
-                    // held — turning one bad operator into an opaque secondary panic
+                    // scoped thread without a wakeup, deadlocking the workers still
+                    // waiting on the condvar, and poison any `MatNode` lock it held —
+                    // turning one bad operator into an opaque secondary panic
                     // elsewhere. The unwind still runs the operator drops inside the
                     // catch, so residency is released before the payload is recorded.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        // A fresh per-pipeline state: counters stay private to this
+                        // A fresh per-job state: counters stay private to this
                         // worker, residency goes through the shared ledger.
-                        let state: SharedState =
-                            Rc::new(RefCell::new(ExecState::new(ledger.clone())));
-                        let result =
-                            run_pipeline(plan, dag.pipelines()[job].sink, store, &state, mats);
+                        let state: SharedState = Rc::new(RefCell::new(ExecState::with_pool_cap(
+                            ledger.clone(),
+                            pool_cap,
+                        )));
+                        let result = match &job {
+                            Job::Pipeline(p) => {
+                                run_pipeline(plan, dag.pipelines()[*p].sink, store, &state, mats)
+                                    .map(|()| None)
+                            }
+                            Job::Morsel { work, index, .. } => {
+                                let ctx = MorselCtx {
+                                    source: work.source,
+                                    batches: Arc::clone(&work.batches),
+                                    range: work.ranges[*index],
+                                    caches: Arc::clone(&work.caches),
+                                    report: *index == 0,
+                                };
+                                run_morsel(
+                                    plan,
+                                    dag.pipelines()[work.pipeline].sink,
+                                    store,
+                                    &state,
+                                    mats,
+                                    &ctx,
+                                )
+                                .map(Some)
+                            }
+                        };
                         let stats = Rc::try_unwrap(state)
                             .expect("pipeline operators are dropped before their stats are read")
                             .into_inner()
@@ -146,19 +412,49 @@ pub(crate) fn run_parallel(
                         (result, stats)
                     }));
                     let mut guard = lock_sched();
+                    let mut newly_ready = 0usize;
+                    let mut finalized_split = false;
                     match outcome {
-                        Ok((Ok(()), stats)) => {
+                        Ok((Ok(output), stats)) => {
                             guard.stats.merge_concurrent(stats);
-                            guard.completed += 1;
-                            for &dependent in dag.dependents(job) {
-                                guard.deps_left[dependent] -= 1;
-                                if guard.deps_left[dependent] == 0 {
-                                    guard.ready.push_back(dependent);
+                            match (&job, output) {
+                                (Job::Pipeline(p), _) => {
+                                    guard.completed += 1;
+                                    newly_ready += unlock_dependents(&mut guard, dag, *p);
                                 }
+                                (Job::Morsel { work, split, index }, Some((batches, rows))) => {
+                                    let state = &mut guard.splits[*split];
+                                    state.results[*index] = Some(batches);
+                                    state.rows += rows;
+                                    state.remaining -= 1;
+                                    if state.remaining == 0 {
+                                        let mut state = std::mem::replace(
+                                            &mut guard.splits[*split],
+                                            SplitState {
+                                                results: Vec::new(),
+                                                rows: 0,
+                                                remaining: 0,
+                                            },
+                                        );
+                                        finalize_split(
+                                            plan,
+                                            &mut state,
+                                            work,
+                                            dag.pipelines()[work.pipeline].sink,
+                                            mats,
+                                            ledger,
+                                        );
+                                        guard.completed += 1;
+                                        newly_ready +=
+                                            unlock_dependents(&mut guard, dag, work.pipeline);
+                                        finalized_split = true;
+                                    }
+                                }
+                                _ => unreachable!("job kinds and outputs always pair up"),
                             }
                         }
                         Ok((Err(error), _)) => {
-                            // First failure wins; in-flight pipelines finish, waiting
+                            // First failure wins; in-flight jobs finish, waiting
                             // workers exit.
                             guard.error.get_or_insert(error);
                         }
@@ -168,8 +464,29 @@ pub(crate) fn run_parallel(
                             guard.panic.get_or_insert(payload);
                         }
                     }
+                    let shutdown =
+                        guard.error.is_some() || guard.panic.is_some() || guard.completed == n;
                     drop(guard);
-                    work_available.notify_all();
+                    if shutdown {
+                        // Every waiter must wake to observe the shutdown and exit.
+                        work_available.notify_all();
+                    } else {
+                        // Counted wakeups: this worker loops around and claims one of
+                        // the newly-ready jobs itself; wake one waiter per extra job.
+                        // When this completion finalized a split, this worker still
+                        // has to drop the last handle on the split's shared caches —
+                        // for a large key set that teardown is six figures of small
+                        // frees — so wake one extra waiter and let the dependent
+                        // pipeline start elsewhere while the teardown runs here.
+                        let wakeups = if finalized_split {
+                            newly_ready
+                        } else {
+                            newly_ready.saturating_sub(1)
+                        };
+                        for _ in 0..wakeups {
+                            work_available.notify_one();
+                        }
+                    }
                 }
             });
         }
@@ -242,12 +559,17 @@ mod tests {
         assert!(phys.pipeline_dag().len() >= 3);
 
         // Before the fix this deadlocked: the panicking worker died without a
-        // `notify_all`, stranding the other workers in the condvar wait, and any
+        // wakeup, stranding the other workers in the condvar wait, and any
         // `MatNode` lock it poisoned resurfaced as an unrelated "materialization
         // lock" panic on whichever worker touched it next. Now the original payload
         // must reach the caller.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_inner(&phys, bea_storage::Store::Indexed(&idb), 4)
+            execute_inner(
+                &phys,
+                bea_storage::Store::Indexed(&idb),
+                4,
+                crate::exec::DEFAULT_MORSEL_ROWS,
+            )
         }));
         let payload = outcome.expect_err("the injected panic must propagate to the caller");
         let message = payload
@@ -262,27 +584,147 @@ mod tests {
         );
     }
 
+    /// A morsel job for pipeline `pipeline` with trivial (empty) work, for queue
+    /// tests that only exercise [`pick_ready`]'s ordering.
+    fn morsel_job(pipeline: usize, index: usize) -> Job {
+        Job::Morsel {
+            work: Arc::new(MorselWork {
+                pipeline,
+                source: 0,
+                batches: Arc::new(Vec::new()),
+                ranges: vec![(0, 1), (1, 2)],
+                caches: Arc::new(BTreeMap::new()),
+            }),
+            split: 0,
+            index,
+        }
+    }
+
     #[test]
     fn pick_ready_prefers_the_affine_shard() {
         let shards = [Some(0), Some(1), Some(1), None];
-        let mut ready: VecDeque<usize> = [0, 1, 2, 3].into_iter().collect();
+        let mut ready: VecDeque<Job> = [0, 1, 2, 3].into_iter().map(Job::Pipeline).collect();
+        let pick = |ready: &mut VecDeque<Job>, shard: Option<u32>| {
+            pick_ready(ready, &shards, None, shard).map(|job| job_pipeline(&job))
+        };
         // A worker fresh off shard 1 jumps the queue to pipeline 1.
-        assert_eq!(pick_ready(&mut ready, &shards, Some(1)), Some(1));
+        assert_eq!(pick(&mut ready, Some(1)), Some(1));
         // Same worker again: the other shard-1 pipeline.
-        assert_eq!(pick_ready(&mut ready, &shards, Some(1)), Some(2));
+        assert_eq!(pick(&mut ready, Some(1)), Some(2));
         // No shard-1 work left: fall back to the queue front.
-        assert_eq!(pick_ready(&mut ready, &shards, Some(1)), Some(0));
+        assert_eq!(pick(&mut ready, Some(1)), Some(0));
         // No affinity at all: plain FIFO.
-        assert_eq!(pick_ready(&mut ready, &shards, None), Some(3));
-        assert_eq!(pick_ready(&mut ready, &shards, None), None);
+        assert_eq!(pick(&mut ready, None), Some(3));
+        assert_eq!(pick(&mut ready, None), None);
     }
 
     #[test]
     fn pick_ready_ignores_untagged_pipelines_for_affinity() {
         let shards = [None, Some(2)];
-        let mut ready: VecDeque<usize> = [0, 1].into_iter().collect();
+        let mut ready: VecDeque<Job> = [0, 1].into_iter().map(Job::Pipeline).collect();
         // Affinity to shard 7 matches nothing; the front (untagged) pipeline runs.
-        assert_eq!(pick_ready(&mut ready, &shards, Some(7)), Some(0));
-        assert_eq!(pick_ready(&mut ready, &shards, Some(2)), Some(1));
+        assert_eq!(
+            pick_ready(&mut ready, &shards, None, Some(7)).map(|j| job_pipeline(&j)),
+            Some(0)
+        );
+        assert_eq!(
+            pick_ready(&mut ready, &shards, None, Some(2)).map(|j| job_pipeline(&j)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn morsel_stealing_respects_shard_affinity_before_cross_shard() {
+        // Pipelines 0 and 1 are shard-0 and shard-1 branches, both split into
+        // morsels; pipeline 2 is untagged.
+        let shards = [Some(0), Some(1), None];
+        let mut ready: VecDeque<Job> = VecDeque::new();
+        ready.push_back(morsel_job(0, 0));
+        ready.push_back(morsel_job(1, 0));
+        ready.push_back(morsel_job(1, 1));
+        ready.push_back(Job::Pipeline(2));
+
+        // A worker fresh off pipeline 1 (shard 1) keeps eating its own split's
+        // morsels first, even though a shard-0 morsel sits at the queue front.
+        let job = pick_ready(&mut ready, &shards, Some(1), Some(1)).unwrap();
+        assert!(matches!(&job, Job::Morsel { work, index: 0, .. } if work.pipeline == 1));
+        let job = pick_ready(&mut ready, &shards, Some(1), Some(1)).unwrap();
+        assert!(matches!(&job, Job::Morsel { work, index: 1, .. } if work.pipeline == 1));
+        // Its split exhausted, and no other shard-1 job exists: only now does it
+        // steal the cross-shard morsel at the front.
+        let job = pick_ready(&mut ready, &shards, Some(1), Some(1)).unwrap();
+        assert!(matches!(&job, Job::Morsel { work, .. } if work.pipeline == 0));
+        // A worker with shard-1 affinity but no matching jobs takes the front.
+        let job = pick_ready(&mut ready, &shards, None, Some(1)).unwrap();
+        assert_eq!(job_pipeline(&job), 2);
+    }
+
+    #[test]
+    fn no_worker_is_stranded_by_counted_wakeups() {
+        // A fan-out of independent branches plus a dependent output pipeline, run
+        // with more workers than initially-ready jobs, over and over: if a
+        // completion ever under-notified, a worker would sleep forever with ready
+        // jobs in the queue and this test would hang rather than fail.
+        use crate::ops::execute_inner;
+        use bea_core::access::{AccessConstraint, AccessSchema};
+        use bea_core::plan::{lower_plan_with, LowerOptions, PlanBuilder, Predicate};
+        use bea_core::value::Value;
+        use bea_storage::{Database, IndexedDatabase};
+
+        let mut c = bea_core::schema::Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 10).unwrap()
+            ]);
+        let mut db = Database::new(c);
+        db.extend(
+            "R",
+            (1..=4).map(|k| vec![Value::int(k), Value::int(10 * k)]),
+        )
+        .unwrap();
+        let idb = IndexedDatabase::build(db, schema).unwrap();
+
+        let mut b = PlanBuilder::new();
+        let mut acc = None;
+        for key in 1..=4 {
+            let k = b.constant(Value::int(key), "k");
+            let f = b.fetch(
+                k,
+                vec![0],
+                "R",
+                vec![0],
+                vec![1],
+                0,
+                vec!["a".into(), "b".into()],
+            );
+            let p = b.product(k, f);
+            let s = b.select(p, vec![Predicate::ColEqCol(0, 1)]);
+            acc = Some(match acc {
+                None => s,
+                Some(prev) => b.union(prev, s),
+            });
+        }
+        let plan = b.finish("Q", acc.unwrap()).unwrap();
+        let phys =
+            lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true)).unwrap();
+        assert!(phys.pipeline_dag().len() >= 5);
+
+        let mut baseline = None;
+        for _ in 0..25 {
+            let (table, stats, ledger) = execute_inner(
+                &phys,
+                bea_storage::Store::Indexed(&idb),
+                8,
+                crate::exec::DEFAULT_MORSEL_ROWS,
+            )
+            .unwrap();
+            assert_eq!(ledger.resident(), 0);
+            let fingerprint = (table.rows().to_vec(), stats.tuples_fetched);
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(expected) => assert_eq!(&fingerprint, expected),
+            }
+        }
     }
 }

@@ -472,6 +472,128 @@ fn warmed_anchored_probes_allocate_nothing() {
     );
 }
 
+/// Morsel-size invariance (PR 7): splitting a heavy pipeline's probe stream into
+/// morsels is invisible to everything but wall-clock time. A two-hop lookup chain
+/// whose first hop fans one anchor out to `m` rows (several source batches) is run at
+/// every corner of morsel size ∈ {1, auto, never-split} × threads ∈ {1, 4} × shards
+/// ∈ {1, 4}; every corner must produce the same rows, the same data access
+/// (`same_data_access`), the same copy traffic (`values_cloned`) and the same
+/// probe-path buffer demand (`allocs_per_probe` — warmed probes stay free at every
+/// morsel size, the satellite assertion riding on PR 6's fast path). Whole source
+/// batches are never cut across morsels, which is what makes every per-batch counter
+/// charge partition-invariant.
+#[test]
+fn morsel_size_never_changes_what_is_computed() {
+    use bea::core::plan::{PlanBuilder, Predicate};
+    use bea_core::access::AccessConstraint;
+    use bea_core::schema::Catalog;
+
+    let catalog = {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare("S", ["k", "v"]).unwrap();
+        c
+    };
+    let schema = AccessSchema::from_constraints([
+        AccessConstraint::new(&catalog, "R", &["a"], &["b"], 2048u64).unwrap(),
+        AccessConstraint::new(&catalog, "S", &["k"], &["v"], 1u64).unwrap(),
+    ]);
+
+    // One anchor key fans out to 1400 R-rows with *distinct* join keys — the first
+    // hop materializes in several batches (the split's morsel source) and the second
+    // hop genuinely fills 1400 distinct lookup-cache keys.
+    const FAN_OUT: i64 = 1400;
+    let mut db = bea::storage::Database::new(catalog.clone());
+    db.extend(
+        "R",
+        (0..FAN_OUT).map(|i| vec![Value::int(1), Value::int(10_000 + i)]),
+    )
+    .unwrap();
+    db.extend(
+        "S",
+        (0..FAN_OUT).map(|i| vec![Value::int(10_000 + i), Value::int(i)]),
+    )
+    .unwrap();
+
+    let plan = {
+        let mut b = PlanBuilder::new();
+        let anchor = b.constant(Value::int(1), "x");
+        let r = b.fetch(
+            anchor,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            0,
+            vec!["a".into(), "b".into()],
+        );
+        let s = b.fetch(
+            r,
+            vec![1],
+            "S",
+            vec![0],
+            vec![1],
+            1,
+            vec!["k".into(), "v".into()],
+        );
+        let joined = b.product(r, s);
+        let selected = b.select(joined, vec![Predicate::ColEqCol(1, 2)]);
+        let out = b.project(selected, vec![1, 3]);
+        b.finish("MorselChain", out).unwrap()
+    };
+
+    // Not vacuous: with exchange points the chain lowers to a pipeline the scheduler
+    // may split (a morsel-splittable sink over a materialized source).
+    let physical = lower_plan_with(&plan, &LowerOptions::new().with_exchange_parallelism(true))
+        .expect("chain lowers");
+    assert!(
+        physical
+            .pipeline_dag()
+            .pipelines()
+            .iter()
+            .any(|p| p.morsel_source.is_some()),
+        "the chain must lower to a morsel-splittable pipeline"
+    );
+
+    let indexed = IndexedDatabase::build(db.clone(), schema.clone()).unwrap();
+    let (baseline, baseline_stats) =
+        execute_plan_with_options(&plan, &indexed, &ExecOptions::new().with_threads(1)).unwrap();
+    assert_eq!(baseline.len() as i64, FAN_OUT);
+
+    for shards in [1u32, 4] {
+        let sharded = (shards > 1)
+            .then(|| ShardedDatabase::build(db.clone(), schema.clone(), shards).unwrap());
+        for threads in [1usize, 4] {
+            // 1 = one morsel per source batch, 0 = the resolved default,
+            // usize::MAX = never split; all must be indistinguishable.
+            for morsel_size in [1usize, 0, usize::MAX] {
+                let options = ExecOptions::new()
+                    .with_threads(threads)
+                    .with_morsel_size(morsel_size);
+                let (table, stats) = match &sharded {
+                    Some(store) => execute_plan_on(&plan, Store::Sharded(store), &options).unwrap(),
+                    None => execute_plan_with_options(&plan, &indexed, &options).unwrap(),
+                };
+                let corner =
+                    format!("morsel size {morsel_size} / {threads} threads / {shards} shards");
+                assert!(table.same_rows(&baseline), "rows changed at {corner}");
+                assert!(
+                    stats.same_data_access(&baseline_stats),
+                    "data access changed at {corner}: {stats} vs {baseline_stats}"
+                );
+                assert_eq!(
+                    stats.values_cloned, baseline_stats.values_cloned,
+                    "copy traffic changed at {corner}"
+                );
+                assert_eq!(
+                    stats.allocs_per_probe, baseline_stats.allocs_per_probe,
+                    "probe-path buffer demand changed at {corner}"
+                );
+            }
+        }
+    }
+}
+
 /// Shard-count invariance: the same covered queries executed against partitioned
 /// stores with shards ∈ {1, 2, 8}, at threads ∈ {1, 4}, produce identical rows,
 /// identical data access (`same_data_access`) and identical copy traffic
