@@ -1,0 +1,39 @@
+//! The client side: one connection, one request, one framed reply.
+
+use crate::protocol::{Reply, Request, END};
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Send one request to the daemon at `socket` and read its reply.
+///
+/// The write half is shut down after the request so the daemon sees EOF once it
+/// has answered; the read loop stops at the [`END`] terminator line.
+pub fn request(socket: &Path, request: &Request) -> std::io::Result<Reply> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(request.wire().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+
+    let reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    let mut terminated = false;
+    for line in reader.lines() {
+        let line = line?;
+        if line == END {
+            terminated = true;
+            break;
+        }
+        lines.push(line);
+    }
+    if !terminated {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "the daemon closed the connection before the END terminator",
+        ));
+    }
+    Reply::from_lines(lines)
+        .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))
+}

@@ -1,0 +1,328 @@
+//! The daemon side: a [`Session`] behind a Unix-socket accept loop.
+
+use crate::protocol::{Reply, Request};
+use bea_core::plan::{bounded_plan, bounded_plan_ucq, QueryPlan};
+use bea_core::query::Query;
+use bea_core::reason::ReasonConfig;
+use bea_engine::session::{Rejection, Session, SessionConfig, SharedStore, SubmitError};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Daemon configuration: where to listen and how to configure the session.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// The Unix socket path to bind. A stale socket file is removed first.
+    pub socket: PathBuf,
+    /// Worker threads (0 = automatic, `BEA_THREADS` / available parallelism).
+    pub threads: usize,
+    /// Aggregate fetch budget (0 = `BEA_FETCH_BUDGET`, else unlimited).
+    pub fetch_budget: u64,
+    /// Per-query allocation-surface cap (0 = no cap).
+    pub max_alloc_surface: u64,
+}
+
+/// The daemon: a bound listener plus the session it fronts.
+pub struct BeadServer {
+    session: Session,
+    listener: UnixListener,
+    socket: PathBuf,
+    store: SharedStore,
+    shutdown: AtomicBool,
+}
+
+impl BeadServer {
+    /// Bind the socket and start the session's worker pool over `store`.
+    pub fn bind(store: SharedStore, config: &ServerConfig) -> std::io::Result<Self> {
+        // A stale socket file from a dead daemon would make bind fail; a *live*
+        // daemon holds the listener, so removing first is safe for the smoke
+        // use-case this serves.
+        let _ = std::fs::remove_file(&config.socket);
+        let listener = UnixListener::bind(&config.socket)?;
+        let session = Session::new(
+            store.clone(),
+            SessionConfig::new()
+                .with_threads(config.threads)
+                .with_fetch_budget(config.fetch_budget)
+                .with_max_alloc_surface(config.max_alloc_surface),
+        );
+        Ok(BeadServer {
+            session,
+            listener,
+            socket: config.socket.clone(),
+            store,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The session's effective aggregate fetch budget (`None` = unlimited).
+    pub fn fetch_budget(&self) -> Option<u64> {
+        self.session.fetch_budget()
+    }
+
+    /// The session's worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.session.threads()
+    }
+
+    /// Serve connections until a `SHUTDOWN` request arrives. Each connection gets
+    /// its own scoped thread, so queries from concurrent clients genuinely
+    /// interleave in the session's job queue.
+    pub fn serve(&self) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        scope.spawn(move || self.handle(stream));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+        let _ = std::fs::remove_file(&self.socket);
+        Ok(())
+    }
+
+    /// Serve one connection: one request per line, one framed reply each.
+    fn handle(&self, stream: UnixStream) {
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = write_half;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match Request::parse(&line) {
+                Ok(request) => self.dispatch(request),
+                Err(message) => Reply::err(message),
+            };
+            if writer.write_all(reply.wire().as_bytes()).is_err() {
+                break;
+            }
+            let _ = writer.flush();
+            if self.shutdown.load(Ordering::Acquire) {
+                // The SHUTDOWN reply is out; unblock the accept loop so `serve`
+                // can observe the flag and exit.
+                let _ = UnixStream::connect(&self.socket);
+                break;
+            }
+        }
+    }
+
+    fn dispatch(&self, request: Request) -> Reply {
+        match request {
+            Request::Ping => Reply::ok("pong", Vec::new()),
+            Request::Stats => {
+                let stats = self.session.admission_stats();
+                Reply::ok(
+                    format!(
+                        "submitted={} admitted={} queued={} rejected={} completed={} failed={} \
+                         inflight_bound={} peak_admitted_bound={} budget={}",
+                        stats.submitted,
+                        stats.admitted,
+                        stats.queued,
+                        stats.rejected,
+                        stats.completed,
+                        stats.failed,
+                        stats.inflight_bound,
+                        stats.peak_admitted_bound,
+                        stats
+                            .budget
+                            .map_or_else(|| "unlimited".to_owned(), |b| b.to_string()),
+                    ),
+                    Vec::new(),
+                )
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::Release);
+                Reply::ok("bye", Vec::new())
+            }
+            Request::Query(text) => self.run_query(&text),
+        }
+    }
+
+    /// Parse → synthesize a bounded plan → submit → wait → format. Every failure
+    /// mode maps to a distinct reply so clients can tell a syntax error from an
+    /// uncovered query from an admission rejection.
+    fn run_query(&self, text: &str) -> Reply {
+        let store = self.store.store();
+        let catalog = store.database().catalog();
+        let query = match bea_parser::parse_query(catalog, text) {
+            Ok(query) => query,
+            Err(error) => return Reply::err(format!("parse: {error}")),
+        };
+        let plan: QueryPlan = match &query {
+            Query::Cq(cq) => match bounded_plan(cq, store.schema()) {
+                Ok(plan) => plan,
+                Err(error) => return Reply::err(format!("plan: {error}")),
+            },
+            Query::Ucq(ucq) => {
+                match bounded_plan_ucq(ucq, store.schema(), &ReasonConfig::default()) {
+                    Ok(plan) => plan,
+                    Err(error) => return Reply::err(format!("plan: {error}")),
+                }
+            }
+            _ => {
+                return Reply::err(
+                    "plan: only CQ and UCQ queries are served; rewrite ∃FO⁺/FO queries first",
+                )
+            }
+        };
+        match self.session.submit(&plan) {
+            Err(SubmitError::Rejected { ticket, rejection }) => match rejection {
+                Rejection::FetchBound { bound, budget } => Reply::reject(format!(
+                    "query={} fetch_bound={bound} budget={budget}",
+                    ticket.query_name
+                )),
+                Rejection::AllocSurface { surface, limit } => Reply::reject(format!(
+                    "query={} surface={surface} limit={limit}",
+                    ticket.query_name
+                )),
+            },
+            Err(SubmitError::Invalid(error)) => Reply::err(format!("submit: {error}")),
+            Ok(handle) => {
+                let fetch_bound = handle.ticket().fetch_bound;
+                let alloc_surface = handle.ticket().alloc_surface;
+                // A panicking operator fails only its own query; keep the daemon up
+                // and surface the payload as an ERR reply.
+                match catch_unwind(AssertUnwindSafe(|| handle.wait())) {
+                    Ok(Ok((table, stats))) => {
+                        let body = table
+                            .rows()
+                            .iter()
+                            .map(|row| {
+                                row.iter()
+                                    .map(ToString::to_string)
+                                    .collect::<Vec<_>>()
+                                    .join("\t")
+                            })
+                            .collect();
+                        Reply::ok(
+                            format!(
+                                "rows={} fetch_bound={fetch_bound} alloc_surface={alloc_surface} \
+                                 tuples_fetched={} values_cloned={} allocs_per_probe={}",
+                                table.rows().len(),
+                                stats.tuples_fetched,
+                                stats.values_cloned,
+                                stats.allocs_per_probe,
+                            ),
+                            body,
+                        )
+                    }
+                    Ok(Err(error)) => Reply::err(format!("execute: {error}")),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .copied()
+                            .map(str::to_owned)
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_owned());
+                        Reply::err(format!("execute: query panicked: {message}"))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build the daemon's default store: the generated accidents workload of Example
+/// 1.1 at roughly `tuples` tuples, indexed under ψ1–ψ4 — sharded into
+/// `BEA_SHARDS` partitions when that is set above 1.
+pub fn accidents_store(tuples: u64, seed: u64) -> bea_core::error::Result<SharedStore> {
+    let config = bea_workload::accidents::AccidentsConfig::with_total_tuples(tuples, seed);
+    let db = bea_workload::accidents::generate(&config)?;
+    let schema = bea_workload::accidents::access_schema(db.catalog());
+    let shards = bea_storage::shards_from_env();
+    if shards > 1 {
+        Ok(SharedStore::from(bea_storage::ShardedDatabase::build(
+            db, schema, shards,
+        )?))
+    } else {
+        Ok(SharedStore::from(bea_storage::IndexedDatabase::build(
+            db, schema,
+        )?))
+    }
+}
+
+/// Hold the socket path helpers the two binaries share.
+pub fn default_socket() -> PathBuf {
+    std::env::temp_dir().join("bead.sock")
+}
+
+/// Resolve a `--socket` argument (or the default).
+pub fn socket_from(arg: Option<&str>) -> PathBuf {
+    arg.map_or_else(default_socket, |path| Path::new(path).to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::protocol::ReplyStatus;
+
+    /// End-to-end over a real socket: accept, reject, stats, shutdown.
+    #[test]
+    fn serves_queries_rejections_and_shutdown_over_the_socket() {
+        let socket = std::env::temp_dir().join(format!("bead-test-{}.sock", std::process::id()));
+        let store = accidents_store(2_000, 0xBEAD).unwrap();
+        let config = ServerConfig {
+            socket: socket.clone(),
+            threads: 2,
+            fetch_budget: 10_000,
+            max_alloc_surface: 0,
+        };
+        let server = BeadServer::bind(store, &config).unwrap();
+        assert_eq!(server.fetch_budget(), Some(10_000));
+        std::thread::scope(|scope| {
+            let serving = scope.spawn(|| server.serve());
+
+            let ping = client::request(&socket, &Request::Ping).unwrap();
+            assert_eq!(ping.head, "OK pong");
+
+            // Anchored on an accident id: fetch bound 1 via ψ3 — admitted.
+            let cheap = Request::Query("Q(d) :- Accident(x, d, t), x = 1.".to_owned());
+            let reply = client::request(&socket, &cheap).unwrap();
+            assert_eq!(reply.status(), ReplyStatus::Ok, "head: {}", reply.head);
+            assert!(reply.head.contains("fetch_bound=1"), "head: {}", reply.head);
+            assert!(reply.head.contains("allocs_per_probe="));
+            assert_eq!(reply.body.len(), 1, "one district per accident id");
+
+            // Q0's join chain prices far beyond 10_000 — rejected, deterministically.
+            let expensive = Request::Query(
+                r#"Q0(age) :- Accident(aid, "Queen's Park", "day-0001"),
+                             Casualty(cid, aid, class, vid),
+                             Vehicle(vid, driver, age)."#
+                    .to_owned(),
+            );
+            let reply = client::request(&socket, &expensive).unwrap();
+            assert_eq!(reply.status(), ReplyStatus::Reject, "head: {}", reply.head);
+            assert!(reply.head.contains("budget=10000"), "head: {}", reply.head);
+
+            // A parse error is an ERR, not a dead connection.
+            let broken = Request::Query("Q(x) :- Nope(x).".to_owned());
+            let reply = client::request(&socket, &broken).unwrap();
+            assert_eq!(reply.status(), ReplyStatus::Err);
+
+            let stats = client::request(&socket, &Request::Stats).unwrap();
+            assert!(stats.head.contains("rejected=1"), "head: {}", stats.head);
+            assert!(stats.head.contains("completed=1"), "head: {}", stats.head);
+            assert!(stats.head.contains("budget=10000"), "head: {}", stats.head);
+
+            let bye = client::request(&socket, &Request::Shutdown).unwrap();
+            assert_eq!(bye.head, "OK bye");
+            serving.join().unwrap().unwrap();
+        });
+        assert!(
+            !socket.exists(),
+            "the socket file is cleaned up on shutdown"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end smoke over the real binaries: start `bead`, drive a mixed
+//! accept/reject batch through `beactl`, assert the exit-code contract and a
+//! clean shutdown. This is the same script CI runs, kept in-tree so it breaks
+//! at `cargo test` time rather than only in the workflow.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+const BEAD: &str = env!("CARGO_BIN_EXE_bead");
+const BEACTL: &str = env!("CARGO_BIN_EXE_beactl");
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    /// Start `bead` on a unique socket and block until it prints `ready`.
+    fn start(budget: u64) -> Daemon {
+        let socket =
+            std::env::temp_dir().join(format!("bead-smoke-{}-{budget}.sock", std::process::id()));
+        let mut child = Command::new(BEAD)
+            .args([
+                "--socket",
+                socket.to_str().unwrap(),
+                "--tuples",
+                "2000",
+                "--seed",
+                "48879",
+                "--threads",
+                "2",
+                "--fetch-budget",
+                &budget.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn bead");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        loop {
+            match lines.next() {
+                Some(Ok(line)) if line == "ready" => break,
+                Some(Ok(_)) => continue,
+                other => panic!("bead exited before printing ready: {other:?}"),
+            }
+        }
+        // Keep draining stdout so the daemon never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, socket }
+    }
+
+    fn ctl(&self, args: &[&str]) -> (i32, String) {
+        let output = Command::new(BEACTL)
+            .args(["--socket", self.socket.to_str().unwrap()])
+            .args(args)
+            .output()
+            .expect("run beactl");
+        (
+            output.status.code().expect("beactl exit code"),
+            String::from_utf8(output.stdout).expect("utf8 reply"),
+        )
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Belt and braces: the test shuts down via the protocol, but a failed
+        // assertion must not leak a daemon process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+#[test]
+fn mixed_accept_reject_batch_and_clean_shutdown() {
+    let mut daemon = Daemon::start(10_000);
+
+    let (code, reply) = daemon.ctl(&["ping"]);
+    assert_eq!((code, reply.trim()), (0, "OK pong"));
+
+    // Anchored on an accident id: fetch bound 1, admitted.
+    let (code, reply) = daemon.ctl(&["query", "Q(d) :- Accident(x, d, t), x = 1."]);
+    assert_eq!(code, 0, "accepted query exits 0; reply: {reply}");
+    assert!(reply.contains("fetch_bound=1"), "reply: {reply}");
+    assert!(reply.contains("allocs_per_probe="), "reply: {reply}");
+
+    // Q0's chain prices beyond the budget: a static REJECT, exit 3.
+    let q0 = r#"Q0(age) :- Accident(aid, "Queen's Park", "day-0001"), Casualty(cid, aid, class, vid), Vehicle(vid, driver, age)."#;
+    let (code, reply) = daemon.ctl(&["query", q0]);
+    assert_eq!(code, 3, "rejected query exits 3; reply: {reply}");
+    assert!(reply.starts_with("REJECT"), "reply: {reply}");
+    assert!(reply.contains("budget=10000"), "reply: {reply}");
+
+    // A malformed query is an ERR (exit 1), and the daemon stays up.
+    let (code, reply) = daemon.ctl(&["query", "Q(x) :- Nowhere(x)."]);
+    assert_eq!(code, 1, "broken query exits 1; reply: {reply}");
+    assert!(reply.starts_with("ERR"), "reply: {reply}");
+
+    let (code, reply) = daemon.ctl(&["stats"]);
+    assert_eq!(code, 0);
+    assert!(reply.contains("completed=1"), "reply: {reply}");
+    assert!(reply.contains("rejected=1"), "reply: {reply}");
+    assert!(reply.contains("budget=10000"), "reply: {reply}");
+
+    let (code, reply) = daemon.ctl(&["shutdown"]);
+    assert_eq!((code, reply.trim()), (0, "OK bye"));
+    let status = daemon.child.wait_timeout();
+    assert_eq!(status, Some(0), "bead exits 0 after SHUTDOWN");
+    assert!(!daemon.socket.exists(), "socket file removed on shutdown");
+}
+
+trait WaitTimeout {
+    /// Poll-wait up to ~10s for exit; `None` if still running.
+    fn wait_timeout(&mut self) -> Option<i32>;
+}
+
+impl WaitTimeout for Child {
+    fn wait_timeout(&mut self) -> Option<i32> {
+        for _ in 0..200 {
+            if let Ok(Some(status)) = self.try_wait() {
+                return status.code();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        None
+    }
+}

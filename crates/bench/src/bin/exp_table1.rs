@@ -28,8 +28,8 @@
 use bea_bench::families;
 use bea_bench::report::{fmt_ms, time_ms, PipelineBenchReport, TextTable};
 use bea_bench::scenarios::{
-    pipeline_bench_report, AccidentsScenario, EcommerceScenario, GraphScenario, MorselScenario,
-    ParallelScenario, ShardedScenario,
+    pipeline_bench_report, AccidentsScenario, ConcurrentTrafficScenario, EcommerceScenario,
+    GraphScenario, MorselScenario, ParallelScenario, ShardedScenario,
 };
 use bea_core::bounded::{analyze_cq, BoundedConfig};
 use bea_core::cover;
@@ -589,6 +589,52 @@ fn run_experiments() -> Result<(), Box<dyn std::error::Error>> {
          across shards (the per-shard counts always sum to the same total) without \
          changing what is read or copied — boundedness survives sharding, and the \
          shard-local pipelines give the scheduler real parallel width."
+    );
+
+    // The multi-query service: a mixed batch of priced queries against one shared
+    // store under an aggregate fetch budget, every query submitted from its own
+    // client thread. The accept/reject split and the aggregate-bound ceiling are
+    // asserted, not just printed — bounded evaluability makes admission *exact*.
+    println!("\n## multi-query service — fetch-bound admission over one shared store\n");
+    let traffic = ConcurrentTrafficScenario::with_traffic(4, 2, 20_000, 42)?;
+    let db_size = traffic.store.store().size();
+    let mut service_table = TextTable::new(["query", "fetch bound", "verdict"]);
+    for plan in traffic.admitted.iter().chain(&traffic.rejected) {
+        let bound = plan.cost(&traffic.schema, db_size).max_fetched_tuples;
+        let verdict = if bound <= traffic.budget {
+            "admit"
+        } else {
+            "reject"
+        };
+        assert_eq!(
+            verdict == "admit",
+            traffic.admitted.iter().any(|p| std::ptr::eq(p, plan)),
+            "the cost model's verdict drifted from the scenario's split"
+        );
+        service_table.row([
+            plan.query_name().to_owned(),
+            bound.to_string(),
+            verdict.into(),
+        ]);
+    }
+    let ((admitted, rejected), ms) = {
+        let (result, ms) = time_ms(|| traffic.drive_session(4));
+        (result?, ms)
+    };
+    assert_eq!(
+        (admitted, rejected),
+        (traffic.admitted.len(), traffic.rejected.len()),
+        "the session's accept/reject split drifted from the cost model's"
+    );
+    service_table.print();
+    println!(
+        "\nbudget {} tuples | {} admitted, {} rejected (exactly the priced split; the \
+         admitted bounds' high-water mark is asserted ≤ budget inside the drive) | \
+         mixed batch drained concurrently at 4 workers in {}",
+        traffic.budget,
+        admitted,
+        rejected,
+        fmt_ms(ms)
     );
     Ok(())
 }

@@ -79,7 +79,7 @@ impl TextTable {
 /// One scenario's entry in the pipeline perf record: how much data the plan touched,
 /// its residency high-water mark, the executor's copy traffic, its probe-path buffer
 /// demand, and a latency distribution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchEntry {
     /// Tuples fetched through index lookups (`AccessStats::tuples_fetched`).
     pub rows_fetched: u64,

@@ -12,7 +12,8 @@ use bea_core::query::ucq::UnionQuery;
 use bea_core::reason::ReasonConfig;
 use bea_core::schema::Catalog;
 use bea_engine::{
-    execute_physical_on, execute_physical_with_options, execute_plan_with_options, ExecOptions,
+    execute_physical_on, execute_physical_with_options, execute_plan_on, execute_plan_with_options,
+    ExecOptions, Session, SessionConfig, SharedStore, SubmitError,
 };
 use bea_storage::{IndexedDatabase, ShardedDatabase, Store};
 use bea_workload::{accidents, ecommerce, graph};
@@ -360,6 +361,139 @@ impl ShardedScenario {
     }
 }
 
+/// The multi-query service scenario: one shared accidents store plus a mixed batch of
+/// priced queries — an *admitted* set of independently anchored Q0 plans and a
+/// *rejected* set of Q0-storm unions whose static fetch bound exceeds the budget. The
+/// budget is derived from the cost model itself (the largest admitted bound), so the
+/// accept/reject split is a property of the plans, not a tuned constant: the session's
+/// admission controller must admit every `admitted` plan and refuse every `rejected`
+/// one, at any load and under any submission interleaving. This is the workload shape
+/// the `bead` daemon serves: concurrent clients sharing one store and one fetch budget.
+pub struct ConcurrentTrafficScenario {
+    /// The relational schema.
+    pub catalog: Catalog,
+    /// ψ1–ψ4.
+    pub schema: AccessSchema,
+    /// The shared store the session's workers run against.
+    pub store: SharedStore,
+    /// Plans priced within the budget — every one must be admitted.
+    pub admitted: Vec<QueryPlan>,
+    /// Plans priced above the budget — every one must be rejected.
+    pub rejected: Vec<QueryPlan>,
+    /// The aggregate fetch budget: the largest admitted bound.
+    pub budget: u64,
+}
+
+impl ConcurrentTrafficScenario {
+    /// Build the scenario: `admitted` anchored Q0 plans and `rejected` three-branch
+    /// Q0 unions over roughly `total_tuples` tuples.
+    pub fn with_traffic(
+        admitted: u32,
+        rejected: u32,
+        total_tuples: u64,
+        seed: u64,
+    ) -> Result<Self> {
+        let catalog = accidents::catalog();
+        let schema = accidents::access_schema(&catalog);
+        let config = accidents::AccidentsConfig::with_total_tuples(total_tuples, seed);
+        let db = accidents::generate(&config)?;
+        let indexed = IndexedDatabase::build(db, schema.clone())?;
+        let db_size = indexed.size();
+
+        let admitted: Vec<QueryPlan> = (0..admitted)
+            .map(|day| {
+                let q0 = accidents::q0(
+                    &catalog,
+                    &accidents::district_value(day % config.num_districts),
+                    &accidents::date_value(day % config.num_days),
+                )?;
+                bounded_plan(&q0, &schema)
+            })
+            .collect::<Result<_>>()?;
+        let rejected: Vec<QueryPlan> = (0..rejected)
+            .map(|i| {
+                let branches: Vec<ConjunctiveQuery> = (0..3u32)
+                    .map(|j| {
+                        accidents::q0(
+                            &catalog,
+                            &accidents::district_value((i + j) % config.num_districts),
+                            &accidents::date_value((i * 3 + j) % config.num_days),
+                        )
+                    })
+                    .collect::<Result<_>>()?;
+                let union = UnionQuery::from_branches(format!("Q0storm{i}"), branches)?;
+                bounded_plan_ucq(&union, &schema, &ReasonConfig::default())
+            })
+            .collect::<Result<_>>()?;
+
+        // The budget is the cost model's own split point: every single-branch plan
+        // fits, every three-branch storm prices ~3× above it.
+        let budget = admitted
+            .iter()
+            .map(|plan| plan.cost(&schema, db_size).max_fetched_tuples)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for plan in &rejected {
+            let bound = plan.cost(&schema, db_size).max_fetched_tuples;
+            assert!(
+                bound > budget,
+                "storm plan {} prices at {bound}, within the budget {budget} — \
+                 the scenario's accept/reject split collapsed",
+                plan.query_name()
+            );
+        }
+        Ok(Self {
+            catalog,
+            schema,
+            store: SharedStore::from(indexed),
+            admitted,
+            rejected,
+            budget,
+        })
+    }
+
+    /// Run the full mixed batch through a fresh budgeted [`Session`] at `threads`
+    /// workers, every query submitted from its own thread. Returns how many were
+    /// admitted and how many rejected; errors from admitted queries propagate.
+    pub fn drive_session(&self, threads: usize) -> Result<(usize, usize)> {
+        let session = Session::new(
+            self.store.clone(),
+            SessionConfig::new()
+                .with_threads(threads)
+                .with_fetch_budget(self.budget),
+        );
+        let outcomes: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .admitted
+                .iter()
+                .chain(&self.rejected)
+                .map(|plan| {
+                    let session = &session;
+                    scope.spawn(move || match session.submit(plan) {
+                        Ok(handle) => handle.wait().map(|_| true),
+                        Err(SubmitError::Rejected { .. }) => Ok(false),
+                        Err(SubmitError::Invalid(error)) => Err(error),
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("submitter thread"))
+                .collect::<Result<_>>()
+        })?;
+        let peak = session.admission_stats().peak_admitted_bound;
+        assert!(
+            peak <= self.budget,
+            "admitted bounds peaked at {peak} over the budget {}",
+            self.budget
+        );
+        session.shutdown();
+        let admitted = outcomes.iter().filter(|&&ok| ok).count();
+        Ok((admitted, outcomes.len() - admitted))
+    }
+}
+
 /// The scenario scales the perf record is measured at — shared by `exp_table1` and the
 /// `ablations` bench so `BENCH_pipeline.json` means the same thing wherever it is
 /// emitted. Kept moderate so the CI perf-smoke stays fast.
@@ -464,6 +598,32 @@ pub fn pipeline_bench_report(timing_iters: u32) -> Result<PipelineBenchReport> {
             ns_p99,
         },
     );
+    // The multi-query service scenario. Deterministic fields come from serial,
+    // single-threaded runs of the *admitted* set (the session is asserted elsewhere
+    // to reproduce them exactly, so recording the serial numbers keeps the committed
+    // record schedule-independent): totals are summed across the admitted queries,
+    // the residency peak is the largest single-query peak. Wall clock is the real
+    // thing — a fresh 4-worker budgeted session per iteration, the whole mixed batch
+    // (admitted + rejected) submitted concurrently, drained, and shut down; at
+    // `timing_iters = 0` no session is ever created.
+    let traffic = ConcurrentTrafficScenario::with_traffic(4, 2, 20_000, BENCH_REPORT_SEED)?;
+    let mut entry = BenchEntry::default();
+    for plan in &traffic.admitted {
+        let (_, stats) = execute_plan_on(plan, traffic.store.store(), &single)?;
+        entry.rows_fetched += stats.tuples_fetched;
+        entry.values_cloned += stats.values_cloned;
+        entry.allocs_per_probe += stats.allocs_per_probe;
+        entry.peak_rows_resident = entry.peak_rows_resident.max(stats.peak_rows_resident);
+    }
+    (entry.ns_p50, entry.ns_p99) = time_percentiles(timing_iters, || {
+        let (admitted, rejected) = traffic.drive_session(4)?;
+        debug_assert_eq!(
+            (admitted, rejected),
+            (traffic.admitted.len(), traffic.rejected.len())
+        );
+        Ok(())
+    })?;
+    report.insert("service_mixed_traffic", entry);
     Ok(report)
 }
 
@@ -506,6 +666,7 @@ mod tests {
             "parallel_q0_batch_6",
             "morsel_chain_fan_16384",
             "sharded_q0_shards_4",
+            "service_mixed_traffic",
         ] {
             let entry = report
                 .scenarios
@@ -728,6 +889,63 @@ mod tests {
                 "probe-path buffer demand changed at morsel size {morsel_size}"
             );
         }
+    }
+
+    /// The acceptance property of the multi-query service scenario: the cost model
+    /// really splits the batch (every admitted plan prices within the budget, every
+    /// storm above it), a concurrent budgeted session admits and rejects exactly
+    /// those sets, the admitted queries reproduce their serial rows, and the
+    /// admitted bounds' high-water mark stays within the budget (asserted inside
+    /// `drive_session`).
+    #[test]
+    fn concurrent_traffic_scenario_splits_exactly_on_the_budget() {
+        let traffic = ConcurrentTrafficScenario::with_traffic(4, 2, 10_000, 7).unwrap();
+        assert_eq!(traffic.admitted.len(), 4);
+        assert_eq!(traffic.rejected.len(), 2);
+        let db_size = traffic.store.store().size();
+        for plan in &traffic.admitted {
+            assert!(
+                plan.cost(&traffic.schema, db_size).max_fetched_tuples <= traffic.budget,
+                "admitted plan {} prices above the budget",
+                plan.query_name()
+            );
+        }
+
+        let (admitted, rejected) = traffic.drive_session(4).unwrap();
+        assert_eq!(
+            (admitted, rejected),
+            (4, 2),
+            "the session's accept/reject split drifted from the cost model's"
+        );
+
+        // The session reproduces the serial rows for every admitted plan.
+        let session = Session::new(
+            traffic.store.clone(),
+            SessionConfig::new()
+                .with_threads(4)
+                .with_fetch_budget(traffic.budget),
+        );
+        for plan in &traffic.admitted {
+            let (serial, serial_stats) = execute_plan_on(
+                plan,
+                traffic.store.store(),
+                &ExecOptions::new().with_threads(1),
+            )
+            .unwrap();
+            let (table, stats) = session.submit(plan).unwrap().wait().unwrap();
+            assert_eq!(
+                table.rows(),
+                serial.rows(),
+                "rows drifted for {}",
+                plan.query_name()
+            );
+            assert!(
+                stats.same_data_access(&serial_stats),
+                "data access drifted for {}",
+                plan.query_name()
+            );
+        }
+        session.shutdown();
     }
 
     /// The scenario's chain as a conjunctive query, for the naive differential.

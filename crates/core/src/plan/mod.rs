@@ -14,17 +14,22 @@
 //! * [`physical`] — rule-based lowering of logical plans into streaming
 //!   [`physical::PhysicalPlan`]s (keyed-lookup fusion, projection pushdown, dedup
 //!   elimination, explicit materialization points).
+//! * [`ticket`] — admission-control [`ticket::CostTicket`]s: the fetch bound,
+//!   pipeline shape and per-probe allocation surface of a lowered plan, priced
+//!   before execution.
 //!
 //! Plans are executed against indexed data by `bea-engine`.
 
 pub mod physical;
 pub mod synthesis;
+pub mod ticket;
 
 pub use physical::{
     keys_all_tied, lower_plan, lower_plan_with, residual_predicates, LowerOptions, PhysOp,
     PhysStep, PhysicalPlan, Pipeline, PipelineDag, ShardRoute,
 };
 pub use synthesis::{bounded_plan, bounded_plan_for_report, bounded_plan_ucq};
+pub use ticket::{CostTicket, PipelineCost};
 
 use crate::access::AccessSchema;
 use crate::error::{Error, Result};

@@ -397,6 +397,25 @@ impl PhysicalPlan {
 
     /// Decompose the plan into its pipeline DAG: one [`Pipeline`] per materialization
     /// point, whose `sources` are the materialized steps its streaming region scans
+    /// The steps of the streaming region rooted at `sink`: the sink itself plus every
+    /// non-materialized step feeding it, stopping at materialized inputs (the region's
+    /// exchange sources), in ascending step order. This is the set of operators one
+    /// pipeline instantiates — the unit the scheduler runs, the morsel machinery
+    /// caches for, and [`super::ticket::CostTicket`] sizes allocation surfaces over.
+    pub fn region_steps(&self, sink: PhysId) -> Vec<PhysId> {
+        let mut region = vec![sink];
+        let mut stack: Vec<PhysId> = self.steps[sink].op.inputs();
+        while let Some(j) = stack.pop() {
+            if self.steps[j].materialize {
+                continue;
+            }
+            region.push(j);
+            stack.extend(self.steps[j].op.inputs());
+        }
+        region.sort_unstable();
+        region
+    }
+
     /// (the exchange edges). Pipelines appear in step order, which is a topological
     /// order of the DAG; pipelines with no path between them are independent and may
     /// run concurrently.

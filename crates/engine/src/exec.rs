@@ -141,15 +141,7 @@ impl ExecOptions {
         if self.threads > 0 {
             return self.threads;
         }
-        let from_env = match std::env::var(THREADS_ENV) {
-            Err(std::env::VarError::NotPresent) => None,
-            Err(std::env::VarError::NotUnicode(_)) => {
-                panic!("{THREADS_ENV} is set to a non-unicode value; expected an integer")
-            }
-            Ok(value) => parse_threads(&value)
-                .unwrap_or_else(|reason| panic!("invalid {THREADS_ENV}={value:?}: {reason}")),
-        };
-        if let Some(threads) = from_env {
+        if let Some(threads) = bea_core::env::read_env(THREADS_ENV, parse_threads).flatten() {
             return threads;
         }
         std::thread::available_parallelism()
@@ -168,49 +160,32 @@ impl ExecOptions {
         if self.morsel_size > 0 {
             return self.morsel_size;
         }
-        let from_env = match std::env::var(MORSELS_ENV) {
-            Err(std::env::VarError::NotPresent) => None,
-            Err(std::env::VarError::NotUnicode(_)) => {
-                panic!("{MORSELS_ENV} is set to a non-unicode value; expected an integer")
-            }
-            Ok(value) => parse_morsels(&value)
-                .unwrap_or_else(|reason| panic!("invalid {MORSELS_ENV}={value:?}: {reason}")),
-        };
-        from_env.unwrap_or(DEFAULT_MORSEL_ROWS)
+        bea_core::env::read_env(MORSELS_ENV, parse_morsels)
+            .flatten()
+            .unwrap_or(DEFAULT_MORSEL_ROWS)
     }
 }
 
 /// Parse a [`THREADS_ENV`] value. `Ok(Some(n))` is an explicit worker count;
 /// `Ok(None)` means "automatic" (`0`, or the empty string — the `BEA_THREADS= cmd`
-/// shell idiom); anything unparsable is an error naming the reason. Split out of
-/// [`ExecOptions::resolved_threads`] so the rejection rules are testable without
-/// mutating the process environment (which would race parallel tests).
+/// shell idiom); anything unparsable is an error naming the reason. The rejection
+/// rules are the shared [`bea_core::env`] contract, and the parser stays a pure
+/// function so they are testable without mutating the process environment (which
+/// would race parallel tests).
 pub fn parse_threads(value: &str) -> std::result::Result<Option<usize>, String> {
-    let trimmed = value.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Ok(None),
-        Ok(threads) => Ok(Some(threads)),
-        Err(_) => Err(format!("expected a non-negative integer, got {trimmed:?}")),
-    }
+    Ok(bea_core::env::parse_count(value)?
+        .auto_when_zero()
+        .map(|threads| threads as usize))
 }
 
 /// Parse a [`MORSELS_ENV`] value. `Ok(Some(n))` is an explicit rows-per-morsel target;
 /// `Ok(None)` means "automatic" (`0`, or the empty string); anything unparsable is an
-/// error naming the reason. Same loud-failure contract — and the same
+/// error naming the reason. Same shared contract — and the same
 /// testable-without-the-environment split — as [`parse_threads`].
 pub fn parse_morsels(value: &str) -> std::result::Result<Option<usize>, String> {
-    let trimmed = value.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Ok(None),
-        Ok(rows) => Ok(Some(rows)),
-        Err(_) => Err(format!("expected a non-negative integer, got {trimmed:?}")),
-    }
+    Ok(bea_core::env::parse_count(value)?
+        .auto_when_zero()
+        .map(|rows| rows as usize))
 }
 
 /// Execute a physical plan with the default options (streaming, automatic threads).

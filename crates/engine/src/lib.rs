@@ -116,11 +116,46 @@
 //!   are identical at every shard count — partitioning relocates bounded work, it
 //!   never adds any.
 //!
+//! # Multi-query execution and admission control
+//!
+//! [`session::Session`] turns the scheduler around: instead of one query owning the
+//! worker pool for one call, a session owns a persistent pool over one shared store
+//! and [`session::Session::submit`] interleaves the pipelines and morsels of many
+//! concurrently admitted queries in a single job queue. The contract, asserted by
+//! `tests/properties.rs` across the thread × shard matrix:
+//!
+//! * **Per-query isolation.** Each admitted query runs against its own
+//!   materialization slots, residency ledger and [`AccessStats`]; its rows, row
+//!   order and every deterministic counter are identical to a solo
+//!   [`exec::execute_plan_on`] run of the same plan. The first failing job of a
+//!   query fails *that query only* — its queued jobs are discarded, its error (or
+//!   re-raised panic) is delivered on [`session::QueryHandle::wait`], and every
+//!   other query proceeds untouched.
+//! * **Fetch-bound admission.** Every submission is priced *before* it runs by a
+//!   [`bea_core::plan::CostTicket`] — the paper's bounded-evaluability guarantee
+//!   makes worst-case fetch volume a static quantity — and checked against the
+//!   session's aggregate fetch budget ([`session::FETCH_BUDGET_ENV`], or
+//!   [`session::SessionConfig::with_fetch_budget`]). A query whose own bound
+//!   exceeds the budget is rejected deterministically (same verdict at any load); a
+//!   query that fits the budget but not the current headroom queues FIFO; at every
+//!   instant the sum of admitted bounds is at most the budget
+//!   ([`session::AdmissionStats::peak_admitted_bound`] is the observable
+//!   high-water mark). The ticket also carries the plan's per-pipeline
+//!   **allocation surface**, so a session can veto hot-path-allocating plans
+//!   outright ([`session::SessionConfig::with_max_alloc_surface`]).
+//! * **Affinity across queries.** Workers keep the single-query scheduler's
+//!   preference order — own split's morsels first, then same-shard jobs (from any
+//!   query; the partition is store-wide), then FIFO.
+//!
+//! The `bead` crate packages a session behind a Unix-socket line protocol
+//! (`bead` daemon / `beactl` client); see its docs for the wire format.
+//!
 //! [`table::Table`] is the shared result representation (set semantics).
 
 pub mod exec;
 pub mod naive;
 pub mod ops;
+pub mod session;
 pub mod stats;
 pub mod table;
 
@@ -130,5 +165,9 @@ pub use exec::{
     THREADS_ENV,
 };
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
+pub use session::{
+    parse_fetch_budget, AdmissionStats, QueryHandle, Rejection, Session, SessionConfig,
+    SharedStore, SubmitError, FETCH_BUDGET_ENV,
+};
 pub use stats::AccessStats;
 pub use table::Table;

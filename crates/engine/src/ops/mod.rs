@@ -366,7 +366,7 @@ pub(crate) fn validate_fetch_shape<'a>(
 /// plans fail *before* execution starts instead of panicking mid-pipeline:
 /// [`PhysicalPlan::validate`] checks step wiring, arities and predicate column bounds;
 /// [`validate_fetch_shape`] checks every fetch against the schema and catalog.
-fn validate_for(plan: &PhysicalPlan, store: Store<'_>) -> Result<()> {
+pub(crate) fn validate_for(plan: &PhysicalPlan, store: Store<'_>) -> Result<()> {
     plan.validate()?;
     for (i, step) in plan.steps().iter().enumerate() {
         let (relation, key_cols, x_attrs, positions, constraint_index) = match &step.op {

@@ -62,36 +62,47 @@ use std::rc::Rc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// The immutable description of one split pipeline, shared by its morsel jobs.
-struct MorselWork {
+pub(crate) struct MorselWork {
     /// The pipeline's index in the DAG.
-    pipeline: usize,
+    pub(crate) pipeline: usize,
     /// The materialized source step whose batches the morsels replay.
-    source: usize,
+    pub(crate) source: usize,
     /// Snapshot of the source's batches. Morsels are ranges of *whole* batches, so
     /// every per-batch charge the chain makes is identical under any grouping.
-    batches: Arc<Vec<Batch>>,
+    pub(crate) batches: Arc<Vec<Batch>>,
     /// Disjoint `[start, end)` ranges over `batches`, one per morsel.
-    ranges: Vec<(usize, usize)>,
+    pub(crate) ranges: Vec<(usize, usize)>,
     /// Per-lookup-step caches shared by all morsels of this split.
-    caches: Arc<BTreeMap<usize, Arc<SharedLookupCache>>>,
+    pub(crate) caches: Arc<BTreeMap<usize, Arc<SharedLookupCache>>>,
 }
 
 /// Completion state of one split, guarded by the scheduler mutex.
-struct SplitState {
+pub(crate) struct SplitState {
     /// Per-morsel output batches, filled in as morsels land and concatenated in
     /// morsel order at finalize.
-    results: Vec<Option<Vec<Batch>>>,
+    pub(crate) results: Vec<Option<Vec<Batch>>>,
     /// Total output rows across the landed morsels.
-    rows: u64,
+    pub(crate) rows: u64,
     /// Morsels still in flight.
-    remaining: usize,
+    pub(crate) remaining: usize,
+}
+
+impl SplitState {
+    /// A fresh state expecting `morsels` results.
+    pub(crate) fn new(morsels: usize) -> Self {
+        SplitState {
+            results: (0..morsels).map(|_| None).collect(),
+            rows: 0,
+            remaining: morsels,
+        }
+    }
 }
 
 /// One unit of work for a worker.
-enum Job {
+pub(crate) enum Job {
     /// A whole pipeline, run unsplit.
     Pipeline(usize),
-    /// One morsel of a split pipeline; `split` indexes `Sched::splits`.
+    /// One morsel of a split pipeline; `split` indexes the owner's split table.
     Morsel {
         work: Arc<MorselWork>,
         split: usize,
@@ -100,7 +111,7 @@ enum Job {
 }
 
 /// The pipeline a job belongs to — the unit affinity reasons about.
-fn job_pipeline(job: &Job) -> usize {
+pub(crate) fn job_pipeline(job: &Job) -> usize {
     match job {
         Job::Pipeline(pipeline) => *pipeline,
         Job::Morsel { work, .. } => work.pipeline,
@@ -135,7 +146,7 @@ struct Sched {
 /// with the same shard, then the queue front — morsel stealing respects shard
 /// affinity before stealing cross-shard. Pure queue reordering — every ready job
 /// still runs exactly once.
-fn pick_ready(
+pub(crate) fn pick_ready(
     ready: &mut VecDeque<Job>,
     shards: &[Option<u32>],
     last_pipeline: Option<usize>,
@@ -158,7 +169,7 @@ fn pick_ready(
 /// worth it. Returns `None` — run the pipeline unsplit — when the pipeline has no
 /// morsel source, splitting is disabled (`morsel_rows == usize::MAX`), or the source
 /// holds at most one morsel's worth of batches.
-fn try_split(
+pub(crate) fn try_split(
     plan: &PhysicalPlan,
     dag: &PipelineDag,
     p: usize,
@@ -217,7 +228,7 @@ fn unlock_dependents(guard: &mut Sched, dag: &PipelineDag, pipeline: usize) -> u
 /// materialization, release the shared caches' rows, and retire the split's single
 /// consumer claim on the source materialization — exactly once for the whole split,
 /// mirroring [`super::source::ScanOp`]'s last-consumer protocol.
-fn finalize_split(
+pub(crate) fn finalize_split(
     plan: &PhysicalPlan,
     state: &mut SplitState,
     work: &MorselWork,
@@ -255,6 +266,65 @@ fn finalize_split(
         source.batches = None;
         ledger.release(source.rows);
     }
+}
+
+/// What one job produced: `None` for a whole pipeline (its result is published into
+/// `mats` by the run), `Some((batches, rows))` for a morsel (buffered until its split
+/// finalizes) — paired with the job's private access counters. The outer
+/// [`std::thread::Result`] carries a caught worker panic.
+pub(crate) type JobOutcome = std::thread::Result<(Result<Option<(Vec<Batch>, u64)>>, AccessStats)>;
+
+/// Execute one [`Job`] with a fresh per-job [`ExecState`] — counters stay private to
+/// the job, residency goes through the shared `ledger` — catching panics on the
+/// worker. An uncaught panic would kill the worker thread without a wakeup,
+/// deadlocking workers still waiting on the scheduler condvar, and poison any
+/// `MatNode` lock it held — turning one bad operator into an opaque secondary panic
+/// elsewhere. The unwind still runs the operator drops inside the catch, so residency
+/// is released before the payload is returned. Shared by the single-query
+/// [`run_parallel`] pool and the multi-query [`crate::session::Session`] pool.
+pub(crate) fn execute_job(
+    plan: &PhysicalPlan,
+    dag: &PipelineDag,
+    store: Store<'_>,
+    ledger: &Arc<ResidencyLedger>,
+    mats: &MatSlots,
+    pool_cap: usize,
+    job: &Job,
+) -> JobOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        let state: SharedState = Rc::new(RefCell::new(ExecState::with_pool_cap(
+            ledger.clone(),
+            pool_cap,
+        )));
+        let result = match job {
+            Job::Pipeline(p) => {
+                run_pipeline(plan, dag.pipelines()[*p].sink, store, &state, mats).map(|()| None)
+            }
+            Job::Morsel { work, index, .. } => {
+                let ctx = MorselCtx {
+                    source: work.source,
+                    batches: Arc::clone(&work.batches),
+                    range: work.ranges[*index],
+                    caches: Arc::clone(&work.caches),
+                    report: *index == 0,
+                };
+                run_morsel(
+                    plan,
+                    dag.pipelines()[work.pipeline].sink,
+                    store,
+                    &state,
+                    mats,
+                    &ctx,
+                )
+                .map(Some)
+            }
+        };
+        let stats = Rc::try_unwrap(state)
+            .expect("pipeline operators are dropped before their stats are read")
+            .into_inner()
+            .stats;
+        (result, stats)
+    }))
 }
 
 /// Execute every pipeline of `dag` on up to `threads` scoped worker threads, in
@@ -341,11 +411,7 @@ pub(crate) fn run_parallel(
                                 let split = {
                                     let mut guard = lock_sched();
                                     let split = guard.splits.len();
-                                    guard.splits.push(SplitState {
-                                        results: (0..morsels).map(|_| None).collect(),
-                                        rows: 0,
-                                        remaining: morsels,
-                                    });
+                                    guard.splits.push(SplitState::new(morsels));
                                     for index in 1..morsels {
                                         guard.ready.push_back(Job::Morsel {
                                             work: Arc::clone(&work),
@@ -368,49 +434,7 @@ pub(crate) fn run_parallel(
                         },
                         morsel => morsel,
                     };
-                    // Catch panics on the worker: an uncaught panic would kill this
-                    // scoped thread without a wakeup, deadlocking the workers still
-                    // waiting on the condvar, and poison any `MatNode` lock it held —
-                    // turning one bad operator into an opaque secondary panic
-                    // elsewhere. The unwind still runs the operator drops inside the
-                    // catch, so residency is released before the payload is recorded.
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        // A fresh per-job state: counters stay private to this
-                        // worker, residency goes through the shared ledger.
-                        let state: SharedState = Rc::new(RefCell::new(ExecState::with_pool_cap(
-                            ledger.clone(),
-                            pool_cap,
-                        )));
-                        let result = match &job {
-                            Job::Pipeline(p) => {
-                                run_pipeline(plan, dag.pipelines()[*p].sink, store, &state, mats)
-                                    .map(|()| None)
-                            }
-                            Job::Morsel { work, index, .. } => {
-                                let ctx = MorselCtx {
-                                    source: work.source,
-                                    batches: Arc::clone(&work.batches),
-                                    range: work.ranges[*index],
-                                    caches: Arc::clone(&work.caches),
-                                    report: *index == 0,
-                                };
-                                run_morsel(
-                                    plan,
-                                    dag.pipelines()[work.pipeline].sink,
-                                    store,
-                                    &state,
-                                    mats,
-                                    &ctx,
-                                )
-                                .map(Some)
-                            }
-                        };
-                        let stats = Rc::try_unwrap(state)
-                            .expect("pipeline operators are dropped before their stats are read")
-                            .into_inner()
-                            .stats;
-                        (result, stats)
-                    }));
+                    let outcome = execute_job(plan, dag, store, ledger, mats, pool_cap, &job);
                     let mut guard = lock_sched();
                     let mut newly_ready = 0usize;
                     let mut finalized_split = false;

@@ -1,0 +1,1211 @@
+//! Multi-query execution sessions: one worker pool, many concurrently admitted
+//! queries, fetch-bound admission control.
+//!
+//! [`crate::exec::execute_plan_on`] gives one query the whole scheduler. A
+//! [`Session`] inverts that ownership: it owns a persistent pool of worker threads
+//! and a single shared store, and [`Session::submit`] hands it queries whose
+//! pipelines and morsels *interleave* in one global job queue. The contract:
+//!
+//! * **Isolation** — every query executes against its own materialization slots,
+//!   residency ledger, split table and [`AccessStats`]; the only state queries share
+//!   is the store (immutable) and the workers' time. A query's rows, row order and
+//!   every deterministic access counter are *identical* to a solo
+//!   [`crate::exec::execute_plan_on`] run of the same plan — concurrency moves wall
+//!   clock, never data. Errors are per-query: the first failing job of a query wins,
+//!   its queued jobs are discarded, and every other query proceeds untouched. A
+//!   panicking operator fails only its own query; the payload is re-raised from
+//!   [`QueryHandle::wait`].
+//! * **Admission control** — every submission is priced by a
+//!   [`CostTicket`] *before* it runs (the paper's bounded-evaluability guarantee:
+//!   worst-case fetch volume is a static quantity). Against a configured aggregate
+//!   fetch budget ([`SessionConfig::with_fetch_budget`] / the [`FETCH_BUDGET_ENV`]
+//!   variable), a query whose own `fetch_bound` exceeds the budget is **rejected**
+//!   deterministically — the same verdict at any load, any thread count. A query
+//!   that fits the budget but not the *remaining* headroom is **queued** and admitted
+//!   FIFO as running queries retire; at every instant the sum of admitted queries'
+//!   fetch bounds is at most the budget (observable as
+//!   [`AdmissionStats::peak_admitted_bound`]). An optional allocation-surface cap
+//!   ([`SessionConfig::with_max_alloc_surface`]) additionally vetoes plans that
+//!   would allocate on the per-probe hot path beyond the cap.
+//! * **Scheduling** — the pool generalizes the single-query scheduler's affinity
+//!   rules across queries: a worker prefers another morsel of the *same query's same
+//!   pipeline* (its warmed split), then any job tagged with its last shard (shard
+//!   affinity crosses queries — the partition is store-wide), then the queue front.
+//!   Splittable pipelines cut into morsels exactly as in a solo run.
+//!
+//! [`Session::shutdown`] (or drop) drains every admitted and queued query before the
+//! workers exit, so no accepted query is ever abandoned.
+
+use crate::ops::sched::{execute_job, finalize_split, job_pipeline, try_split, Job, SplitState};
+use crate::ops::{pool_cap_for, validate_for, ResidencyLedger, SharedMat};
+use crate::stats::AccessStats;
+use crate::table::Table;
+use bea_core::error::{Error, Result};
+use bea_core::plan::{
+    lower_plan_with, CostTicket, LowerOptions, PhysicalPlan, PipelineDag, QueryPlan,
+};
+use bea_storage::{IndexedDatabase, ShardedDatabase, Store};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::resume_unwind;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// Environment variable configuring the session's aggregate fetch budget — the
+/// ceiling on the sum of admitted queries' fetch bounds — when
+/// [`SessionConfig::fetch_budget`] is 0 (automatic). `0` and the empty string mean
+/// "unlimited"; an explicit [`SessionConfig::with_fetch_budget`] beats the
+/// environment. Parsed through the shared [`bea_core::env`] loud-failure contract: a
+/// set-but-invalid value panics with the rejection reason instead of silently
+/// admitting everything.
+pub const FETCH_BUDGET_ENV: &str = "BEA_FETCH_BUDGET";
+
+/// Parse a [`FETCH_BUDGET_ENV`] value. `Ok(Some(n))` is an aggregate budget of `n`
+/// tuples; `Ok(None)` means "unlimited" (`0`, or the empty string); anything
+/// unparsable is an error naming the reason. Pure, like
+/// [`crate::exec::parse_threads`], so it is testable without mutating the process
+/// environment.
+pub fn parse_fetch_budget(value: &str) -> std::result::Result<Option<u64>, String> {
+    Ok(bea_core::env::parse_count(value)?.auto_when_zero())
+}
+
+/// A store a [`Session`] can own: the `Arc`-shared flavor of
+/// [`bea_storage::Store`], since the session's workers outlive any caller borrow.
+#[derive(Clone)]
+pub enum SharedStore {
+    /// A single indexed database.
+    Indexed(Arc<IndexedDatabase>),
+    /// A sharded database; lowering fans keyed fetches out per shard exactly as
+    /// [`crate::exec::execute_plan_on`] does.
+    Sharded(Arc<ShardedDatabase>),
+}
+
+impl SharedStore {
+    /// The borrowed [`Store`] view the executor runs against.
+    pub fn store(&self) -> Store<'_> {
+        match self {
+            SharedStore::Indexed(db) => Store::Indexed(db),
+            SharedStore::Sharded(db) => Store::Sharded(db),
+        }
+    }
+}
+
+impl From<IndexedDatabase> for SharedStore {
+    fn from(db: IndexedDatabase) -> Self {
+        SharedStore::Indexed(Arc::new(db))
+    }
+}
+
+impl From<ShardedDatabase> for SharedStore {
+    fn from(db: ShardedDatabase) -> Self {
+        SharedStore::Sharded(Arc::new(db))
+    }
+}
+
+/// Options controlling a [`Session`]: pool size, morsel size, and the admission
+/// controller's limits. `#[non_exhaustive]`, same pattern as
+/// [`crate::exec::ExecOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct SessionConfig {
+    /// Worker threads in the pool. `0` (the default) resolves like
+    /// [`crate::exec::ExecOptions::threads`]: `BEA_THREADS`, else available
+    /// parallelism.
+    pub threads: usize,
+    /// Target rows per morsel, resolved like
+    /// [`crate::exec::ExecOptions::morsel_size`] (`BEA_MORSELS`, else the default).
+    pub morsel_size: usize,
+    /// Aggregate fetch budget: the ceiling on the sum of admitted queries' fetch
+    /// bounds. `0` (the default) resolves automatically: [`FETCH_BUDGET_ENV`] if
+    /// set, otherwise unlimited.
+    pub fetch_budget: u64,
+    /// Per-query allocation-surface cap: reject any query whose
+    /// [`CostTicket::alloc_surface`] exceeds this. `0` (the default) disables the
+    /// veto.
+    pub max_alloc_surface: u64,
+}
+
+impl SessionConfig {
+    /// The default config: automatic pool size, no admission limits (unless the
+    /// environment sets a budget).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count (0 = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the target rows per morsel (0 = automatic).
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size;
+        self
+    }
+
+    /// Set the aggregate fetch budget (0 = resolve from [`FETCH_BUDGET_ENV`], else
+    /// unlimited).
+    pub fn with_fetch_budget(mut self, budget: u64) -> Self {
+        self.fetch_budget = budget;
+        self
+    }
+
+    /// Set the per-query allocation-surface cap (0 = no cap).
+    pub fn with_max_alloc_surface(mut self, cap: u64) -> Self {
+        self.max_alloc_surface = cap;
+        self
+    }
+
+    /// The effective aggregate fetch budget: the explicit
+    /// [`SessionConfig::fetch_budget`] if nonzero, else [`FETCH_BUDGET_ENV`], else
+    /// unlimited (`None`).
+    pub fn resolved_fetch_budget(&self) -> Option<u64> {
+        if self.fetch_budget > 0 {
+            return Some(self.fetch_budget);
+        }
+        bea_core::env::read_env(FETCH_BUDGET_ENV, parse_fetch_budget).flatten()
+    }
+}
+
+/// Why the admission controller refused a submission outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The query's own worst-case fetch volume exceeds the aggregate budget — it
+    /// could never run, at any load.
+    FetchBound {
+        /// The query's fetch bound.
+        bound: u64,
+        /// The session's aggregate budget.
+        budget: u64,
+    },
+    /// The query's per-probe allocation surface exceeds the configured cap.
+    AllocSurface {
+        /// The query's allocation surface.
+        surface: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::FetchBound { bound, budget } => write!(
+                f,
+                "fetch bound {bound} exceeds the aggregate fetch budget {budget}"
+            ),
+            Rejection::AllocSurface { surface, limit } => write!(
+                f,
+                "allocation surface {surface} exceeds the configured cap {limit}"
+            ),
+        }
+    }
+}
+
+/// Why [`Session::submit`] returned no handle.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The admission controller refused the query; the ticket says what it would
+    /// have cost. Deterministic: the same plan gets the same verdict at any load.
+    Rejected {
+        /// The priced ticket of the refused query.
+        ticket: Box<CostTicket>,
+        /// The specific limit it broke.
+        rejection: Rejection,
+    },
+    /// The plan failed lowering or validation, or the session is shut down.
+    Invalid(Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected { ticket, rejection } => {
+                write!(f, "query {} rejected: {rejection}", ticket.query_name)
+            }
+            SubmitError::Invalid(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A snapshot of the session's admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries presented to [`Session::submit`].
+    pub submitted: u64,
+    /// Queries admitted to the pool (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries that had to wait for budget headroom before admission.
+    pub queued: u64,
+    /// Queries refused outright (over-budget fetch bound or allocation surface).
+    pub rejected: u64,
+    /// Admitted queries that finished successfully.
+    pub completed: u64,
+    /// Admitted queries that ended in an error or a panic.
+    pub failed: u64,
+    /// Sum of currently admitted queries' fetch bounds.
+    pub inflight_bound: u64,
+    /// High-water mark of `inflight_bound` — never exceeds the budget.
+    pub peak_admitted_bound: u64,
+    /// The effective aggregate fetch budget (`None` = unlimited).
+    pub budget: Option<u64>,
+}
+
+/// How one query ended, delivered to its [`QueryHandle`].
+enum QueryOutcome {
+    Finished(Box<(Table, AccessStats)>),
+    Failed(Error),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The caller's handle to one admitted (or queued) query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: u64,
+    ticket: CostTicket,
+    queued: bool,
+    rx: Receiver<QueryOutcome>,
+}
+
+impl QueryHandle {
+    /// The session-unique id of this submission (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The priced ticket the admission controller accepted.
+    pub fn ticket(&self) -> &CostTicket {
+        &self.ticket
+    }
+
+    /// Whether the query had to queue for budget headroom (it still runs; this is
+    /// informational).
+    pub fn was_queued(&self) -> bool {
+        self.queued
+    }
+
+    /// Block until the query finishes, returning its table and access statistics —
+    /// exactly what [`crate::exec::execute_plan_on`] would have returned for the
+    /// same plan. A panic inside the query's own operators is re-raised here, on
+    /// the owner; other queries are unaffected.
+    pub fn wait(self) -> Result<(Table, AccessStats)> {
+        match self.rx.recv() {
+            Ok(QueryOutcome::Finished(output)) => Ok(*output),
+            Ok(QueryOutcome::Failed(error)) => Err(error),
+            Ok(QueryOutcome::Panicked(payload)) => resume_unwind(payload),
+            Err(_) => panic!("the session dropped a submitted query without an outcome"),
+        }
+    }
+}
+
+/// The immutable execution context of one admitted query, shared between the pool's
+/// workers via `Arc`.
+struct QueryShared {
+    plan: PhysicalPlan,
+    dag: PipelineDag,
+    /// Per-pipeline shard tags, for cross-query shard affinity.
+    shards: Vec<Option<u32>>,
+    /// This query's private materialization slots.
+    mats: Vec<OnceLock<SharedMat>>,
+    /// This query's private residency ledger.
+    ledger: Arc<ResidencyLedger>,
+    pool_cap: usize,
+    fetch_bound: u64,
+}
+
+/// What ended an admitted query early. First failure wins, per query.
+enum Failure {
+    Error(Error),
+    Panic(Box<dyn Any + Send>),
+}
+
+/// Mutable pool-side state of one admitted query.
+struct ActiveQuery {
+    shared: Arc<QueryShared>,
+    /// Remaining incomplete dependencies per pipeline.
+    deps_left: Vec<usize>,
+    /// Completion state per registered split.
+    splits: Vec<SplitState>,
+    /// Completed pipelines.
+    completed: usize,
+    /// This query's jobs currently executing on a worker.
+    running: usize,
+    failure: Option<Failure>,
+    /// Concurrent merge of this query's per-job counters.
+    stats: AccessStats,
+    outcome: Sender<QueryOutcome>,
+}
+
+/// A submission waiting for budget headroom.
+struct PendingQuery {
+    id: u64,
+    shared: Arc<QueryShared>,
+    outcome: Sender<QueryOutcome>,
+}
+
+/// The pool's shared state, guarded by one mutex.
+struct PoolState {
+    /// Jobs ready for a worker, across all admitted queries.
+    ready: VecDeque<(u64, Job)>,
+    /// Admitted queries by id.
+    active: BTreeMap<u64, ActiveQuery>,
+    /// Admissible queries waiting for headroom, in submission order (FIFO — a big
+    /// query at the front is never starved by small ones behind it).
+    pending: VecDeque<PendingQuery>,
+    /// Sum of admitted queries' fetch bounds.
+    admitted_bound: u64,
+    /// High-water mark of `admitted_bound`.
+    peak_admitted_bound: u64,
+    next_id: u64,
+    counters: Counters,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    admitted: u64,
+    queued: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+}
+
+struct SessionInner {
+    store: SharedStore,
+    threads: usize,
+    morsel_rows: usize,
+    budget: Option<u64>,
+    max_alloc_surface: Option<u64>,
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+impl SessionInner {
+    /// Take the pool mutex. Worker panics are caught inside [`execute_job`], so the
+    /// bookkeeping this mutex guards is never left half-done; a poisoned guard is
+    /// taken anyway, same as the single-query scheduler.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A multi-query execution session. See the module docs for the contract.
+pub struct Session {
+    inner: Arc<SessionInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Session {
+    /// Start a session over `store` with `config`'s pool and admission settings.
+    /// Spawns the worker threads immediately; they idle until a query is admitted.
+    pub fn new(store: impl Into<SharedStore>, config: SessionConfig) -> Self {
+        let exec = crate::exec::ExecOptions::new()
+            .with_threads(config.threads)
+            .with_morsel_size(config.morsel_size);
+        let inner = Arc::new(SessionInner {
+            store: store.into(),
+            threads: exec.resolved_threads(),
+            morsel_rows: exec.resolved_morsel_size(),
+            budget: config.resolved_fetch_budget(),
+            max_alloc_surface: (config.max_alloc_surface > 0).then_some(config.max_alloc_surface),
+            state: Mutex::new(PoolState {
+                ready: VecDeque::new(),
+                active: BTreeMap::new(),
+                pending: VecDeque::new(),
+                admitted_bound: 0,
+                peak_admitted_bound: 0,
+                next_id: 0,
+                counters: Counters::default(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..inner.threads.max(1))
+            .map(|worker| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("bea-session-{worker}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a session worker thread")
+            })
+            .collect();
+        Session { inner, workers }
+    }
+
+    /// The session's effective aggregate fetch budget (`None` = unlimited).
+    pub fn fetch_budget(&self) -> Option<u64> {
+        self.inner.budget
+    }
+
+    /// The session's worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Price `plan`, run it through admission control, and — if admitted or queued —
+    /// hand its jobs to the pool. Returns a [`QueryHandle`] to wait on, or a
+    /// [`SubmitError`] when the plan is invalid or deterministically over budget.
+    pub fn submit(&self, plan: &QueryPlan) -> std::result::Result<QueryHandle, SubmitError> {
+        let inner = &self.inner;
+        let store = inner.store.store();
+        // Lower exactly as `execute_plan_on` does for this thread count, so a
+        // session run is job-for-job the same physical plan as a solo run.
+        let lower = LowerOptions::new()
+            .with_exchange_parallelism(inner.threads > 1)
+            .with_shard_fanout(store.shard_count());
+        let physical = lower_plan_with(plan, &lower).map_err(SubmitError::Invalid)?;
+        validate_for(&physical, store).map_err(SubmitError::Invalid)?;
+        let ticket = CostTicket::derive(plan, store.schema(), store.size(), &physical);
+
+        // Deterministic rejections first: verdicts that depend only on the ticket
+        // and the configuration, never on current load.
+        let rejection = match (inner.budget, inner.max_alloc_surface) {
+            (Some(budget), _) if ticket.fetch_bound > budget => Some(Rejection::FetchBound {
+                bound: ticket.fetch_bound,
+                budget,
+            }),
+            (_, Some(limit)) if ticket.alloc_surface > limit => Some(Rejection::AllocSurface {
+                surface: ticket.alloc_surface,
+                limit,
+            }),
+            _ => None,
+        };
+        if let Some(rejection) = rejection {
+            let mut guard = self.inner.lock_state();
+            guard.counters.submitted += 1;
+            guard.counters.rejected += 1;
+            drop(guard);
+            return Err(SubmitError::Rejected {
+                ticket: Box::new(ticket),
+                rejection,
+            });
+        }
+
+        let dag = physical.pipeline_dag();
+        let shards = dag.pipelines().iter().map(|p| p.shard).collect();
+        let mats = (0..physical.len()).map(|_| OnceLock::new()).collect();
+        let shared = Arc::new(QueryShared {
+            pool_cap: pool_cap_for(&physical),
+            plan: physical,
+            dag,
+            shards,
+            mats,
+            ledger: Arc::new(ResidencyLedger::default()),
+            fetch_bound: ticket.fetch_bound,
+        });
+        let (tx, rx) = channel();
+
+        let mut guard = inner.lock_state();
+        if guard.shutdown {
+            return Err(SubmitError::Invalid(Error::Invalid {
+                reason: "the session is shut down".into(),
+            }));
+        }
+        guard.counters.submitted += 1;
+        let id = guard.next_id;
+        guard.next_id += 1;
+        // Strict FIFO fairness: nothing overtakes an already-queued query, even if
+        // it would fit the current headroom.
+        let fits = guard.pending.is_empty()
+            && inner
+                .budget
+                .is_none_or(|budget| guard.admitted_bound + shared.fetch_bound <= budget);
+        let queued = !fits;
+        if queued {
+            guard.counters.queued += 1;
+            guard.pending.push_back(PendingQuery {
+                id,
+                shared,
+                outcome: tx,
+            });
+            drop(guard);
+        } else {
+            let added = admit(&mut guard, id, shared, tx);
+            drop(guard);
+            for _ in 0..added {
+                inner.work.notify_one();
+            }
+        }
+        Ok(QueryHandle {
+            id,
+            ticket,
+            queued,
+            rx,
+        })
+    }
+
+    /// A snapshot of the admission counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        let guard = self.inner.lock_state();
+        AdmissionStats {
+            submitted: guard.counters.submitted,
+            admitted: guard.counters.admitted,
+            queued: guard.counters.queued,
+            rejected: guard.counters.rejected,
+            completed: guard.counters.completed,
+            failed: guard.counters.failed,
+            inflight_bound: guard.admitted_bound,
+            peak_admitted_bound: guard.peak_admitted_bound,
+            budget: self.inner.budget,
+        }
+    }
+
+    /// Drain every admitted and queued query, stop the workers, and tear the pool
+    /// down. Equivalent to dropping the session, but explicit at call sites.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.inner.lock_state();
+            guard.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a job is a bug; surface it rather
+            // than shutting down half-torn.
+            if let Err(payload) = worker.join() {
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Admit one query: charge its fetch bound against the budget, register its
+/// bookkeeping, and enqueue its dependency-free pipelines. Returns how many jobs
+/// were added. Caller holds the pool lock and emits the wakeups.
+fn admit(
+    state: &mut PoolState,
+    id: u64,
+    shared: Arc<QueryShared>,
+    outcome: Sender<QueryOutcome>,
+) -> usize {
+    state.counters.admitted += 1;
+    state.admitted_bound += shared.fetch_bound;
+    state.peak_admitted_bound = state.peak_admitted_bound.max(state.admitted_bound);
+    let n = shared.dag.len();
+    let deps_left: Vec<usize> = (0..n).map(|i| shared.dag.dependencies(i).len()).collect();
+    let mut added = 0;
+    for (pipeline, &deps) in deps_left.iter().enumerate() {
+        if deps == 0 {
+            state.ready.push_back((id, Job::Pipeline(pipeline)));
+            added += 1;
+        }
+    }
+    state.active.insert(
+        id,
+        ActiveQuery {
+            shared,
+            deps_left,
+            splits: Vec::new(),
+            completed: 0,
+            running: 0,
+            failure: None,
+            stats: AccessStats::default(),
+            outcome,
+        },
+    );
+    added
+}
+
+/// Admit queued queries, in order, while the budget has headroom. Stops at the first
+/// queued query that does not fit (FIFO — nothing overtakes it). Returns how many
+/// jobs were added.
+fn drain_pending(state: &mut PoolState, budget: Option<u64>) -> usize {
+    let mut added = 0;
+    loop {
+        let fits = state.pending.front().is_some_and(|next| {
+            budget.is_none_or(|budget| state.admitted_bound + next.shared.fetch_bound <= budget)
+        });
+        if !fits {
+            return added;
+        }
+        let next = state.pending.pop_front().expect("front() was Some");
+        added += admit(state, next.id, next.shared, next.outcome);
+    }
+}
+
+/// Pop the next job for a worker whose previous job belonged to `last` =
+/// `(query, pipeline)` on shard `last_shard`: first a morsel of the same query's
+/// same pipeline (the split whose cache and batches this worker has warm), then the
+/// first job tagged with the same shard — *any* query's, the partition is
+/// store-wide — then the queue front. Pure queue reordering, exactly like the
+/// single-query scheduler's `pick_ready`.
+fn pick_ready_multi(
+    ready: &mut VecDeque<(u64, Job)>,
+    active: &BTreeMap<u64, ActiveQuery>,
+    last: Option<(u64, usize)>,
+    last_shard: Option<u32>,
+) -> Option<(u64, Job)> {
+    let shard_of = |id: &u64, job: &Job| {
+        active
+            .get(id)
+            .and_then(|query| query.shared.shards[job_pipeline(job)])
+    };
+    let position = last
+        .and_then(|(query, pipeline)| {
+            ready
+                .iter()
+                .position(|(id, job)| *id == query && job_pipeline(job) == pipeline)
+        })
+        .or_else(|| {
+            last_shard.and_then(|shard| {
+                ready
+                    .iter()
+                    .position(|(id, job)| shard_of(id, job) == Some(shard))
+            })
+        })
+        .unwrap_or(0);
+    ready.remove(position)
+}
+
+/// Decrement the dependency counts of `pipeline`'s dependents within one query,
+/// enqueueing the ones that became ready. Returns how many jobs were added.
+fn unlock_dependents(
+    query: &mut ActiveQuery,
+    id: u64,
+    pipeline: usize,
+    ready: &mut VecDeque<(u64, Job)>,
+) -> usize {
+    let shared = Arc::clone(&query.shared);
+    let mut added = 0;
+    for &dependent in shared.dag.dependents(pipeline) {
+        query.deps_left[dependent] -= 1;
+        if query.deps_left[dependent] == 0 {
+            ready.push_back((id, Job::Pipeline(dependent)));
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Extract a finished query's output, mirroring the tail of the single-query
+/// executor: take the output materialization, settle the residency ledger, count the
+/// transpose's clones, and build the table. Runs *outside* the pool lock.
+fn finish_query(shared: &QueryShared, mut stats: AccessStats) -> (Table, AccessStats) {
+    let output = shared.plan.output();
+    let (batches, output_rows) = {
+        let mut node = shared.mats[output]
+            .get()
+            .expect("lowering marks the output step as a materialization point")
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let batches = node
+            .batches
+            .take()
+            .expect("the output's virtual consumer is the session");
+        (batches, node.rows)
+    };
+    shared.ledger.release(output_rows);
+    stats.peak_rows_resident = shared.ledger.peak();
+    debug_assert_eq!(
+        shared.ledger.resident(),
+        0,
+        "a query's residency ledger must drain back to zero when it completes"
+    );
+    let mut rows: Vec<bea_core::value::Row> = Vec::with_capacity(output_rows as usize);
+    for batch in batches {
+        let (mut batch_rows, clones) = batch.into_rows();
+        stats.values_cloned += clones;
+        rows.append(&mut batch_rows);
+    }
+    let table = Table::with_rows(shared.plan.steps()[output].columns.clone(), rows);
+    (table, stats)
+}
+
+/// One query's terminal transition, computed under the lock and delivered after it
+/// is released.
+enum Retired {
+    Finished {
+        shared: Arc<QueryShared>,
+        stats: AccessStats,
+        outcome: Sender<QueryOutcome>,
+    },
+    Failed {
+        failure: Failure,
+        outcome: Sender<QueryOutcome>,
+    },
+}
+
+/// The pool's worker loop: claim a job (with affinity), split freshly claimed
+/// splittable pipelines into morsels, execute with a per-job private state, and fold
+/// the outcome into the owning query's bookkeeping. Exits when the session is shut
+/// down and fully drained.
+fn worker_loop(inner: &SessionInner) {
+    // The (query, pipeline) and shard of this worker's previous job — its affinity.
+    let mut last: Option<(u64, usize)> = None;
+    let mut last_shard: Option<u32> = None;
+    loop {
+        let (id, job, shared) = {
+            let mut guard = inner.lock_state();
+            loop {
+                let state = &mut *guard;
+                if let Some((id, job)) =
+                    pick_ready_multi(&mut state.ready, &state.active, last, last_shard)
+                {
+                    let query = state
+                        .active
+                        .get_mut(&id)
+                        .expect("ready jobs belong to active queries");
+                    query.running += 1;
+                    break (id, job, Arc::clone(&query.shared));
+                }
+                if guard.shutdown && guard.active.is_empty() && guard.pending.is_empty() {
+                    return;
+                }
+                guard = inner
+                    .work
+                    .wait(guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        last = Some((id, job_pipeline(&job)));
+        last_shard = shared.shards[job_pipeline(&job)];
+        // A freshly claimed pipeline may be splittable: cut it, enqueue the other
+        // morsels (waking one worker per extra job), and run the first morsel in
+        // this claim's place — same protocol as the single-query scheduler.
+        let job = match job {
+            Job::Pipeline(pipeline) => {
+                match try_split(
+                    &shared.plan,
+                    &shared.dag,
+                    pipeline,
+                    &shared.mats,
+                    inner.morsel_rows,
+                ) {
+                    Some(work) => {
+                        let work = Arc::new(work);
+                        let morsels = work.ranges.len();
+                        let split = {
+                            let mut guard = inner.lock_state();
+                            let state = &mut *guard;
+                            let query = state
+                                .active
+                                .get_mut(&id)
+                                .expect("a running query stays active");
+                            let split = query.splits.len();
+                            query.splits.push(SplitState::new(morsels));
+                            for index in 1..morsels {
+                                state.ready.push_back((
+                                    id,
+                                    Job::Morsel {
+                                        work: Arc::clone(&work),
+                                        split,
+                                        index,
+                                    },
+                                ));
+                            }
+                            split
+                        };
+                        for _ in 1..morsels {
+                            inner.work.notify_one();
+                        }
+                        Job::Morsel {
+                            work,
+                            split,
+                            index: 0,
+                        }
+                    }
+                    None => Job::Pipeline(pipeline),
+                }
+            }
+            morsel => morsel,
+        };
+        let outcome = execute_job(
+            &shared.plan,
+            &shared.dag,
+            inner.store.store(),
+            &shared.ledger,
+            &shared.mats,
+            shared.pool_cap,
+            &job,
+        );
+
+        let mut guard = inner.lock_state();
+        let state = &mut *guard;
+        let mut added = 0usize;
+        let mut retired: Option<Retired> = None;
+        {
+            let query = state
+                .active
+                .get_mut(&id)
+                .expect("a running query stays active");
+            query.running -= 1;
+            match outcome {
+                // Successful job of a healthy query: fold its counters in and
+                // advance the query's DAG.
+                Ok((Ok(output), stats)) if query.failure.is_none() => {
+                    query.stats.merge_concurrent(stats);
+                    match (&job, output) {
+                        (Job::Pipeline(pipeline), _) => {
+                            query.completed += 1;
+                            added += unlock_dependents(query, id, *pipeline, &mut state.ready);
+                        }
+                        (Job::Morsel { work, split, index }, Some((batches, rows))) => {
+                            let split_state = &mut query.splits[*split];
+                            split_state.results[*index] = Some(batches);
+                            split_state.rows += rows;
+                            split_state.remaining -= 1;
+                            if split_state.remaining == 0 {
+                                let mut split_state = std::mem::replace(
+                                    &mut query.splits[*split],
+                                    SplitState::new(0),
+                                );
+                                finalize_split(
+                                    &shared.plan,
+                                    &mut split_state,
+                                    work,
+                                    shared.dag.pipelines()[work.pipeline].sink,
+                                    &shared.mats,
+                                    &shared.ledger,
+                                );
+                                query.completed += 1;
+                                added +=
+                                    unlock_dependents(query, id, work.pipeline, &mut state.ready);
+                            }
+                        }
+                        _ => unreachable!("job kinds and outputs always pair up"),
+                    }
+                }
+                // A job landing on an already-failed query: its work is discarded;
+                // only the running count mattered.
+                Ok((Ok(_), _)) => {}
+                Ok((Err(error), _)) => {
+                    // First failure wins for *this* query; its queued jobs are
+                    // discarded, every other query is untouched.
+                    if query.failure.is_none() {
+                        query.failure = Some(Failure::Error(error));
+                        state.ready.retain(|(owner, _)| *owner != id);
+                    }
+                }
+                Err(payload) => {
+                    if query.failure.is_none() {
+                        query.failure = Some(Failure::Panic(payload));
+                        state.ready.retain(|(owner, _)| *owner != id);
+                    }
+                }
+            }
+            // Terminal transitions: all pipelines done, or failed and fully
+            // drained of in-flight jobs.
+            let done = query.completed == query.shared.dag.len();
+            let failed = query.failure.is_some() && query.running == 0;
+            if done || failed {
+                // A split registered after the failure purge may have re-enqueued
+                // morsels; drop any leftovers before retiring the query.
+                state.ready.retain(|(owner, _)| *owner != id);
+                let query = state
+                    .active
+                    .remove(&id)
+                    .expect("the query was just looked up");
+                state.admitted_bound -= query.shared.fetch_bound;
+                retired = Some(if done {
+                    state.counters.completed += 1;
+                    Retired::Finished {
+                        shared: query.shared,
+                        stats: query.stats,
+                        outcome: query.outcome,
+                    }
+                } else {
+                    state.counters.failed += 1;
+                    Retired::Failed {
+                        failure: query.failure.expect("the failed branch set it"),
+                        outcome: query.outcome,
+                    }
+                });
+                added += drain_pending(state, inner.budget);
+            }
+        }
+        let retiring = retired.is_some();
+        drop(guard);
+        if retiring {
+            // Budget headroom moved and waiters may need to re-check shutdown:
+            // wake everyone.
+            inner.work.notify_all();
+        } else {
+            // Counted wakeups: this worker loops around and claims one of the
+            // newly-ready jobs itself; wake one waiter per extra job.
+            for _ in 0..added.saturating_sub(1) {
+                inner.work.notify_one();
+            }
+        }
+        if let Some(retired) = retired {
+            // The output transpose (potentially large) runs outside the lock.
+            match retired {
+                Retired::Finished {
+                    shared,
+                    stats,
+                    outcome,
+                } => {
+                    let (table, stats) = finish_query(&shared, stats);
+                    let _ = outcome.send(QueryOutcome::Finished(Box::new((table, stats))));
+                }
+                Retired::Failed { failure, outcome } => {
+                    let _ = outcome.send(match failure {
+                        Failure::Error(error) => QueryOutcome::Failed(error),
+                        Failure::Panic(payload) => QueryOutcome::Panicked(payload),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_plan_on, ExecOptions};
+    use bea_core::access::{AccessConstraint, AccessSchema};
+    use bea_core::plan::{PlanBuilder, Predicate};
+    use bea_core::schema::Catalog;
+    use bea_core::value::Value;
+    use bea_storage::Database;
+
+    /// A tiny R(a → b) store with keys 1..=n, two b-values per key.
+    fn fixture(n: i64) -> IndexedDatabase {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let schema =
+            AccessSchema::from_constraints([
+                AccessConstraint::new(&c, "R", &["a"], &["b"], 10).unwrap()
+            ]);
+        let mut db = Database::new(c);
+        db.extend(
+            "R",
+            (1..=n).flat_map(|k| {
+                [
+                    vec![Value::int(k), Value::int(10 * k)],
+                    vec![Value::int(k), Value::int(10 * k + 1)],
+                ]
+            }),
+        )
+        .unwrap();
+        IndexedDatabase::build(db, schema).unwrap()
+    }
+
+    /// A union of `keys.len()` keyed-lookup branches — fetch bound 10 per branch.
+    fn lookup_union(name: &str, keys: &[i64]) -> QueryPlan {
+        let mut b = PlanBuilder::new();
+        let branch = |b: &mut PlanBuilder, key: i64| {
+            let k = b.constant(Value::int(key), "k");
+            let fetched = b.fetch(
+                k,
+                vec![0],
+                "R",
+                vec![0],
+                vec![1],
+                0,
+                vec!["a".into(), "b".into()],
+            );
+            let prod = b.product(k, fetched);
+            b.select(prod, vec![Predicate::ColEqCol(0, 1)])
+        };
+        let mut acc = branch(&mut b, keys[0]);
+        for &key in &keys[1..] {
+            let next = branch(&mut b, key);
+            acc = b.union(acc, next);
+        }
+        b.finish(name, acc).unwrap()
+    }
+
+    #[test]
+    fn concurrent_queries_match_solo_runs() {
+        let idb = fixture(6);
+        let plans: Vec<QueryPlan> = (0..5)
+            .map(|i| lookup_union(&format!("Q{i}"), &[1 + i, 2 + i, 3 + i]))
+            .collect();
+        let session = Session::new(
+            SharedStore::Indexed(Arc::new(fixture(6))),
+            SessionConfig::new().with_threads(4),
+        );
+        let handles: Vec<QueryHandle> = plans
+            .iter()
+            .map(|plan| session.submit(plan).unwrap())
+            .collect();
+        let solo_options = ExecOptions::new().with_threads(4);
+        for (plan, handle) in plans.iter().zip(handles) {
+            let (expected_table, expected_stats) =
+                execute_plan_on(plan, Store::Indexed(&idb), &solo_options).unwrap();
+            let (table, stats) = handle.wait().unwrap();
+            assert_eq!(table.rows(), expected_table.rows(), "rows and row order");
+            assert!(stats.same_data_access(&expected_stats));
+            assert_eq!(stats.values_cloned, expected_stats.values_cloned);
+            assert_eq!(stats.allocs_per_probe, expected_stats.allocs_per_probe);
+        }
+        let admission = session.admission_stats();
+        assert_eq!(admission.submitted, 5);
+        assert_eq!(admission.admitted, 5);
+        assert_eq!(admission.completed, 5);
+        assert_eq!(admission.rejected, 0);
+        assert_eq!(admission.inflight_bound, 0);
+        session.shutdown();
+    }
+
+    #[test]
+    fn over_budget_queries_are_rejected_deterministically() {
+        let session = Session::new(
+            fixture(4),
+            SessionConfig::new().with_threads(2).with_fetch_budget(25),
+        );
+        // Two branches: bound 20 ≤ 25 — admitted.
+        let small = lookup_union("small", &[1, 2]);
+        // Three branches: bound 30 > 25 — rejected, regardless of load.
+        let big = lookup_union("big", &[1, 2, 3]);
+        let handle = session.submit(&small).unwrap();
+        let error = session.submit(&big).unwrap_err();
+        match &error {
+            SubmitError::Rejected { ticket, rejection } => {
+                assert_eq!(ticket.fetch_bound, 30);
+                assert_eq!(
+                    rejection,
+                    &Rejection::FetchBound {
+                        bound: 30,
+                        budget: 25
+                    }
+                );
+            }
+            other => panic!("expected a fetch-bound rejection, got {other}"),
+        }
+        assert!(error.to_string().contains("fetch bound 30"));
+        handle.wait().unwrap();
+        let admission = session.admission_stats();
+        assert_eq!(admission.rejected, 1);
+        assert_eq!(admission.admitted, 1);
+        assert!(admission.peak_admitted_bound <= 25);
+    }
+
+    #[test]
+    fn queued_queries_run_fifo_within_the_budget() {
+        let session = Session::new(
+            fixture(8),
+            SessionConfig::new().with_threads(2).with_fetch_budget(30),
+        );
+        // Each query's bound is 20: only one fits at a time under budget 30.
+        let plans: Vec<QueryPlan> = (0..4)
+            .map(|i| lookup_union(&format!("Q{i}"), &[1 + i, 2 + i]))
+            .collect();
+        let handles: Vec<QueryHandle> = plans
+            .iter()
+            .map(|plan| session.submit(plan).unwrap())
+            .collect();
+        assert!(
+            handles.iter().skip(1).any(|handle| handle.was_queued()),
+            "with budget 30 and bounds of 20, later submissions must queue"
+        );
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let admission = session.admission_stats();
+        assert_eq!(admission.admitted, 4);
+        assert_eq!(admission.completed, 4);
+        assert!(
+            admission.peak_admitted_bound <= 30,
+            "the admitted aggregate bound {} must never exceed the budget",
+            admission.peak_admitted_bound
+        );
+        session.shutdown();
+    }
+
+    #[test]
+    fn a_failing_query_does_not_poison_its_neighbors() {
+        let idb = fixture(4);
+        let session = Session::new(fixture(4), SessionConfig::new().with_threads(2));
+        // An invalid plan fails at submit (validation), not at wait.
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "x");
+        let f = b.fetch(
+            k,
+            vec![0],
+            "R",
+            vec![0],
+            vec![1],
+            99,
+            vec!["a".into(), "b".into()],
+        );
+        let bad = b.finish("bad", f).unwrap();
+        assert!(matches!(session.submit(&bad), Err(SubmitError::Invalid(_))));
+        // A healthy neighbor still runs to completion.
+        let good = lookup_union("good", &[1, 2]);
+        let (table, _) = session.submit(&good).unwrap().wait().unwrap();
+        let (expected, _) = execute_plan_on(
+            &good,
+            Store::Indexed(&idb),
+            &ExecOptions::new().with_threads(2),
+        )
+        .unwrap();
+        assert_eq!(table.rows(), expected.rows());
+    }
+
+    #[test]
+    fn a_panicking_query_fails_alone_and_reraises_on_wait() {
+        use crate::ops::PANIC_RELATION;
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare(PANIC_RELATION, ["a", "b"]).unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::new(&c, "R", &["a"], &["b"], 10).unwrap(),
+            AccessConstraint::new(&c, PANIC_RELATION, &["a"], &["b"], 10).unwrap(),
+        ]);
+        let mut db = Database::new(c);
+        db.extend("R", [vec![Value::int(1), Value::int(10)]])
+            .unwrap();
+        db.extend(PANIC_RELATION, [vec![Value::int(1), Value::int(10)]])
+            .unwrap();
+        let idb = IndexedDatabase::build(db, schema).unwrap();
+
+        let session = Session::new(idb, SessionConfig::new().with_threads(2));
+        let mut b = PlanBuilder::new();
+        let k = b.constant(Value::int(1), "k");
+        let f = b.fetch(
+            k,
+            vec![0],
+            PANIC_RELATION,
+            vec![0],
+            vec![1],
+            1,
+            vec!["a".into(), "b".into()],
+        );
+        let doomed = b.finish("doomed", f).unwrap();
+        let handle = session.submit(&doomed).unwrap();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()))
+            .expect_err("the injected panic must re-raise on wait");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("injected operator panic"),
+            "expected the injected payload, got {message:?}"
+        );
+        // The pool survives: a healthy query still completes afterwards.
+        let good = lookup_union("good", &[1]);
+        session.submit(&good).unwrap().wait().unwrap();
+        let admission = session.admission_stats();
+        assert_eq!(admission.failed, 1);
+        assert_eq!(admission.completed, 1);
+    }
+
+    #[test]
+    fn fetch_budget_env_values_are_validated() {
+        assert_eq!(parse_fetch_budget("10000").unwrap(), Some(10_000));
+        assert_eq!(parse_fetch_budget(" 5 ").unwrap(), Some(5));
+        assert_eq!(parse_fetch_budget("0").unwrap(), None, "0 means unlimited");
+        assert_eq!(parse_fetch_budget("").unwrap(), None, "empty means unset");
+        assert!(parse_fetch_budget("lots").unwrap_err().contains("integer"));
+        assert!(parse_fetch_budget("-3").is_err());
+        // An explicit budget beats the environment.
+        assert_eq!(
+            SessionConfig::new()
+                .with_fetch_budget(7)
+                .resolved_fetch_budget(),
+            Some(7)
+        );
+    }
+}

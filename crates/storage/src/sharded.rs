@@ -45,29 +45,27 @@ pub const SHARDS_ENV: &str = "BEA_SHARDS";
 /// unsharded — a CI matrix typo must fail the job, not quietly test the wrong
 /// configuration.
 pub fn shards_from_env() -> u32 {
-    match std::env::var(SHARDS_ENV) {
-        Err(std::env::VarError::NotPresent) => 1,
-        Err(std::env::VarError::NotUnicode(_)) => {
-            panic!("{SHARDS_ENV} is set to a non-unicode value; expected a positive integer")
-        }
-        Ok(value) => parse_shards(&value)
-            .unwrap_or_else(|reason| panic!("invalid {SHARDS_ENV}={value:?}: {reason}")),
-    }
+    bea_core::env::read_env(SHARDS_ENV, parse_shards).unwrap_or(1)
 }
 
 /// Parse a [`SHARDS_ENV`] value: a positive integer, with surrounding whitespace
 /// tolerated and the empty string treated as unset (the `BEA_SHARDS= cmd` shell
-/// idiom). Split out of [`shards_from_env`] so the rejection rules are testable
-/// without mutating the process environment (which would race parallel tests).
+/// idiom). Built on the shared [`bea_core::env`] contract, and kept a pure function
+/// so the rejection rules are testable without mutating the process environment
+/// (which would race parallel tests). Unlike the "zero means automatic" knobs,
+/// `BEA_SHARDS=0` is rejected: a sharded store needs at least one shard.
 pub fn parse_shards(value: &str) -> std::result::Result<u32, String> {
-    let trimmed = value.trim();
-    if trimmed.is_empty() {
-        return Ok(1);
-    }
-    match trimmed.parse::<u32>() {
-        Ok(0) => Err("a sharded store needs at least 1 shard".to_owned()),
-        Ok(shards) => Ok(shards),
-        Err(_) => Err(format!("expected a positive integer, got {trimmed:?}")),
+    use bea_core::env::EnvCount;
+    match bea_core::env::parse_count(value) {
+        Err(_) => Err(format!(
+            "expected a positive integer, got {:?}",
+            value.trim()
+        )),
+        Ok(EnvCount::Unset) => Ok(1),
+        Ok(EnvCount::Zero) => Err("a sharded store needs at least 1 shard".to_owned()),
+        Ok(EnvCount::Count(shards)) => {
+            u32::try_from(shards).map_err(|_| format!("shard count {shards} does not fit in u32"))
+        }
     }
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Service smoke: start the bead daemon against a generated accidents store, drive a
+# mixed accept/reject batch through beactl, and assert a clean shutdown. The same
+# flow runs in-tree as crates/bead/tests/service_smoke.rs; this script exercises the
+# real installed binaries end to end (CI's service-smoke job, also runnable locally).
+#
+# Usage: scripts/service_smoke.sh [path-to-target-dir]   (default: target/release)
+
+set -euo pipefail
+
+TARGET="${1:-target/release}"
+BEAD="$TARGET/bead"
+BEACTL="$TARGET/beactl"
+SOCKET="$(mktemp -u /tmp/bead-smoke-XXXXXX.sock)"
+LOG="$(mktemp /tmp/bead-smoke-XXXXXX.log)"
+
+[ -x "$BEAD" ] && [ -x "$BEACTL" ] || {
+    echo "error: $BEAD / $BEACTL not built — run: cargo build --release -p bead" >&2
+    exit 1
+}
+
+cleanup() {
+    if [ -n "${BEAD_PID:-}" ] && kill -0 "$BEAD_PID" 2>/dev/null; then
+        kill "$BEAD_PID" 2>/dev/null || true
+    fi
+    rm -f "$SOCKET" "$LOG"
+}
+trap cleanup EXIT
+
+# Start the daemon: ~2000 tuples, 2 workers, a 10k-tuple aggregate fetch budget.
+"$BEAD" --socket "$SOCKET" --tuples 2000 --seed 48879 --threads 2 --fetch-budget 10000 \
+    >"$LOG" 2>&1 &
+BEAD_PID=$!
+
+# Wait for the ready line (the daemon prints it once the socket accepts).
+for _ in $(seq 1 100); do
+    grep -q '^ready$' "$LOG" 2>/dev/null && break
+    kill -0 "$BEAD_PID" 2>/dev/null || { echo "error: bead died during startup:" >&2; cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q '^ready$' "$LOG" || { echo "error: bead never became ready:" >&2; cat "$LOG" >&2; exit 1; }
+
+expect_exit() { # expect_exit <code> <description> <args...>
+    local want="$1" what="$2"; shift 2
+    local got=0
+    "$BEACTL" --socket "$SOCKET" "$@" || got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "error: $what: expected exit $want, got $got" >&2
+        exit 1
+    fi
+    echo "ok: $what (exit $got)"
+}
+
+expect_exit 0 "ping answers" ping
+
+# Anchored on an accident id — fetch bound 1, admitted (exit 0).
+expect_exit 0 "cheap query admitted" query 'Q(d) :- Accident(x, d, t), x = 1.'
+
+# Q0's join chain prices far beyond the 10k budget — statically rejected (exit 3).
+expect_exit 3 "expensive query rejected" query \
+    'Q0(age) :- Accident(aid, "Queen'"'"'s Park", "day-0001"), Casualty(cid, aid, class, vid), Vehicle(vid, driver, age).'
+
+# A query over an unknown relation is an ERR (exit 1) — and the daemon survives it.
+expect_exit 1 "broken query errors" query 'Q(x) :- Nowhere(x).'
+
+# The counters reflect exactly the batch above.
+STATS="$("$BEACTL" --socket "$SOCKET" stats)"
+echo "$STATS"
+echo "$STATS" | grep -q 'completed=1' || { echo "error: stats missing completed=1" >&2; exit 1; }
+echo "$STATS" | grep -q 'rejected=1' || { echo "error: stats missing rejected=1" >&2; exit 1; }
+echo "$STATS" | grep -q 'budget=10000' || { echo "error: stats missing budget=10000" >&2; exit 1; }
+
+expect_exit 0 "shutdown acknowledged" shutdown
+
+# The daemon must exit cleanly (status 0) and remove its socket.
+for _ in $(seq 1 100); do
+    kill -0 "$BEAD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$BEAD_PID" 2>/dev/null; then
+    echo "error: bead still running after SHUTDOWN" >&2
+    exit 1
+fi
+wait "$BEAD_PID" && STATUS=0 || STATUS=$?
+[ "$STATUS" -eq 0 ] || { echo "error: bead exited with status $STATUS:" >&2; cat "$LOG" >&2; exit 1; }
+[ ! -e "$SOCKET" ] || { echo "error: socket file left behind" >&2; exit 1; }
+BEAD_PID=""
+
+echo "service smoke OK: mixed accept/reject batch served, clean shutdown"

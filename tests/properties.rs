@@ -745,6 +745,211 @@ fn parallel_execution_is_deterministic_across_thread_counts() {
     );
 }
 
+/// The multi-query session (PR 8) is a scheduling change, not a semantic one: N
+/// covered queries submitted *concurrently* from N client threads against one shared
+/// sharded store return exactly the rows — and exactly the per-query data access,
+/// copy traffic and probe-path buffer demand — of serial [`execute_plan_on`] runs,
+/// so the per-query stats stay additive across the batch. With an aggregate fetch
+/// budget set, admission is deterministic: the rejected set is exactly the queries
+/// whose static fetch bound exceeds the budget (a property of the plan, not of the
+/// load or the submission interleaving), every accepted query still matches its
+/// serial run, and the admitted bounds' high-water mark never exceeds the budget.
+/// Thread and shard counts come from the environment, so the CI matrix drives all
+/// four `BEA_THREADS` × `BEA_SHARDS` corners through this property.
+#[test]
+fn concurrent_sessions_match_serial_execution_and_reject_deterministically() {
+    use bea::engine::{Rejection, Session, SessionConfig, SharedStore, SubmitError};
+
+    run_cases_counting(
+        "concurrent_sessions_match_serial_execution_and_reject_deterministically",
+        0xC0AC,
+        |rng| {
+            let seed = rng.gen_range(0u64..1_000);
+            let qseed = rng.gen_range(0u64..1_000);
+            let (db, schema) = accidents_fixture(seed, 3);
+            let catalog = accidents::catalog();
+            let workload = querygen::random_workload_from_db(
+                &catalog,
+                Some(&schema),
+                &db,
+                10,
+                &querygen::QueryGenConfig {
+                    seed: qseed,
+                    ..querygen::QueryGenConfig::default()
+                },
+            )
+            .unwrap();
+            let shards = shards_from_env().max(2);
+            let sharded = ShardedDatabase::build(db, schema.clone(), shards).unwrap();
+            let store = SharedStore::from(sharded);
+
+            let plans: Vec<_> = workload
+                .iter()
+                .filter(|query| cover::is_covered(query, &schema))
+                .map(|query| bounded_plan(query, &schema).unwrap())
+                .collect();
+            if plans.is_empty() {
+                return 0;
+            }
+            let db_size = store.store().size();
+            let bounds: Vec<u64> = plans
+                .iter()
+                .map(|plan| plan.cost(&schema, db_size).max_fetched_tuples)
+                .collect();
+
+            // Serial baseline: each plan alone, same store, same env-resolved options.
+            let serial: Vec<_> = plans
+                .iter()
+                .map(|plan| execute_plan_on(plan, store.store(), &ExecOptions::new()).unwrap())
+                .collect();
+
+            // Leg 1 — no budget: everything admitted, all queries in flight at once
+            // from one submitter thread each, interleaving in the shared job queue.
+            let session = Session::new(store.clone(), SessionConfig::new());
+            let concurrent: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = plans
+                    .iter()
+                    .map(|plan| {
+                        let session = &session;
+                        scope.spawn(move || {
+                            let handle = session.submit(plan).expect("no budget, no veto");
+                            handle.wait().expect("healthy query")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("submitter thread"))
+                    .collect()
+            });
+            for (i, ((table, stats), (serial_table, serial_stats))) in
+                concurrent.iter().zip(&serial).enumerate()
+            {
+                let query = plans[i].query_name();
+                assert_eq!(
+                    table.rows(),
+                    serial_table.rows(),
+                    "concurrent admission changed the output (or its order) for {query}"
+                );
+                assert!(
+                    stats.same_data_access(serial_stats),
+                    "concurrent admission changed the data access for {query}: \
+                     {stats} vs {serial_stats}"
+                );
+                assert_eq!(
+                    stats.values_cloned, serial_stats.values_cloned,
+                    "concurrent admission changed the copy traffic for {query}"
+                );
+                assert_eq!(
+                    stats.allocs_per_probe, serial_stats.allocs_per_probe,
+                    "concurrent admission changed the probe-path buffer demand for {query}"
+                );
+            }
+            // Per-query equality makes the batch totals additive — the property the
+            // admission report's aggregate counters rely on.
+            assert_eq!(
+                concurrent
+                    .iter()
+                    .map(|(_, s)| s.tuples_fetched)
+                    .sum::<u64>(),
+                serial.iter().map(|(_, s)| s.tuples_fetched).sum::<u64>(),
+            );
+            let report = session.admission_stats();
+            assert_eq!(report.submitted, plans.len() as u64);
+            assert_eq!(report.completed, plans.len() as u64);
+            assert_eq!((report.rejected, report.failed), (0, 0));
+            session.shutdown();
+
+            // Leg 2 — budget = the smallest bound (at least 1: a zero config budget
+            // means "unlimited"): the rejected set is exactly the queries priced
+            // above it, independent of submission interleaving.
+            let budget = (*bounds.iter().min().unwrap()).max(1);
+            let session = Session::new(
+                store.clone(),
+                SessionConfig::new().with_fetch_budget(budget),
+            );
+            let outcomes: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = plans
+                    .iter()
+                    .enumerate()
+                    .map(|(i, plan)| {
+                        let session = &session;
+                        let bounds = &bounds;
+                        scope.spawn(move || match session.submit(plan) {
+                            Ok(handle) => {
+                                assert_eq!(
+                                    handle.ticket().fetch_bound,
+                                    bounds[i],
+                                    "the ticket prices the plan's static cost"
+                                );
+                                Ok(handle.wait().expect("admitted query"))
+                            }
+                            Err(SubmitError::Rejected { ticket, rejection }) => {
+                                assert_eq!(ticket.fetch_bound, bounds[i]);
+                                match rejection {
+                                    Rejection::FetchBound { bound, budget: b } => {
+                                        assert_eq!((bound, b), (bounds[i], budget));
+                                    }
+                                    other => panic!("unexpected veto: {other}"),
+                                }
+                                Err(())
+                            }
+                            Err(other) => panic!("unexpected submit failure: {other}"),
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("submitter thread"))
+                    .collect()
+            });
+            let mut rejected = 0u64;
+            for (i, outcome) in outcomes.iter().enumerate() {
+                let over_budget = bounds[i] > budget;
+                match outcome {
+                    Err(()) => {
+                        rejected += 1;
+                        assert!(
+                            over_budget,
+                            "query {} (bound {}) was rejected under budget {budget}",
+                            plans[i].query_name(),
+                            bounds[i]
+                        );
+                    }
+                    Ok((table, _)) => {
+                        assert!(
+                            !over_budget,
+                            "query {} (bound {}) was admitted over budget {budget}",
+                            plans[i].query_name(),
+                            bounds[i]
+                        );
+                        assert_eq!(
+                            table.rows(),
+                            serial[i].0.rows(),
+                            "budgeted admission changed the output for {}",
+                            plans[i].query_name()
+                        );
+                    }
+                }
+            }
+            let report = session.admission_stats();
+            assert_eq!(report.rejected, rejected);
+            assert_eq!(
+                rejected,
+                bounds.iter().filter(|&&b| b > budget).count() as u64,
+                "the rejected set is exactly the over-budget queries"
+            );
+            assert!(
+                report.peak_admitted_bound <= budget,
+                "admitted bounds peaked at {} over the budget {budget}",
+                report.peak_admitted_bound
+            );
+            session.shutdown();
+            plans.len()
+        },
+    );
+}
+
 /// cov(Q, A) is deterministic and monotone in the access schema (Lemma 3.9).
 #[test]
 fn coverage_is_deterministic_and_monotone() {
