@@ -7,7 +7,7 @@
 use bead::server::{accidents_store, socket_from, BeadServer, ServerConfig};
 
 const USAGE: &str = "usage: bead [--socket PATH] [--tuples N] [--seed N] [--threads N] \
-                     [--fetch-budget N] [--max-alloc-surface N]";
+                     [--fetch-budget N] [--max-alloc-surface N] [--cache-rows N]";
 
 fn main() {
     let mut socket_arg: Option<String> = None;
@@ -16,6 +16,7 @@ fn main() {
     let mut threads: usize = 0;
     let mut fetch_budget: u64 = 0;
     let mut max_alloc_surface: u64 = 0;
+    let mut cache_rows: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +35,7 @@ fn main() {
             "--max-alloc-surface" => {
                 max_alloc_surface = parse("--max-alloc-surface", &value("--max-alloc-surface"));
             }
+            "--cache-rows" => cache_rows = parse("--cache-rows", &value("--cache-rows")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -58,6 +60,7 @@ fn main() {
         threads,
         fetch_budget,
         max_alloc_surface,
+        cache_rows,
     };
     let server = match BeadServer::bind(store, &config) {
         Ok(server) => server,

@@ -22,6 +22,9 @@ pub struct ServerConfig {
     pub fetch_budget: u64,
     /// Per-query allocation-surface cap (0 = no cap).
     pub max_alloc_surface: u64,
+    /// Cross-query fetch-cache budget in resident posting rows
+    /// (0 = `BEA_CACHE_ROWS`, else disabled).
+    pub cache_rows: u64,
 }
 
 /// The daemon: a bound listener plus the session it fronts.
@@ -46,7 +49,8 @@ impl BeadServer {
             SessionConfig::new()
                 .with_threads(config.threads)
                 .with_fetch_budget(config.fetch_budget)
-                .with_max_alloc_surface(config.max_alloc_surface),
+                .with_max_alloc_surface(config.max_alloc_surface)
+                .with_cache_budget_rows(config.cache_rows),
         );
         Ok(BeadServer {
             session,
@@ -122,10 +126,12 @@ impl BeadServer {
             Request::Ping => Reply::ok("pong", Vec::new()),
             Request::Stats => {
                 let stats = self.session.admission_stats();
+                let cache = self.session.cache_stats();
                 Reply::ok(
                     format!(
                         "submitted={} admitted={} queued={} rejected={} completed={} failed={} \
-                         inflight_bound={} peak_admitted_bound={} budget={}",
+                         inflight_bound={} peak_admitted_bound={} budget={} cache_hits={} \
+                         rows_served_from_cache={} cache_evictions={}",
                         stats.submitted,
                         stats.admitted,
                         stats.queued,
@@ -137,6 +143,9 @@ impl BeadServer {
                         stats
                             .budget
                             .map_or_else(|| "unlimited".to_owned(), |b| b.to_string()),
+                        cache.hits,
+                        cache.rows_served,
+                        cache.evictions,
                     ),
                     Vec::new(),
                 )
@@ -208,11 +217,14 @@ impl BeadServer {
                         Reply::ok(
                             format!(
                                 "rows={} fetch_bound={fetch_bound} alloc_surface={alloc_surface} \
-                                 tuples_fetched={} values_cloned={} allocs_per_probe={}",
+                                 tuples_fetched={} values_cloned={} allocs_per_probe={} \
+                                 cache_hits={} rows_served_from_cache={}",
                                 table.rows().len(),
                                 stats.tuples_fetched,
                                 stats.values_cloned,
                                 stats.allocs_per_probe,
+                                stats.cache_hits,
+                                stats.rows_served_from_cache,
                             ),
                             body,
                         )
@@ -278,6 +290,7 @@ mod tests {
             threads: 2,
             fetch_budget: 10_000,
             max_alloc_surface: 0,
+            cache_rows: 4_096,
         };
         let server = BeadServer::bind(store, &config).unwrap();
         assert_eq!(server.fetch_budget(), Some(10_000));
@@ -294,6 +307,22 @@ mod tests {
             assert!(reply.head.contains("fetch_bound=1"), "head: {}", reply.head);
             assert!(reply.head.contains("allocs_per_probe="));
             assert_eq!(reply.body.len(), 1, "one district per accident id");
+
+            // The same anchored query again: identical rows, served entirely from
+            // the session's cross-query fetch cache — zero store fetches.
+            let repeat = client::request(&socket, &cheap).unwrap();
+            assert_eq!(repeat.status(), ReplyStatus::Ok, "head: {}", repeat.head);
+            assert_eq!(repeat.body, reply.body, "cached rows match the cold run");
+            assert!(
+                repeat.head.contains("tuples_fetched=0"),
+                "head: {}",
+                repeat.head
+            );
+            assert!(
+                repeat.head.contains("cache_hits=1"),
+                "head: {}",
+                repeat.head
+            );
 
             // Q0's join chain prices far beyond 10_000 — rejected, deterministically.
             let expensive = Request::Query(
@@ -313,8 +342,14 @@ mod tests {
 
             let stats = client::request(&socket, &Request::Stats).unwrap();
             assert!(stats.head.contains("rejected=1"), "head: {}", stats.head);
-            assert!(stats.head.contains("completed=1"), "head: {}", stats.head);
+            assert!(stats.head.contains("completed=2"), "head: {}", stats.head);
             assert!(stats.head.contains("budget=10000"), "head: {}", stats.head);
+            assert!(stats.head.contains("cache_hits=1"), "head: {}", stats.head);
+            assert!(
+                stats.head.contains("cache_evictions=0"),
+                "head: {}",
+                stats.head
+            );
 
             let bye = client::request(&socket, &Request::Shutdown).unwrap();
             assert_eq!(bye.head, "OK bye");

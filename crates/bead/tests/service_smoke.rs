@@ -32,6 +32,8 @@ impl Daemon {
                 "2",
                 "--fetch-budget",
                 &budget.to_string(),
+                "--cache-rows",
+                "4096",
             ])
             .stdout(Stdio::piped())
             .spawn()
@@ -85,6 +87,16 @@ fn mixed_accept_reject_batch_and_clean_shutdown() {
     assert_eq!(code, 0, "accepted query exits 0; reply: {reply}");
     assert!(reply.contains("fetch_bound=1"), "reply: {reply}");
     assert!(reply.contains("allocs_per_probe="), "reply: {reply}");
+    let cold_rows: Vec<&str> = reply.lines().skip(1).collect();
+
+    // The same anchored query again: identical rows, served from the session's
+    // cross-query fetch cache without touching the store.
+    let (code, warm) = daemon.ctl(&["query", "Q(d) :- Accident(x, d, t), x = 1."]);
+    assert_eq!(code, 0, "cached repeat exits 0; reply: {warm}");
+    let warm_rows: Vec<&str> = warm.lines().skip(1).collect();
+    assert_eq!(warm_rows, cold_rows, "cached rows match the cold run");
+    assert!(warm.contains("tuples_fetched=0"), "reply: {warm}");
+    assert!(warm.contains("cache_hits=1"), "reply: {warm}");
 
     // Q0's chain prices beyond the budget: a static REJECT, exit 3.
     let q0 = r#"Q0(age) :- Accident(aid, "Queen's Park", "day-0001"), Casualty(cid, aid, class, vid), Vehicle(vid, driver, age)."#;
@@ -100,9 +112,12 @@ fn mixed_accept_reject_batch_and_clean_shutdown() {
 
     let (code, reply) = daemon.ctl(&["stats"]);
     assert_eq!(code, 0);
-    assert!(reply.contains("completed=1"), "reply: {reply}");
+    assert!(reply.contains("completed=2"), "reply: {reply}");
     assert!(reply.contains("rejected=1"), "reply: {reply}");
     assert!(reply.contains("budget=10000"), "reply: {reply}");
+    assert!(reply.contains("cache_hits=1"), "reply: {reply}");
+    assert!(reply.contains("rows_served_from_cache="), "reply: {reply}");
+    assert!(reply.contains("cache_evictions=0"), "reply: {reply}");
 
     let (code, reply) = daemon.ctl(&["shutdown"]);
     assert_eq!((code, reply.trim()), (0, "OK bye"));

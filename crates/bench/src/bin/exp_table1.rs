@@ -14,12 +14,14 @@
 //!
 //! * `exp_table1` — full run; also writes `BENCH_pipeline.json` (scenario →
 //!   rows_fetched / peak_rows_resident / values_cloned / allocs_per_probe /
-//!   ns_p50 / ns_p99) to the working directory, the committed baseline of the
-//!   streaming pipeline's copy traffic, probe-path buffer demand, and latency
-//!   distribution.
+//!   rows_served_from_cache / ns_p50 / ns_p99) to the working directory, the committed
+//!   baseline of the streaming pipeline's copy traffic, probe-path buffer demand,
+//!   cross-query cache service, and latency distribution.
 //! * `exp_table1 --check <baseline.json>` — perf-smoke mode (used by CI): rebuild the
 //!   record and fail (exit 1) if any deterministic counter (`values_cloned`,
-//!   `allocs_per_probe`) regressed more than 10% above the committed baseline, if the
+//!   `allocs_per_probe`, `rows_served_from_cache`) regressed more than 10% above the
+//!   committed baseline — the warm cached-repeat leg commits `allocs_per_probe: 0`,
+//!   which a zero baseline holds with zero slack — if the
 //!   scenario set drifted from the committed record in either direction, or if any
 //!   scenario's fresh p99 blew the tail-latency budget
 //!   `max(50 ms, baseline p99 × 25)` — loose enough for machine-to-machine variance,
@@ -43,9 +45,9 @@ use bea_engine::{
 use bea_storage::Store;
 
 /// Tolerated growth of the deterministic counters (`values_cloned`,
-/// `allocs_per_probe`) over the committed baseline, in percent. A zero baseline
-/// tolerates exactly zero — the anchored fast path's zero-allocation guarantee gets
-/// no slack.
+/// `allocs_per_probe`, `rows_served_from_cache`) over the committed baseline, in
+/// percent. A zero baseline tolerates exactly zero — the anchored fast path's
+/// zero-allocation guarantee gets no slack.
 const CLONE_REGRESSION_TOLERANCE_PERCENT: u64 = 10;
 
 /// Tail-latency budget: a fresh p99 may exceed the committed baseline p99 by this
@@ -133,19 +135,20 @@ fn check_against_baseline(baseline_path: &str) -> Result<(), Box<dyn std::error:
         println!(
             "{name}: values_cloned {} (baseline {base_cloned}), allocs_per_probe {} \
              (baseline {base_allocs}), p50 {} ns, p99 {} ns (baseline p99 {base_p99}), \
-             rows_fetched {}, peak resident {}",
+             rows_fetched {}, rows_served_from_cache {}, peak resident {}",
             entry.values_cloned,
             entry.allocs_per_probe,
             entry.ns_p50,
             entry.ns_p99,
             entry.rows_fetched,
+            entry.rows_served_from_cache,
             entry.peak_rows_resident
         );
     }
     if violations.is_empty() {
         println!(
-            "perf-smoke OK: values_cloned and allocs_per_probe within \
-             {CLONE_REGRESSION_TOLERANCE_PERCENT}% of the baseline, scenario set \
+            "perf-smoke OK: values_cloned, allocs_per_probe and rows_served_from_cache \
+             within {CLONE_REGRESSION_TOLERANCE_PERCENT}% of the baseline, scenario set \
              unchanged, and p99 within max({P99_FLOOR_NS} ns, baseline × \
              {P99_BUDGET_FACTOR}) on every scenario"
         );

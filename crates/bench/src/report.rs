@@ -93,6 +93,11 @@ pub struct BenchEntry {
     /// deterministic like `values_cloned`, and zero on the steady-state anchored
     /// fast path, so CI can hold the zero-allocation property.
     pub allocs_per_probe: u64,
+    /// Posting rows served out of the session's cross-query fetch cache
+    /// (`AccessStats::rows_served_from_cache`) — deterministic, and gated exactly
+    /// like `values_cloned` so the warm leg of a cached-repeat scenario keeps
+    /// serving from the hot tier instead of silently falling back to the store.
+    pub rows_served_from_cache: u64,
     /// Median nanoseconds per execution on the emitting machine (machine-dependent;
     /// recorded for trend reading, never compared exactly by CI).
     pub ns_p50: u64,
@@ -126,12 +131,13 @@ impl PipelineBenchReport {
             .map(|(name, e)| {
                 format!(
                     "    \"{name}\": {{\"rows_fetched\": {}, \"peak_rows_resident\": {}, \
-                     \"values_cloned\": {}, \"allocs_per_probe\": {}, \"ns_p50\": {}, \
-                     \"ns_p99\": {}}}",
+                     \"values_cloned\": {}, \"allocs_per_probe\": {}, \
+                     \"rows_served_from_cache\": {}, \"ns_p50\": {}, \"ns_p99\": {}}}",
                     e.rows_fetched,
                     e.peak_rows_resident,
                     e.values_cloned,
                     e.allocs_per_probe,
+                    e.rows_served_from_cache,
                     e.ns_p50,
                     e.ns_p99
                 )
@@ -179,6 +185,7 @@ impl PipelineBenchReport {
                     peak_rows_resident: field("peak_rows_resident")?,
                     values_cloned: field("values_cloned")?,
                     allocs_per_probe: field("allocs_per_probe")?,
+                    rows_served_from_cache: field("rows_served_from_cache")?,
                     ns_p50: field("ns_p50")?,
                     ns_p99: field("ns_p99")?,
                 },
@@ -219,6 +226,11 @@ impl PipelineBenchReport {
                             "allocs_per_probe",
                             fresh.allocs_per_probe,
                             base.allocs_per_probe,
+                        ),
+                        (
+                            "rows_served_from_cache",
+                            fresh.rows_served_from_cache,
+                            base.rows_served_from_cache,
                         ),
                     ] {
                         if fresh_value > allowed(base_value) {
@@ -324,6 +336,7 @@ mod tests {
             peak_rows_resident: 40,
             values_cloned,
             allocs_per_probe,
+            rows_served_from_cache: 25,
             ns_p50: 123_456,
             ns_p99: 234_567,
         }
@@ -369,6 +382,17 @@ mod tests {
         let violations = allocs.regressions_against(&report, 10);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("`allocs_per_probe`"));
+        // `rows_served_from_cache` is a deterministic counter under the same gate:
+        // the warm cached-repeat leg may not drift without a regenerated baseline.
+        let mut cached = report.clone();
+        cached
+            .scenarios
+            .get_mut("accidents_q0")
+            .unwrap()
+            .rows_served_from_cache = 100;
+        let violations = cached.regressions_against(&report, 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("`rows_served_from_cache`"));
         // A disappeared scenario is a violation too; timing changes never are.
         let mut shrunk = report.clone();
         shrunk.scenarios.remove("parallel_q0_batch_6");

@@ -147,17 +147,50 @@
 //!   preference order — own split's morsels first, then same-shard jobs (from any
 //!   query; the partition is store-wide), then FIFO.
 //!
+//! # The cross-query fetch cache — ownership and coherence
+//!
+//! A session may also own a **cross-query fetch-result cache**
+//! ([`session::SessionConfig::with_cache_budget_rows`] /
+//! [`session::CACHE_ROWS_ENV`]; 0 or unset = disabled): a striped, bounded LRU
+//! hot tier keyed by `(constraint, key)` holding the `Arc`-shared posting columns
+//! an anchored lookup produced. Its contract:
+//!
+//! * **Ownership.** The cache belongs to the session, not to any query: entries
+//!   hold column handles (refcounts, never value copies), resident rows are
+//!   charged to the cache's *own* residency ledger — not to any query's — and the
+//!   whole tier is drained when the session drops. The store is immutable for the
+//!   session's lifetime, so there is no invalidation protocol: coherence is by
+//!   construction.
+//! * **Settled probe semantics.** A hit is one hash lookup plus a refcount bump —
+//!   no store fetch, no index probe, no probe-path buffer demand. It bumps only
+//!   [`AccessStats::cache_hits`] / [`AccessStats::rows_served_from_cache`]
+//!   (additive, excluded from [`AccessStats::same_data_access`]); `tuples_fetched`,
+//!   `index_lookups` and `allocs_per_probe` record genuine store traffic only, so
+//!   a warm repeat reports `tuples_fetched == 0` and `allocs_per_probe == 0`. A
+//!   miss runs today's uncached path verbatim — byte-for-byte the counters a
+//!   cache-disabled session produces — and publishes its result exactly once
+//!   (concurrent probes of the same key block on the filling query rather than
+//!   fetching twice).
+//! * **Bounded, loudly.** Eviction is strict LRU over resident rows against the
+//!   configured row budget; an entry larger than the whole budget is simply not
+//!   admitted. Admission control never reads the cache: a repeat query is priced
+//!   at its *uncached* worst case, because cached rows can be evicted between
+//!   pricing and execution — the bound must hold either way.
+//!
 //! The `bead` crate packages a session behind a Unix-socket line protocol
 //! (`bead` daemon / `beactl` client); see its docs for the wire format.
 //!
 //! [`table::Table`] is the shared result representation (set semantics).
 
+pub(crate) mod cache;
 pub mod exec;
 pub mod naive;
 pub mod ops;
 pub mod session;
 pub mod stats;
 pub mod table;
+
+pub use cache::CacheStats;
 
 pub use exec::{
     execute_physical, execute_physical_on, execute_physical_with_options, execute_plan,
@@ -166,8 +199,8 @@ pub use exec::{
 };
 pub use naive::{eval_cq, eval_fo, eval_query, eval_ucq};
 pub use session::{
-    parse_fetch_budget, AdmissionStats, QueryHandle, Rejection, Session, SessionConfig,
-    SharedStore, SubmitError, FETCH_BUDGET_ENV,
+    parse_cache_rows, parse_fetch_budget, AdmissionStats, QueryHandle, Rejection, Session,
+    SessionConfig, SharedStore, SubmitError, CACHE_ROWS_ENV, FETCH_BUDGET_ENV,
 };
 pub use stats::AccessStats;
 pub use table::Table;

@@ -35,12 +35,56 @@
 use super::batch::{hash_row_at, passes_pair, rows_equal_at, Batch};
 use super::morsel::{CacheProbe, SharedLookupCache};
 use super::{BoxOp, Operator, SharedState, BATCH_SIZE};
+use crate::cache::{CacheShape, CacheSpace, SessionFetchCache, SessionProbe};
 use bea_core::error::Result;
 use bea_core::plan::{Predicate, ShardRoute};
 use bea_core::value::{Row, Value};
 use bea_storage::{shard_of, Store};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// A handle to the session's cross-query fetch cache, resolved to the operator's
+/// [`CacheShape`] space once, off the per-probe path. `None` outside sessions (and
+/// in cache-disabled sessions), where the historical probe paths run untouched.
+type SessionCache = Option<(Arc<SessionFetchCache>, Arc<CacheSpace>)>;
+
+/// RAII resolution of a session-cache fill claim: publishes the batch when one was
+/// produced, withdraws the claim otherwise — on error *or* unwind — so probes
+/// waiting in other queries are never stranded by this query's failure.
+struct SessionClaim<'a> {
+    cache: &'a SessionFetchCache,
+    space: &'a CacheSpace,
+    key: &'a Row,
+    publish: Option<Arc<Batch>>,
+}
+
+impl Drop for SessionClaim<'_> {
+    fn drop(&mut self) {
+        match self.publish.take() {
+            Some(batch) => self.cache.complete(self.space, self.key, batch),
+            None => self.cache.abort(self.space, self.key),
+        }
+    }
+}
+
+/// Append a session-cached posting batch into a fetch's shared gather (`cols` +
+/// `selection`) — the cache-hit analogue of [`fetch_key_into`]. The cached batch is
+/// already per-key deduplicated, so every logical row is appended fresh, in the
+/// exact order the store fetch would have produced it.
+fn append_cached_postings(batch: &Batch, cols: &mut [Vec<Value>], selection: &mut Vec<u32>) {
+    if cols.is_empty() {
+        // Zero-column projection: mirrors the kernel's special case — a nonempty
+        // posting list contributes exactly one empty row.
+        if !batch.is_empty() {
+            selection.push(selection.len() as u32);
+        }
+        return;
+    }
+    for j in 0..batch.len() {
+        selection.push(cols[0].len() as u32);
+        batch.append_row_to(j, cols);
+    }
+}
 
 /// Does this operator's shard branch own `batch`'s row `i`? Routing hashes the key
 /// columns in place — deciding ownership never clones a value. Route-free operators
@@ -111,6 +155,11 @@ pub(crate) struct FetchOp<'db> {
     route: Option<ShardRoute>,
     store: Store<'db>,
     state: SharedState,
+    /// The session's cross-query cache, probed per key before the index partition.
+    /// The streaming fetch is a *consumer only* — it gathers many keys into one
+    /// shared buffer and cannot produce the standalone per-key batch a fill claim
+    /// would owe, so misses fetch from the store exactly as without a cache.
+    session: SessionCache,
     keys: std::collections::btree_set::IntoIter<Row>,
     num_keys: u64,
     /// Per-key dedup scratch, reused across batches (cleared per key by the kernel).
@@ -136,6 +185,14 @@ impl<'db> FetchOp<'db> {
         store: Store<'db>,
         state: SharedState,
     ) -> Self {
+        let session = state.borrow().cache.clone().map(|cache| {
+            let space = cache.space(CacheShape {
+                constraint: constraint_index,
+                positions: positions.clone(),
+                emit: None,
+            });
+            (cache, space)
+        });
         Self {
             input: Some(input),
             key_cols,
@@ -145,6 +202,7 @@ impl<'db> FetchOp<'db> {
             route,
             store,
             state,
+            session,
             keys: BTreeSet::new().into_iter(),
             num_keys: 0,
             dedup: HashMap::new(),
@@ -213,6 +271,19 @@ impl Operator for FetchOp<'_> {
                 self.num_keys = 0;
                 break;
             };
+            if let Some((cache, space)) = &self.session {
+                if let Some(batch) = cache.lookup(space, &key) {
+                    // Hot-tier hit: the postings are served by appending the cached
+                    // batch — physical clones (counted) but no index lookup and no
+                    // store fetch, so none of the fetch-side counters move.
+                    append_cached_postings(&batch, &mut cols, &mut selection);
+                    let mut state = self.state.borrow_mut();
+                    state.stats.cache_hits += 1;
+                    state.stats.rows_served_from_cache += batch.len() as u64;
+                    state.stats.values_cloned += batch.len() as u64 * self.positions.len() as u64;
+                    continue;
+                }
+            }
             let mut state = self.state.borrow_mut();
             state.stats.index_lookups += 1;
             drop(state);
@@ -314,6 +385,10 @@ pub(crate) struct KeyedLookupOp<'db> {
     /// The split's shared cache when this instance serves one morsel of a split
     /// pipeline; `None` runs the private cache above.
     shared: Option<Arc<SharedLookupCache>>,
+    /// The session's cross-query cache, probed before both per-query tiers. Resolved
+    /// together with [`KeyedLookupOp::fused_emit`] — the fused pre-projection is part
+    /// of the entry shape — by [`KeyedLookupOp::ensure_fused_emit`].
+    session: SessionCache,
     /// Whether this instance reports the once-per-pipeline `fetch_ops` on
     /// exhaustion. Only a split's first morsel does — the split is one logical fetch
     /// operation, composing with the shard-0 convention for sharded branches.
@@ -361,6 +436,7 @@ impl<'db> KeyedLookupOp<'db> {
             cache: HashMap::new(),
             cached_rows: 0,
             shared: None,
+            session: None,
             report_fetch_ops: true,
             key_scratch: Row::new(),
             dedup: HashMap::new(),
@@ -393,13 +469,24 @@ impl KeyedLookupOp<'_> {
             return;
         }
         self.fused_checked = true;
-        if !self.residual.is_empty() {
-            return;
-        }
-        if let Some(cols) = &self.out_cols {
-            if cols.iter().all(|&c| c >= left_arity) {
-                self.fused_emit = Some(cols.iter().map(|&c| c - left_arity).collect());
+        if self.residual.is_empty() {
+            if let Some(cols) = &self.out_cols {
+                if cols.iter().all(|&c| c >= left_arity) {
+                    self.fused_emit = Some(cols.iter().map(|&c| c - left_arity).collect());
+                }
             }
+        }
+        // The fused pre-projection is baked into cached batches, so it is part of
+        // the session-cache entry shape — resolve the operator's space only now
+        // that it is settled.
+        let cache = self.state.borrow().cache.clone();
+        if let Some(cache) = cache {
+            let space = cache.space(CacheShape {
+                constraint: self.constraint_index,
+                positions: self.positions.clone(),
+                emit: self.fused_emit.clone(),
+            });
+            self.session = Some((cache, space));
         }
     }
 
@@ -410,6 +497,45 @@ impl KeyedLookupOp<'_> {
     /// the worker's pool) and is charged `positions + 2` in `allocs_per_probe`: the
     /// key row, one buffer per fetched position, and the selection vector.
     fn lookup(&mut self) -> Result<Arc<Batch>> {
+        let Some((cache, space)) = self.session.clone() else {
+            return self.lookup_uncached();
+        };
+        // The session tier is probed before both per-query tiers: a hit filled by
+        // any earlier query (or any concurrent worker) costs one hash and a
+        // refcount bump and charges only the cache counters. A miss claims the key
+        // session-wide and runs the per-query path unchanged — charging exactly the
+        // uncached miss costs — then publishes its batch for every later probe.
+        match cache.probe(&space, &self.key_scratch) {
+            SessionProbe::Hit(batch) => {
+                let mut state = self.state.borrow_mut();
+                state.stats.cache_hits += 1;
+                state.stats.rows_served_from_cache += batch.len() as u64;
+                Ok(batch)
+            }
+            SessionProbe::Fill => {
+                // The uncached path may move the scratch into the private cache;
+                // snapshot the key (refcount bumps, uncounted like the claim's own
+                // map key) so the claim can be resolved afterwards.
+                let key = self.key_scratch.clone();
+                let mut claim = SessionClaim {
+                    cache: &cache,
+                    space: &space,
+                    key: &key,
+                    publish: None,
+                };
+                let filled = self.lookup_uncached();
+                if let Ok(batch) = &filled {
+                    claim.publish = Some(Arc::clone(batch));
+                }
+                filled
+            }
+        }
+    }
+
+    /// The per-query lookup tiers (the split's shared cache in morsel mode, the
+    /// private per-key cache otherwise), exactly as they run without a session
+    /// cache.
+    fn lookup_uncached(&mut self) -> Result<Arc<Batch>> {
         if let Some(shared) = self.shared.clone() {
             // Morsel mode: the split's shared cache replaces the private one. A probe
             // that wins the fill claim performs — and is charged — exactly the local

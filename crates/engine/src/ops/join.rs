@@ -13,7 +13,9 @@ use std::collections::HashMap;
 /// output columns — one pass, no per-match row concatenation. An empty build side
 /// skips the per-row probing while still draining the probe input — short-circuiting
 /// the drain would change which index lookups run, and data access must stay identical
-/// across execution strategies.
+/// across execution strategies. Build-side and output gather columns are drawn from
+/// the execution state's buffer pool; the build columns go back to it when the build
+/// side retires (output columns transfer into emitted batches).
 pub(crate) struct HashJoinOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
@@ -44,6 +46,10 @@ impl<'db> HashJoinOp<'db> {
         right_arity: usize,
         state: SharedState,
     ) -> Self {
+        let build = {
+            let mut s = state.borrow_mut();
+            (0..right_arity).map(|_| s.pool.get_values()).collect()
+        };
         Self {
             left,
             right: Some(right),
@@ -51,11 +57,19 @@ impl<'db> HashJoinOp<'db> {
             right_keys,
             residual,
             state,
-            build: vec![Vec::new(); right_arity],
+            build,
             buckets: HashMap::new(),
             built_rows: 0,
             right_arity,
             done: false,
+        }
+    }
+
+    /// Return the build-side columns to the buffer pool (cleared by the pool).
+    fn recycle_build(&mut self) {
+        let mut state = self.state.borrow_mut();
+        for column in self.build.drain(..) {
+            state.pool.put_values(column);
         }
     }
 }
@@ -87,10 +101,9 @@ impl Operator for HashJoinOp<'_> {
         }
         let Some(batch) = self.left.next_batch()? else {
             self.done = true;
-            let mut state = self.state.borrow_mut();
-            state.release(self.built_rows);
+            self.state.borrow_mut().release(self.built_rows);
             self.built_rows = 0;
-            self.build = Vec::new();
+            self.recycle_build();
             self.buckets.clear();
             return Ok(None);
         };
@@ -103,10 +116,15 @@ impl Operator for HashJoinOp<'_> {
             )));
         }
         let left_arity = batch.arity();
-        let mut out: Vec<Vec<Value>> = vec![Vec::new(); left_arity + self.right_arity];
+        let mut out: Vec<Vec<Value>> = {
+            let mut state = self.state.borrow_mut();
+            // One probe-key gather per probe row.
+            state.stats.values_cloned += (batch.len() * self.left_keys.len()) as u64;
+            (0..left_arity + self.right_arity)
+                .map(|_| state.pool.get_values())
+                .collect()
+        };
         let mut out_rows = 0usize;
-        // One probe-key gather per probe row.
-        self.state.borrow_mut().stats.values_cloned += (batch.len() * self.left_keys.len()) as u64;
         let mut probe: Row = Vec::with_capacity(self.left_keys.len());
         for i in 0..batch.len() {
             probe.clear();
@@ -160,6 +178,9 @@ impl Drop for HashJoinOp<'_> {
         if self.built_rows > 0 {
             self.state.borrow_mut().release(self.built_rows);
             self.built_rows = 0;
+        }
+        if !self.build.is_empty() {
+            self.recycle_build();
         }
     }
 }

@@ -238,6 +238,11 @@ pub(crate) struct ExecState {
     pub stats: AccessStats,
     /// Recycled gather/selection/key buffers; see [`BufferPool`].
     pub(crate) pool: BufferPool,
+    /// The session's cross-query fetch cache, when this worker executes a session
+    /// job and the session has one configured ([`crate::cache::SessionFetchCache`]).
+    /// `None` everywhere else — the solo executors and cache-disabled sessions run
+    /// the historical probe paths untouched.
+    pub(crate) cache: Option<Arc<crate::cache::SessionFetchCache>>,
     ledger: Arc<ResidencyLedger>,
 }
 
@@ -254,6 +259,7 @@ impl ExecState {
         Self {
             stats: AccessStats::default(),
             pool: BufferPool::with_cap(pool_cap),
+            cache: None,
             ledger,
         }
     }

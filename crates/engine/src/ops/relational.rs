@@ -268,6 +268,9 @@ impl Drop for DifferenceOp<'_> {
 /// the pipeline never holds more than a batch of them: output is chunked to
 /// [`super::BATCH_SIZE`] rows per call, however large `|batch| · |right|` gets, so the
 /// bounded-batch invariant (and the residency ledger's accuracy) survives products.
+/// The buffered right-side columns and the per-call output gather columns are drawn
+/// from the execution state's buffer pool; the buffered columns return to it when the
+/// right side retires (output columns transfer into emitted batches).
 pub(crate) struct ProductOp<'db> {
     left: BoxOp<'db>,
     right: Option<BoxOp<'db>>,
@@ -306,11 +309,13 @@ impl Operator for ProductOp<'_> {
         }
         if let Some(mut right) = self.right.take() {
             while let Some(batch) = right.next_batch()? {
+                let mut state = self.state.borrow_mut();
                 if self.buffered.is_empty() {
                     self.right_arity = batch.arity();
-                    self.buffered = vec![Vec::new(); batch.arity()];
+                    self.buffered = (0..batch.arity())
+                        .map(|_| state.pool.get_values())
+                        .collect();
                 }
-                let mut state = self.state.borrow_mut();
                 state.acquire(batch.len() as u64);
                 state.stats.values_cloned += (batch.len() * batch.arity()) as u64;
                 for i in 0..batch.len() {
@@ -343,8 +348,15 @@ impl Operator for ProductOp<'_> {
                 self.cursor = (0, 0);
                 continue;
             }
-            let sinks =
-                out.get_or_insert_with(|| vec![Vec::new(); pending.arity() + self.right_arity]);
+            if out.is_none() {
+                let mut state = self.state.borrow_mut();
+                out = Some(
+                    (0..pending.arity() + self.right_arity)
+                        .map(|_| state.pool.get_values())
+                        .collect(),
+                );
+            }
+            let sinks = out.as_mut().expect("initialized just above");
             let (li, ri) = self.cursor;
             let (left_cols, right_cols) = sinks.split_at_mut(pending.arity());
             pending.append_row_to(li, left_cols);
@@ -364,7 +376,9 @@ impl Operator for ProductOp<'_> {
         if exhausted {
             self.done = true;
             state.release(self.buffered_rows as u64);
-            self.buffered = Vec::new();
+            for column in self.buffered.drain(..) {
+                state.pool.put_values(column);
+            }
             self.buffered_rows = 0;
             if out_rows == 0 {
                 return Ok(None);
@@ -376,10 +390,13 @@ impl Operator for ProductOp<'_> {
 
 impl Drop for ProductOp<'_> {
     fn drop(&mut self) {
+        let mut state = self.state.borrow_mut();
         if self.buffered_rows > 0 {
-            self.state.borrow_mut().release(self.buffered_rows as u64);
-            self.buffered = Vec::new();
+            state.release(self.buffered_rows as u64);
             self.buffered_rows = 0;
+        }
+        for column in self.buffered.drain(..) {
+            state.pool.put_values(column);
         }
     }
 }

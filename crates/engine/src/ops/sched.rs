@@ -281,7 +281,10 @@ pub(crate) type JobOutcome = std::thread::Result<(Result<Option<(Vec<Batch>, u64
 /// `MatNode` lock it held — turning one bad operator into an opaque secondary panic
 /// elsewhere. The unwind still runs the operator drops inside the catch, so residency
 /// is released before the payload is returned. Shared by the single-query
-/// [`run_parallel`] pool and the multi-query [`crate::session::Session`] pool.
+/// [`run_parallel`] pool and the multi-query [`crate::session::Session`] pool —
+/// only the latter ever passes a session `cache` for the job's operators to probe;
+/// the solo pool always runs uncached.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_job(
     plan: &PhysicalPlan,
     dag: &PipelineDag,
@@ -289,13 +292,13 @@ pub(crate) fn execute_job(
     ledger: &Arc<ResidencyLedger>,
     mats: &MatSlots,
     pool_cap: usize,
+    cache: Option<&Arc<crate::cache::SessionFetchCache>>,
     job: &Job,
 ) -> JobOutcome {
     catch_unwind(AssertUnwindSafe(|| {
-        let state: SharedState = Rc::new(RefCell::new(ExecState::with_pool_cap(
-            ledger.clone(),
-            pool_cap,
-        )));
+        let mut exec_state = ExecState::with_pool_cap(ledger.clone(), pool_cap);
+        exec_state.cache = cache.cloned();
+        let state: SharedState = Rc::new(RefCell::new(exec_state));
         let result = match job {
             Job::Pipeline(p) => {
                 run_pipeline(plan, dag.pipelines()[*p].sink, store, &state, mats).map(|()| None)
@@ -434,7 +437,7 @@ pub(crate) fn run_parallel(
                         },
                         morsel => morsel,
                     };
-                    let outcome = execute_job(plan, dag, store, ledger, mats, pool_cap, &job);
+                    let outcome = execute_job(plan, dag, store, ledger, mats, pool_cap, None, &job);
                     let mut guard = lock_sched();
                     let mut newly_ready = 0usize;
                     let mut finalized_split = false;

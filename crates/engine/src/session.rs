@@ -36,6 +36,7 @@
 //! [`Session::shutdown`] (or drop) drains every admitted and queued query before the
 //! workers exit, so no accepted query is ever abandoned.
 
+use crate::cache::{CacheStats, SessionFetchCache};
 use crate::ops::sched::{execute_job, finalize_split, job_pipeline, try_split, Job, SplitState};
 use crate::ops::{pool_cap_for, validate_for, ResidencyLedger, SharedMat};
 use crate::stats::AccessStats;
@@ -61,12 +62,30 @@ use std::thread::JoinHandle;
 /// admitting everything.
 pub const FETCH_BUDGET_ENV: &str = "BEA_FETCH_BUDGET";
 
+/// Environment variable configuring the session's cross-query fetch-cache budget —
+/// the ceiling on cached posting rows resident across all queries — when
+/// [`SessionConfig::cache_budget_rows`] is 0 (automatic). `0` and the empty string
+/// mean "cache disabled", which reproduces the uncached executor bit-for-bit; an
+/// explicit [`SessionConfig::with_cache_budget_rows`] beats the environment. Parsed
+/// through the shared [`bea_core::env`] loud-failure contract: a set-but-invalid
+/// value panics with the rejection reason instead of silently running uncached.
+pub const CACHE_ROWS_ENV: &str = "BEA_CACHE_ROWS";
+
 /// Parse a [`FETCH_BUDGET_ENV`] value. `Ok(Some(n))` is an aggregate budget of `n`
 /// tuples; `Ok(None)` means "unlimited" (`0`, or the empty string); anything
 /// unparsable is an error naming the reason. Pure, like
 /// [`crate::exec::parse_threads`], so it is testable without mutating the process
 /// environment.
 pub fn parse_fetch_budget(value: &str) -> std::result::Result<Option<u64>, String> {
+    Ok(bea_core::env::parse_count(value)?.auto_when_zero())
+}
+
+/// Parse a [`CACHE_ROWS_ENV`] value. `Ok(Some(n))` is a cache budget of `n` resident
+/// posting rows; `Ok(None)` means "cache disabled" (`0`, or the empty string);
+/// anything unparsable is an error naming the reason. Pure, like
+/// [`parse_fetch_budget`], so it is testable without mutating the process
+/// environment.
+pub fn parse_cache_rows(value: &str) -> std::result::Result<Option<u64>, String> {
     Ok(bea_core::env::parse_count(value)?.auto_when_zero())
 }
 
@@ -124,6 +143,10 @@ pub struct SessionConfig {
     /// [`CostTicket::alloc_surface`] exceeds this. `0` (the default) disables the
     /// veto.
     pub max_alloc_surface: u64,
+    /// Cross-query fetch-cache budget, in resident posting rows. `0` (the default)
+    /// resolves automatically: [`CACHE_ROWS_ENV`] if set, otherwise the cache is
+    /// disabled and the session executes exactly as the uncached engine does.
+    pub cache_budget_rows: u64,
 }
 
 impl SessionConfig {
@@ -158,6 +181,13 @@ impl SessionConfig {
         self
     }
 
+    /// Set the cross-query fetch-cache budget in resident posting rows (0 = resolve
+    /// from [`CACHE_ROWS_ENV`], else disabled).
+    pub fn with_cache_budget_rows(mut self, rows: u64) -> Self {
+        self.cache_budget_rows = rows;
+        self
+    }
+
     /// The effective aggregate fetch budget: the explicit
     /// [`SessionConfig::fetch_budget`] if nonzero, else [`FETCH_BUDGET_ENV`], else
     /// unlimited (`None`).
@@ -166,6 +196,16 @@ impl SessionConfig {
             return Some(self.fetch_budget);
         }
         bea_core::env::read_env(FETCH_BUDGET_ENV, parse_fetch_budget).flatten()
+    }
+
+    /// The effective cross-query fetch-cache budget: the explicit
+    /// [`SessionConfig::cache_budget_rows`] if nonzero, else [`CACHE_ROWS_ENV`],
+    /// else disabled (`None`).
+    pub fn resolved_cache_budget_rows(&self) -> Option<u64> {
+        if self.cache_budget_rows > 0 {
+            return Some(self.cache_budget_rows);
+        }
+        bea_core::env::read_env(CACHE_ROWS_ENV, parse_cache_rows).flatten()
     }
 }
 
@@ -381,6 +421,9 @@ struct SessionInner {
     morsel_rows: usize,
     budget: Option<u64>,
     max_alloc_surface: Option<u64>,
+    /// The cross-query fetch cache, when the session has a cache budget. `None`
+    /// reproduces the uncached engine bit-for-bit.
+    cache: Option<Arc<SessionFetchCache>>,
     state: Mutex<PoolState>,
     work: Condvar,
 }
@@ -413,6 +456,9 @@ impl Session {
             morsel_rows: exec.resolved_morsel_size(),
             budget: config.resolved_fetch_budget(),
             max_alloc_surface: (config.max_alloc_surface > 0).then_some(config.max_alloc_surface),
+            cache: config
+                .resolved_cache_budget_rows()
+                .map(|rows| Arc::new(SessionFetchCache::new(rows))),
             state: Mutex::new(PoolState {
                 ready: VecDeque::new(),
                 active: BTreeMap::new(),
@@ -445,6 +491,16 @@ impl Session {
     /// The session's worker-thread count.
     pub fn threads(&self) -> usize {
         self.inner.threads
+    }
+
+    /// A snapshot of the cross-query fetch cache's counters. All-zero (including
+    /// `budget_rows`) when the cache is disabled.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner
+            .cache
+            .as_ref()
+            .map(|cache| cache.stats())
+            .unwrap_or_default()
     }
 
     /// Price `plan`, run it through admission control, and — if admitted or queued —
@@ -573,6 +629,11 @@ impl Drop for Session {
             if let Err(payload) = worker.join() {
                 resume_unwind(payload);
             }
+        }
+        // With the workers gone nothing probes the cache; release its resident
+        // rows so its ledger's teardown zero-assertion holds.
+        if let Some(cache) = &self.inner.cache {
+            cache.drain();
         }
     }
 }
@@ -824,6 +885,7 @@ fn worker_loop(inner: &SessionInner) {
             &shared.ledger,
             &shared.mats,
             shared.pool_cap,
+            inner.cache.as_ref(),
             &job,
         );
 
@@ -1207,5 +1269,83 @@ mod tests {
                 .resolved_fetch_budget(),
             Some(7)
         );
+    }
+
+    #[test]
+    fn cache_rows_env_values_are_validated() {
+        assert_eq!(parse_cache_rows("4096").unwrap(), Some(4096));
+        assert_eq!(parse_cache_rows(" 12 ").unwrap(), Some(12));
+        assert_eq!(parse_cache_rows("0").unwrap(), None, "0 means disabled");
+        assert_eq!(parse_cache_rows("").unwrap(), None, "empty means unset");
+        assert!(parse_cache_rows("plenty").unwrap_err().contains("integer"));
+        assert!(parse_cache_rows("-1").is_err());
+        // An explicit budget beats the environment.
+        assert_eq!(
+            SessionConfig::new()
+                .with_cache_budget_rows(64)
+                .resolved_cache_budget_rows(),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn repeated_submissions_are_served_from_the_session_cache() {
+        let idb = fixture(6);
+        let session = Session::new(
+            fixture(6),
+            SessionConfig::new()
+                .with_threads(2)
+                .with_cache_budget_rows(4096),
+        );
+        let plan = lookup_union("repeat", &[1, 2, 3]);
+        let (expected_table, expected_stats) = execute_plan_on(
+            &plan,
+            Store::Indexed(&idb),
+            &ExecOptions::new().with_threads(2),
+        )
+        .unwrap();
+
+        // Cold run: fills the cache; every deterministic data-access counter is
+        // identical to the uncached solo run.
+        let (cold_table, cold_stats) = session.submit(&plan).unwrap().wait().unwrap();
+        assert_eq!(cold_table.rows(), expected_table.rows());
+        assert!(cold_stats.same_data_access(&expected_stats));
+        assert_eq!(cold_stats.values_cloned, expected_stats.values_cloned);
+        assert_eq!(cold_stats.allocs_per_probe, expected_stats.allocs_per_probe);
+
+        // Warm runs: same rows and order, zero store fetches, zero probe-path
+        // buffer demand — every posting comes off the session cache.
+        for _ in 0..3 {
+            let (warm_table, warm_stats) = session.submit(&plan).unwrap().wait().unwrap();
+            assert_eq!(warm_table.rows(), expected_table.rows(), "rows and order");
+            assert_eq!(warm_stats.tuples_fetched, 0, "no store fetches when warm");
+            assert_eq!(warm_stats.index_lookups, 0);
+            assert_eq!(
+                warm_stats.allocs_per_probe, 0,
+                "warm probes allocate nothing"
+            );
+            assert!(warm_stats.cache_hits > 0);
+            assert_eq!(
+                warm_stats.rows_served_from_cache, expected_stats.tuples_fetched,
+                "every fetched posting row is served from the cache when warm"
+            );
+        }
+
+        let cache = session.cache_stats();
+        assert_eq!(cache.budget_rows, 4096);
+        assert!(cache.hits >= 9, "3 warm runs x 3 keys, got {}", cache.hits);
+        assert_eq!(cache.resident_rows, expected_stats.tuples_fetched);
+        assert_eq!(cache.evictions, 0);
+        session.shutdown();
+    }
+
+    #[test]
+    fn a_disabled_cache_reports_zero_stats() {
+        let session = Session::new(fixture(2), SessionConfig::new().with_threads(1));
+        if std::env::var_os(CACHE_ROWS_ENV).is_none() {
+            assert_eq!(session.cache_stats(), CacheStats::default());
+        }
+        let plan = lookup_union("solo", &[1, 2]);
+        session.submit(&plan).unwrap().wait().unwrap();
     }
 }

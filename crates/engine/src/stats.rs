@@ -64,6 +64,23 @@ pub struct AccessStats {
     /// `values_cloned` it is an execution-strategy artifact, excluded from
     /// [`AccessStats::same_data_access`], and merges additively across workers.
     pub allocs_per_probe: u64,
+    /// Number of probes served by the session-level cross-query fetch cache (see
+    /// `bea_engine::session`): lookups that returned a previously fetched posting
+    /// batch by refcount bump instead of touching the index partition. A hit charges
+    /// *none* of the fetch-side counters — no `tuples_fetched`, no `index_lookups`,
+    /// no `allocs_per_probe` — which is what makes a warm repeat of an anchored query
+    /// assertably fetch-free. Zero whenever no session cache is configured, so a
+    /// cache-disabled run reproduces the historical counters bit-for-bit. Like the
+    /// other strategy artifacts it is excluded from [`AccessStats::same_data_access`]
+    /// (the cache changes *where* data came from, never *what* the query computes)
+    /// and merges additively across workers.
+    pub cache_hits: u64,
+    /// Rows delivered out of the session fetch cache by the hits counted in
+    /// [`AccessStats::cache_hits`] — the cached analogue of
+    /// [`AccessStats::tuples_fetched`]. `tuples_fetched + rows_served_from_cache` is
+    /// the data volume a run *consumed*; the split between the two is pure cache
+    /// state. Excluded from [`AccessStats::same_data_access`]; merges additively.
+    pub rows_served_from_cache: u64,
     /// Tuples fetched through index lookups, per relation. Lets experiments attribute
     /// the access cost of a plan to the constraints that served it.
     pub rows_fetched_by_relation: BTreeMap<String, u64>,
@@ -128,6 +145,8 @@ impl AccessStats {
         self.product_rows_materialized += rhs.product_rows_materialized;
         self.values_cloned += rhs.values_cloned;
         self.allocs_per_probe += rhs.allocs_per_probe;
+        self.cache_hits += rhs.cache_hits;
+        self.rows_served_from_cache += rhs.rows_served_from_cache;
         for (relation, tuples) in rhs.rows_fetched_by_relation {
             *self.rows_fetched_by_relation.entry(relation).or_insert(0) += tuples;
         }
@@ -171,14 +190,16 @@ impl fmt::Display for AccessStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident, {} values cloned, {} probe allocs",
+            "fetched {} tuples via {} lookups ({} fetch ops), scanned {} tuples, peak {} rows resident, {} values cloned, {} probe allocs, {} cache hits ({} rows served)",
             self.tuples_fetched,
             self.index_lookups,
             self.fetch_ops,
             self.tuples_scanned,
             self.peak_rows_resident,
             self.values_cloned,
-            self.allocs_per_probe
+            self.allocs_per_probe,
+            self.cache_hits,
+            self.rows_served_from_cache
         )
     }
 }
@@ -199,6 +220,8 @@ mod tests {
             peak_rows_resident: 7,
             values_cloned: 20,
             allocs_per_probe: 4,
+            cache_hits: 1,
+            rows_served_from_cache: 8,
             rows_fetched_by_relation: [("R".to_owned(), 10)].into_iter().collect(),
             rows_fetched_by_shard: [(0, 10)].into_iter().collect(),
         };
@@ -211,6 +234,8 @@ mod tests {
             peak_rows_resident: 3,
             values_cloned: 5,
             allocs_per_probe: 1,
+            cache_hits: 2,
+            rows_served_from_cache: 4,
             rows_fetched_by_relation: [("R".to_owned(), 2), ("S".to_owned(), 3)]
                 .into_iter()
                 .collect(),
@@ -222,6 +247,8 @@ mod tests {
         assert_eq!(a.product_rows_materialized, 4);
         assert_eq!(a.values_cloned, 25); // additive under every merge rule
         assert_eq!(a.allocs_per_probe, 5); // additive too
+        assert_eq!(a.cache_hits, 3); // cache counters are additive strategy artifacts
+        assert_eq!(a.rows_served_from_cache, 12);
         assert_eq!(a.peak_rows_resident, 7); // max, not sum
         assert_eq!(a.total_tuples_read(), 115);
         assert_eq!(a.rows_fetched_by_relation["R"], 12);
@@ -231,6 +258,7 @@ mod tests {
         assert!(a.to_string().contains("fetched 15 tuples"));
         assert!(a.to_string().contains("peak 7 rows resident"));
         assert!(a.to_string().contains("5 probe allocs"));
+        assert!(a.to_string().contains("3 cache hits (12 rows served)"));
     }
 
     #[test]
@@ -246,6 +274,8 @@ mod tests {
             peak_rows_resident: peak,
             values_cloned: 12,
             allocs_per_probe: 6,
+            cache_hits: 0,
+            rows_served_from_cache: 0,
             rows_fetched_by_relation: [("R".to_owned(), 6)].into_iter().collect(),
             rows_fetched_by_shard: [(1, 6)].into_iter().collect(),
         };
@@ -311,6 +341,8 @@ mod tests {
         b.product_rows_materialized = 42;
         b.values_cloned = 1_000;
         b.allocs_per_probe = 77;
+        b.cache_hits = 3;
+        b.rows_served_from_cache = 15;
         assert!(a.same_data_access(&b));
         b.record_fetched("R", 1);
         assert!(!a.same_data_access(&b));

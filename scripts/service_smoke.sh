@@ -27,9 +27,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Start the daemon: ~2000 tuples, 2 workers, a 10k-tuple aggregate fetch budget.
+# Start the daemon: ~2000 tuples, 2 workers, a 10k-tuple aggregate fetch budget,
+# and a 4096-row cross-query fetch cache.
 "$BEAD" --socket "$SOCKET" --tuples 2000 --seed 48879 --threads 2 --fetch-budget 10000 \
-    >"$LOG" 2>&1 &
+    --cache-rows 4096 >"$LOG" 2>&1 &
 BEAD_PID=$!
 
 # Wait for the ready line (the daemon prints it once the socket accepts).
@@ -54,7 +55,21 @@ expect_exit() { # expect_exit <code> <description> <args...>
 expect_exit 0 "ping answers" ping
 
 # Anchored on an accident id — fetch bound 1, admitted (exit 0).
-expect_exit 0 "cheap query admitted" query 'Q(d) :- Accident(x, d, t), x = 1.'
+COLD="$("$BEACTL" --socket "$SOCKET" query 'Q(d) :- Accident(x, d, t), x = 1.')" \
+    || { echo "error: cheap query not admitted" >&2; exit 1; }
+echo "ok: cheap query admitted (exit 0)"
+
+# The same anchored query again — identical rows, served entirely from the
+# session's cross-query fetch cache (zero store fetches, a recorded cache hit).
+WARM="$("$BEACTL" --socket "$SOCKET" query 'Q(d) :- Accident(x, d, t), x = 1.')" \
+    || { echo "error: cached repeat not admitted" >&2; exit 1; }
+[ "$(echo "$COLD" | tail -n +2)" = "$(echo "$WARM" | tail -n +2)" ] \
+    || { echo "error: cached repeat returned different rows" >&2; exit 1; }
+echo "$WARM" | head -n 1 | grep -q 'tuples_fetched=0' \
+    || { echo "error: cached repeat still fetched from the store: $WARM" >&2; exit 1; }
+echo "$WARM" | head -n 1 | grep -q 'cache_hits=1' \
+    || { echo "error: cached repeat recorded no cache hit: $WARM" >&2; exit 1; }
+echo "ok: cached repeat served from the session cache (identical rows)"
 
 # Q0's join chain prices far beyond the 10k budget — statically rejected (exit 3).
 expect_exit 3 "expensive query rejected" query \
@@ -66,9 +81,11 @@ expect_exit 1 "broken query errors" query 'Q(x) :- Nowhere(x).'
 # The counters reflect exactly the batch above.
 STATS="$("$BEACTL" --socket "$SOCKET" stats)"
 echo "$STATS"
-echo "$STATS" | grep -q 'completed=1' || { echo "error: stats missing completed=1" >&2; exit 1; }
+echo "$STATS" | grep -q 'completed=2' || { echo "error: stats missing completed=2" >&2; exit 1; }
 echo "$STATS" | grep -q 'rejected=1' || { echo "error: stats missing rejected=1" >&2; exit 1; }
 echo "$STATS" | grep -q 'budget=10000' || { echo "error: stats missing budget=10000" >&2; exit 1; }
+echo "$STATS" | grep -q 'cache_hits=1' || { echo "error: stats missing cache_hits=1" >&2; exit 1; }
+echo "$STATS" | grep -q 'cache_evictions=0' || { echo "error: stats missing cache_evictions=0" >&2; exit 1; }
 
 expect_exit 0 "shutdown acknowledged" shutdown
 

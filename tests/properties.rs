@@ -950,6 +950,173 @@ fn concurrent_sessions_match_serial_execution_and_reject_deterministically() {
     );
 }
 
+/// The session's cross-query fetch cache (PR 9) is a *traffic* optimization, never a
+/// semantic one: N repeated submissions of one anchored lookup query through a
+/// [`Session`] with a cache budget return identical rows in identical order every
+/// time; the first submission performs exactly the data access, copy traffic and
+/// probe-path buffer demand of an uncached solo [`execute_plan_on`] run (admission
+/// keeps pricing the uncached worst case); and every later submission fetches *zero*
+/// tuples from the store and demands *zero* probe-path buffers — each posting list
+/// is served by one hash probe and a refcount bump. With the cache disabled
+/// (`BEA_CACHE_ROWS` unset and no configured budget) all N submissions reproduce
+/// today's counters byte-for-byte. Thread and shard counts come from the
+/// environment, so the CI matrix drives all four `BEA_THREADS` × `BEA_SHARDS`
+/// corners through this property; morsel sizes are swept explicitly.
+#[test]
+fn repeated_session_submissions_are_served_from_the_fetch_cache() {
+    use bea::core::plan::{PlanBuilder, Predicate};
+    use bea::engine::{Session, SessionConfig, SharedStore, CACHE_ROWS_ENV};
+    use bea_core::access::AccessConstraint;
+    use bea_core::schema::Catalog;
+
+    run_cases(
+        "repeated_session_submissions_are_served_from_the_fetch_cache",
+        0xCAC4E,
+        |rng| {
+            // R(a → b), keys 1..=key_space with a random per-key fanout.
+            let key_space = rng.gen_range(4i64..=12);
+            let fanout = rng.gen_range(1i64..=3);
+            let catalog = {
+                let mut c = Catalog::new();
+                c.declare("R", ["a", "b"]).unwrap();
+                c
+            };
+            let schema = AccessSchema::from_constraints([AccessConstraint::new(
+                &catalog,
+                "R",
+                &["a"],
+                &["b"],
+                10,
+            )
+            .unwrap()]);
+            let mut db = bea::storage::Database::new(catalog);
+            db.extend(
+                "R",
+                (1..=key_space).flat_map(|k| {
+                    (0..fanout).map(move |j| vec![Value::int(k), Value::int(100 * k + j)])
+                }),
+            )
+            .unwrap();
+
+            // A union of anchored lookups over a random distinct key set; each
+            // branch's fetch → product → select fuses into one KeyedLookup.
+            let mut keys: Vec<i64> = (1..=key_space).collect();
+            for i in (1..keys.len()).rev() {
+                keys.swap(i, rng.gen_range(0..=i));
+            }
+            keys.truncate(rng.gen_range(2..=4));
+            let plan = {
+                let mut b = PlanBuilder::new();
+                let branch = |b: &mut PlanBuilder, key: i64| {
+                    let k = b.constant(Value::int(key), "k");
+                    let fetched = b.fetch(
+                        k,
+                        vec![0],
+                        "R",
+                        vec![0],
+                        vec![1],
+                        0,
+                        vec!["a".into(), "b".into()],
+                    );
+                    let prod = b.product(k, fetched);
+                    b.select(prod, vec![Predicate::ColEqCol(0, 1)])
+                };
+                let mut acc = branch(&mut b, keys[0]);
+                for &key in &keys[1..] {
+                    let next = branch(&mut b, key);
+                    acc = b.union(acc, next);
+                }
+                b.finish("CachedRepeat", acc).unwrap()
+            };
+
+            let shards = shards_from_env().max(2);
+            let sharded = ShardedDatabase::build(db, schema, shards).unwrap();
+            let store = SharedStore::from(sharded);
+
+            const REPEATS: usize = 4;
+            for morsel_size in [0usize, 1] {
+                // Uncached solo baseline at the same env-resolved options.
+                let options = ExecOptions::new().with_morsel_size(morsel_size);
+                let (serial_table, serial_stats) =
+                    execute_plan_on(&plan, store.store(), &options).unwrap();
+
+                // Enabled leg: a budget far above the working set — nothing evicts.
+                let session = Session::new(
+                    store.clone(),
+                    SessionConfig::new()
+                        .with_morsel_size(morsel_size)
+                        .with_cache_budget_rows(1 << 20),
+                );
+                for submission in 0..REPEATS {
+                    let (table, stats) = session.submit(&plan).unwrap().wait().unwrap();
+                    assert_eq!(
+                        table.rows(),
+                        serial_table.rows(),
+                        "submission {submission} changed the rows (or their order) \
+                         at morsel size {morsel_size}"
+                    );
+                    if submission == 0 {
+                        // Cold: the cache fills but every uncached counter is
+                        // byte-for-byte the solo run's — admission and accounting
+                        // keep pricing the uncached worst case.
+                        assert!(
+                            stats.same_data_access(&serial_stats),
+                            "the cold submission changed the data access: \
+                             {stats} vs {serial_stats}"
+                        );
+                        assert_eq!(stats.values_cloned, serial_stats.values_cloned);
+                        assert_eq!(stats.allocs_per_probe, serial_stats.allocs_per_probe);
+                    } else {
+                        // Warm: zero store traffic, zero probe-path buffer demand.
+                        assert_eq!(
+                            stats.tuples_fetched, 0,
+                            "warm submission {submission} fetched from the store"
+                        );
+                        assert_eq!(stats.index_lookups, 0);
+                        assert_eq!(
+                            stats.allocs_per_probe, 0,
+                            "warm submission {submission} demanded probe buffers"
+                        );
+                        assert_eq!(stats.cache_hits, keys.len() as u64);
+                        assert_eq!(
+                            stats.rows_served_from_cache, serial_stats.tuples_fetched,
+                            "every posting the solo run fetched is served from the \
+                             cache when warm"
+                        );
+                    }
+                }
+                let cache = session.cache_stats();
+                assert_eq!(cache.resident_rows, serial_stats.tuples_fetched);
+                assert_eq!(cache.evictions, 0);
+                session.shutdown();
+
+                // Disabled leg: no configured budget. Guarded on the environment so
+                // a CI matrix leg that *sets* BEA_CACHE_ROWS doesn't turn this into
+                // a cached session behind our back.
+                if std::env::var_os(CACHE_ROWS_ENV).is_none() {
+                    let session = Session::new(
+                        store.clone(),
+                        SessionConfig::new().with_morsel_size(morsel_size),
+                    );
+                    for _ in 0..REPEATS {
+                        let (table, stats) = session.submit(&plan).unwrap().wait().unwrap();
+                        assert_eq!(table.rows(), serial_table.rows());
+                        assert!(
+                            stats.same_data_access(&serial_stats),
+                            "a disabled cache must reproduce the uncached engine: \
+                             {stats} vs {serial_stats}"
+                        );
+                        assert_eq!(stats.values_cloned, serial_stats.values_cloned);
+                        assert_eq!(stats.allocs_per_probe, serial_stats.allocs_per_probe);
+                        assert_eq!((stats.cache_hits, stats.rows_served_from_cache), (0, 0));
+                    }
+                    session.shutdown();
+                }
+            }
+        },
+    );
+}
+
 /// cov(Q, A) is deterministic and monotone in the access schema (Lemma 3.9).
 #[test]
 fn coverage_is_deterministic_and_monotone() {
